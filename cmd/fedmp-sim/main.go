@@ -1,0 +1,121 @@
+// Command fedmp-sim runs a single federated simulation and prints the
+// evaluation trajectory, per-round statistics and summary.
+//
+// Usage:
+//
+//	fedmp-sim -model cnn -strategy fedmp -workers 10 -rounds 30
+//	fedmp-sim -model alexnet -strategy synfl -level high -rounds 40
+//	fedmp-sim -model lstm -strategy fedmp -rounds 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"fedmp"
+	"fedmp/internal/cluster"
+)
+
+func main() {
+	model := flag.String("model", "cnn", "cnn | alexnet | vgg | resnet | lstm")
+	strategy := flag.String("strategy", "fedmp", "fedmp | synfl | upfl | fedprox | flexcom | fixed")
+	sync := flag.String("sync", "r2sp", "r2sp | bsp (pruning strategies)")
+	workers := flag.Int("workers", 10, "number of workers")
+	rounds := flag.Int("rounds", 30, "round cap")
+	level := flag.String("level", "", "heterogeneity: low | medium | high (default: paper's A+B mix)")
+	nonIIDKind := flag.String("noniid", "", "non-IID scheme: label | missing")
+	nonIIDLevel := flag.Int("noniid-level", 0, "non-IID level y")
+	fixedRatio := flag.Float64("ratio", 0.3, "pruning ratio for -strategy fixed")
+	async := flag.Bool("async", false, "asynchronous engine (Alg. 2)")
+	asyncM := flag.Int("async-m", 0, "async aggregation size m (default workers/2)")
+	target := flag.Float64("target", 0, "stop at this test accuracy (0 = none)")
+	budget := flag.Float64("budget", 0, "stop after this many virtual seconds (0 = none)")
+	evalEvery := flag.Int("eval-every", 2, "evaluate every k rounds")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var fam fedmp.Family
+	var err error
+	if *model == "lstm" {
+		fam = fedmp.NewLanguageModelFamily()
+	} else {
+		fam, err = fedmp.NewImageFamily(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	cfg := fedmp.Config{
+		Strategy:       fedmp.StrategyID(*strategy),
+		Sync:           fedmp.SyncScheme(*sync),
+		Workers:        *workers,
+		Rounds:         *rounds,
+		FixedRatio:     *fixedRatio,
+		Async:          *async,
+		AsyncM:         *asyncM,
+		TargetAccuracy: *target,
+		TimeBudget:     *budget,
+		EvalEvery:      *evalEvery,
+		Seed:           *seed,
+	}
+	if *nonIIDKind != "" {
+		cfg.NonIID = fedmp.NonIID{Kind: *nonIIDKind, Level: *nonIIDLevel}
+	}
+	if *level != "" {
+		sc, err := cluster.New(cluster.Level(*level), *workers, *seed+7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Scenario = sc
+	}
+	res, err := fedmp.Run(fam, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s / %s: %d workers, %d rounds, %.0f virtual seconds\n\n",
+		fam.Name(), *strategy, *workers, res.Rounds, res.Time)
+	fmt.Println("round  time(s)    loss    metric")
+	for _, p := range res.Points {
+		fmt.Printf("%5d  %7.0f  %6.4f  %s\n", p.Round, p.Time, p.Loss, metricString(fam, p))
+	}
+	fmt.Println()
+	summarize(res)
+}
+
+func metricString(fam fedmp.Family, p fedmp.Point) string {
+	if fam.Metric() == "perplexity" {
+		return fmt.Sprintf("ppl %.2f", math.Exp(p.Loss))
+	}
+	return fmt.Sprintf("acc %.3f", p.Acc)
+}
+
+func summarize(res *fedmp.Result) {
+	var comp, comm, dec, pr float64
+	var down, up int64
+	var dropped int
+	for _, st := range res.Stats {
+		comp += st.CompTime
+		comm += st.CommTime
+		dec += st.DecisionSeconds
+		pr += st.PruneSeconds
+		down += st.DownBytes
+		up += st.UpBytes
+		dropped += st.Dropped
+	}
+	n := float64(len(res.Stats))
+	if n == 0 {
+		return
+	}
+	fmt.Printf("per-round means: compute %.1fs, communication %.1fs\n", comp/n, comm/n)
+	fmt.Printf("traffic: %.1f MB down, %.1f MB up\n", float64(down)/1e6, float64(up)/1e6)
+	fmt.Printf("algorithm overhead (real): %.2f ms decision + %.2f ms pruning per round\n",
+		1000*dec/n, 1000*pr/n)
+	if dropped > 0 {
+		fmt.Printf("workers dropped by deadline: %d\n", dropped)
+	}
+	if !math.IsInf(res.TimeToTargetAcc, 1) {
+		fmt.Printf("target accuracy reached at %.0f virtual seconds\n", res.TimeToTargetAcc)
+	}
+}

@@ -1,0 +1,53 @@
+// Command fedmp-worker runs one FedMP edge worker: it connects to a
+// parameter server (cmd/fedmp-ps), receives (possibly pruned) models each
+// round, trains them on its local data shard and uploads the results.
+//
+// The worker's shard is deterministic in (-index, -total): every worker in
+// a deployment generates the same synthetic dataset and takes its own slice,
+// which stands in for genuinely local data.
+//
+// Usage:
+//
+//	fedmp-worker -addr localhost:7070 -model cnn -index 0 -total 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fedmp"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7070", "parameter server address")
+	model := flag.String("model", "cnn", "cnn | alexnet | vgg | resnet | lstm")
+	index := flag.Int("index", 0, "this worker's index in the deployment")
+	total := flag.Int("total", 2, "total workers in the deployment")
+	batch := flag.Int("batch", 8, "local minibatch size")
+	seed := flag.Int64("seed", 1, "partitioning seed (must match across workers)")
+	flag.Parse()
+
+	var fam fedmp.Family
+	var err error
+	if *model == "lstm" {
+		fam = fedmp.NewLanguageModelFamily()
+	} else {
+		fam, err = fedmp.NewImageFamily(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	src, err := fedmp.WorkerSource(fam, *index, *total, *batch, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = fedmp.RunWorker(fam, src, fedmp.WorkerConfig{
+		Addr: *addr,
+		Name: fmt.Sprintf("worker-%d", *index),
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Distributed example: a real parameter server and three workers exchanging
+// gob-encoded models over TCP (in one process for convenience; the same API
+// backs cmd/fedmp-ps and cmd/fedmp-worker as separate processes). Unlike
+// the simulation, completion times here are wall clock.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"fedmp"
+)
+
+func main() {
+	const workers = 3
+	fam, err := fedmp.NewImageFamily(fedmp.ModelCNN)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reserve an ephemeral port for the demo.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src, err := fedmp.WorkerSource(fam, i, workers, 8, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = fedmp.RunWorker(fam, src, fedmp.WorkerConfig{
+				Addr: addr,
+				Name: fmt.Sprintf("worker-%d", i),
+			})
+			if err != nil {
+				log.Printf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+
+	res, err := fedmp.Serve(fam, fedmp.ServerConfig{
+		Addr:    addr,
+		Workers: workers,
+		Rounds:  10,
+		Core: fedmp.Config{
+			Strategy: fedmp.StrategyFedMP,
+			Rounds:   10,
+			Seed:     1,
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+
+	fmt.Println()
+	fmt.Printf("distributed FedMP finished: %d rounds, %.2fs wall clock, accuracy %.3f\n",
+		res.Rounds, res.Time, res.FinalAcc)
+	fmt.Println("the server pruned per-worker sub-models, shipped them over TCP, and")
+	fmt.Println("recovered them with R2SP at each aggregation — the same code path the")
+	fmt.Println("simulation engine uses, with wall-clock timing.")
+}

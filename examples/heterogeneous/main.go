@@ -1,0 +1,70 @@
+// Heterogeneous-edge example: reproduce the §V-E observation that FedMP's
+// advantage over Syn-FL grows with the heterogeneity level, by running both
+// methods across Low / Medium / High scenarios (clusters A, B, C of Fig. 3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fedmp"
+	"fedmp/internal/cluster"
+)
+
+func main() {
+	fam, err := fedmp.NewImageFamily(fedmp.ModelCNN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		workers = 10
+		target  = 0.90
+	)
+	fmt.Printf("Time to reach %.0f%% accuracy under different heterogeneity levels\n\n", 100*target)
+	fmt.Println("level    synfl        fedmp        speedup")
+
+	for _, level := range []cluster.Level{cluster.LevelLow, cluster.LevelMedium, cluster.LevelHigh} {
+		times := map[fedmp.StrategyID]float64{}
+		for _, strategy := range []fedmp.StrategyID{fedmp.StrategySynFL, fedmp.StrategyFedMP} {
+			sc, err := cluster.New(level, workers, 8)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := fedmp.Run(fam, fedmp.Config{
+				Strategy:       strategy,
+				Workers:        workers,
+				Scenario:       sc,
+				Rounds:         45,
+				TargetAccuracy: target,
+				EvalEvery:      2,
+				Seed:           1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[strategy] = res.TimeToTargetAcc
+		}
+		fmt.Printf("%-8s %-12s %-12s %s\n", level,
+			dur(times[fedmp.StrategySynFL]), dur(times[fedmp.StrategyFedMP]),
+			speedup(times[fedmp.StrategySynFL], times[fedmp.StrategyFedMP]))
+	}
+	fmt.Println()
+	fmt.Println("Adding slower workers (clusters B and C) stretches Syn-FL rounds to the")
+	fmt.Println("slowest device, while FedMP prunes those workers' models harder and keeps")
+	fmt.Println("the round time bounded — the performance gap widens with heterogeneity.")
+}
+
+func dur(t float64) string {
+	if math.IsInf(t, 1) {
+		return "unreached"
+	}
+	return fmt.Sprintf("%.0fs", t)
+}
+
+func speedup(base, method float64) string {
+	if math.IsInf(base, 1) || math.IsInf(method, 1) || method == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", base/method)
+}

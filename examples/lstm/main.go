@@ -1,0 +1,46 @@
+// LSTM example: the §VI extension — FedMP on a recurrent model. Hidden
+// units are pruned as intrinsic sparse structures (one unit removes its
+// gate rows, recurrent column and downstream input column), and training
+// progress is measured as perplexity on a synthetic Markov corpus standing
+// in for Penn TreeBank.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fedmp"
+)
+
+func main() {
+	fam := fedmp.NewLanguageModelFamily()
+	fmt.Println("Two-layer LSTM language model, 10 workers (Table IV setting)")
+	fmt.Println()
+
+	for _, strategy := range []fedmp.StrategyID{fedmp.StrategySynFL, fedmp.StrategyFedMP} {
+		res, err := fedmp.Run(fam, fedmp.Config{
+			Strategy:    strategy,
+			Workers:     10,
+			Rounds:      30,
+			LocalIters:  10,
+			BatchSize:   12,
+			EvalEvery:   5,
+			LR:          0.8,
+			WeightDecay: -1, // image-model default over-regularises at this LR
+			Seed:        1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", strategy)
+		for _, p := range res.Points {
+			fmt.Printf("  round %2d  t=%5.0fs  perplexity %7.2f\n", p.Round, p.Time, math.Exp(p.Loss))
+		}
+		fmt.Printf("  final perplexity %.2f after %.0f virtual seconds\n\n",
+			math.Exp(res.FinalLoss), res.Time)
+	}
+	fmt.Println("Pruning an LSTM requires removing whole hidden units (gate rows plus")
+	fmt.Println("recurrent columns) so dimensions stay consistent across timesteps —")
+	fmt.Println("the intrinsic-sparse-structure strategy the paper adopts from Wen et al.")
+}

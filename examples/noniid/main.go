@@ -1,0 +1,46 @@
+// Non-IID example: reproduce the §V-F observation that label-skewed data
+// slows every method down, while FedMP keeps its advantage. Each worker's
+// shard is dominated by one label (y% skew).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedmp"
+)
+
+func main() {
+	fam, err := fedmp.NewImageFamily(fedmp.ModelCNN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Accuracy after 24 rounds under increasing label skew (10 workers)")
+	fmt.Println()
+	fmt.Println("skew    synfl   fedmp")
+	for _, skew := range []int{0, 30, 60, 90} {
+		fmt.Printf("%3d%%  ", skew)
+		for _, strategy := range []fedmp.StrategyID{fedmp.StrategySynFL, fedmp.StrategyFedMP} {
+			cfg := fedmp.Config{
+				Strategy:  strategy,
+				Workers:   10,
+				Rounds:    24,
+				EvalEvery: 4,
+				Seed:      1,
+			}
+			if skew > 0 {
+				cfg.NonIID = fedmp.NonIID{Kind: "label", Level: skew}
+			}
+			res, err := fedmp.Run(fam, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %.3f", res.FinalAcc)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Divergent local models make aggregation less effective as skew grows,")
+	fmt.Println("so both methods need more rounds — but adaptive pruning still reduces")
+	fmt.Println("per-round cost, preserving FedMP's lead (paper Fig. 9).")
+}

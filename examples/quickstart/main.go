@@ -1,0 +1,43 @@
+// Quickstart: train the scaled MNIST CNN with FedMP across ten
+// heterogeneous simulated edge workers and watch adaptive pruning speed the
+// run up relative to plain FedAvg (Syn-FL).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedmp"
+)
+
+func main() {
+	fam, err := fedmp.NewImageFamily(fedmp.ModelCNN)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("FedMP quickstart: CNN on the synthetic MNIST analogue, 10 workers")
+	fmt.Println()
+
+	for _, strategy := range []fedmp.StrategyID{fedmp.StrategySynFL, fedmp.StrategyFedMP} {
+		res, err := fedmp.Run(fam, fedmp.Config{
+			Strategy:  strategy,
+			Workers:   10,
+			Rounds:    24,
+			EvalEvery: 4,
+			Seed:      1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", strategy)
+		for _, p := range res.Points {
+			fmt.Printf("  round %2d  t=%5.0fs  accuracy %.3f\n", p.Round, p.Time, p.Acc)
+		}
+		fmt.Printf("  total virtual time: %.0fs, final accuracy %.3f\n\n", res.Time, res.FinalAcc)
+	}
+
+	fmt.Println("FedMP reaches high accuracy in fewer virtual seconds because each")
+	fmt.Println("worker trains a sub-model matched to its capability (E-UCB, §IV),")
+	fmt.Println("and R2SP recovers pruned parameters at aggregation (§III-C).")
+}

@@ -1,0 +1,108 @@
+package fedmp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeImageRun(t *testing.T) {
+	fam, err := NewImageFamily(ModelCNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(fam, Config{
+		Strategy:   StrategyFedMP,
+		Workers:    4,
+		Rounds:     3,
+		LocalIters: 2,
+		BatchSize:  6,
+		EvalEvery:  1,
+		EvalLimit:  64,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+	if res.FinalAcc <= 0 || res.Time <= 0 {
+		t.Errorf("degenerate result: acc %v, time %v", res.FinalAcc, res.Time)
+	}
+}
+
+func TestFacadeUnknownModel(t *testing.T) {
+	if _, err := NewImageFamily("transformer"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestFacadeLanguageModelRun(t *testing.T) {
+	fam := NewLanguageModelFamily()
+	if fam.Metric() != "perplexity" {
+		t.Errorf("metric = %q", fam.Metric())
+	}
+	res, err := Run(fam, Config{
+		Strategy:   StrategySynFL,
+		Workers:    3,
+		Rounds:     2,
+		LocalIters: 2,
+		BatchSize:  4,
+		EvalEvery:  1,
+		EvalLimit:  16,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.FinalLoss) || res.Perplexity() <= 1 {
+		t.Errorf("bad perplexity %v", res.Perplexity())
+	}
+}
+
+func TestExperimentIDsAndWriteReport(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 17 { // 14 paper artefacts + 2 ablations + 1 extra
+		t.Errorf("%d experiment ids, want 17", len(ids))
+	}
+	rep, err := RunExperiment("table2", ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, rep)
+	out := buf.String()
+	if !strings.Contains(out, "table2") || !strings.Contains(out, "Denver2") {
+		t.Errorf("report rendering missing content:\n%s", out)
+	}
+}
+
+func TestWorkerSourceValidation(t *testing.T) {
+	fam, err := NewImageFamily(ModelCNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorkerSource(fam, 5, 3, 8, 1); err == nil {
+		t.Error("out-of-range worker index accepted")
+	}
+	src, err := WorkerSource(fam, 1, 3, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := src.Next(); b.Size() != 8 {
+		t.Errorf("batch size %d, want 8", b.Size())
+	}
+}
+
+func TestImageModelsList(t *testing.T) {
+	if len(ImageModels) != 4 {
+		t.Fatalf("ImageModels = %v", ImageModels)
+	}
+	for _, m := range ImageModels {
+		if _, err := NewImageFamily(m); err != nil {
+			t.Errorf("NewImageFamily(%s): %v", m, err)
+		}
+	}
+}

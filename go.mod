@@ -1,0 +1,3 @@
+module fedmp
+
+go 1.22

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"container/heap"
+)
+
+// asyncItem is one in-flight worker computation in the asynchronous engine.
+type asyncItem struct {
+	out    Output
+	finish float64
+}
+
+// asyncQueue orders in-flight work by virtual finish time.
+type asyncQueue []asyncItem
+
+func (q asyncQueue) Len() int           { return len(q) }
+func (q asyncQueue) Less(i, j int) bool { return q[i].finish < q[j].finish }
+func (q asyncQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *asyncQueue) Push(x any)        { *q = append(*q, x.(asyncItem)) }
+func (q *asyncQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// runAsync executes Algorithm 2 of the paper: the PS aggregates the first m
+// local models to arrive, updates the global model, re-decides pruning
+// ratios for exactly those m workers and sends them fresh sub-models while
+// the other workers keep training their (now stale) assignments.
+func (r *runner) runAsync() error {
+	q := &asyncQueue{}
+	heap.Init(q)
+
+	// dispatch assigns the given workers against the current global model
+	// and schedules their completions.
+	dispatch := func(round int, workers []int) error {
+		info := r.roundInfo(round)
+		assignments, err := r.strategy.Assign(info, workers)
+		if err != nil {
+			return err
+		}
+		for _, a := range assignments {
+			o, err := r.runWorker(a)
+			if err != nil {
+				return err
+			}
+			heap.Push(q, asyncItem{out: o, finish: r.now + o.Total})
+		}
+		// Decision/pruning overhead is recorded with the *next* completed
+		// round's stats via these accumulators.
+		r.pendingDecision += info.DecisionSeconds
+		r.pendingPrune += info.PruneSeconds
+		return nil
+	}
+	if err := dispatch(0, r.allWorkers()); err != nil {
+		return err
+	}
+
+	for round := 1; ; round++ {
+		m := r.cfg.AsyncM
+		if m > q.Len() {
+			m = q.Len()
+		}
+		if m == 0 {
+			return nil
+		}
+		outs := make([]Output, 0, m)
+		var roundEnd float64
+		for i := 0; i < m; i++ {
+			it := heap.Pop(q).(asyncItem)
+			outs = append(outs, it.out)
+			if it.finish > roundEnd {
+				roundEnd = it.finish
+			}
+		}
+		info := r.roundInfo(round)
+		newGlobal, err := r.strategy.Aggregate(info, outs, nil)
+		if err != nil {
+			return err
+		}
+		r.global = newGlobal
+		roundTime := roundEnd - r.now
+		if roundTime < 0 {
+			roundTime = 0
+		}
+		info.DecisionSeconds += r.pendingDecision
+		info.PruneSeconds += r.pendingPrune
+		r.pendingDecision, r.pendingPrune = 0, 0
+		r.finishRound(round, info, outs, nil, roundTime)
+
+		if stop, err := r.evalAndCheck(round); err != nil {
+			return err
+		} else if stop {
+			return nil
+		}
+		if r.stopByBudget(round) {
+			return nil
+		}
+
+		// Re-dispatch exactly the workers that just reported (Alg. 2
+		// lines 9–10).
+		workers := make([]int, len(outs))
+		for i, o := range outs {
+			workers[i] = o.Worker
+		}
+		if err := dispatch(round, workers); err != nil {
+			return err
+		}
+	}
+}

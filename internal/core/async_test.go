@@ -1,0 +1,84 @@
+package core
+
+import (
+	"container/heap"
+	"testing"
+)
+
+func TestAsyncQueueOrdering(t *testing.T) {
+	q := &asyncQueue{}
+	heap.Init(q)
+	finishes := []float64{5, 1, 9, 3, 7}
+	for i, f := range finishes {
+		heap.Push(q, asyncItem{finish: f, out: Output{Assignment: Assignment{Worker: i}}})
+	}
+	var got []float64
+	for q.Len() > 0 {
+		got = append(got, heap.Pop(q).(asyncItem).finish)
+	}
+	want := []float64{1, 3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAsyncStaleResidualsAreUsed(t *testing.T) {
+	// In the async engine a worker's residual is captured at dispatch time;
+	// aggregating it later must still reproduce the dispatched global when
+	// the worker returns untrained weights, even though the server's global
+	// has moved on. This is the Alg. 2 semantics ("recovering and
+	// aggregating the m first-arrival local models").
+	fam := tinyFamily()
+	cfg := normalizedCfg(t, quickCfg(StrategyFedMP, 3))
+	s, err := NewStrategy(fam, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoOld := fixtureInfo(t, fam, 1, cfg.Workers)
+	asg, err := s.Assign(infoOld, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Output{Assignment: asg[0], NewWeights: asg[0].Weights, TrainLoss: 1, Total: 1}
+
+	// The server's global moves on before aggregation.
+	infoNew := fixtureInfo(t, fam, 2, cfg.Workers)
+	infoNew.Global = fam.InitWeights(99)
+	newGlobal, err := s.Aggregate(infoNew, []Output{out}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one untrained worker, rec + stale residual must equal the OLD
+	// global (the dispatched model), not the new one.
+	for i := range newGlobal {
+		same := true
+		for j := range newGlobal[i].Data {
+			d := newGlobal[i].Data[j] - infoOld.Global[i].Data[j]
+			if d > 1e-6 || d < -1e-6 {
+				same = false
+				break
+			}
+		}
+		if !same {
+			t.Fatalf("tensor %d: async aggregation did not reconstruct the dispatched global", i)
+		}
+	}
+}
+
+func TestAsyncMLargerThanInFlight(t *testing.T) {
+	// AsyncM is clamped to the in-flight count, so m > live work still
+	// progresses.
+	fam := tinyFamily()
+	cfg := quickCfg(StrategySynFL, 3)
+	cfg.Async = true
+	cfg.AsyncM = 4 // equals worker count: each round drains everything
+	res, err := Run(fam, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+}

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fedmp/internal/cluster"
+	"fedmp/internal/nn"
+	"fedmp/internal/tensor"
+)
+
+// runner holds the state of one simulation run.
+type runner struct {
+	cfg      Config
+	fam      Family
+	strategy Strategy
+	devices  []*cluster.Device
+	sources  []Source
+	evalNet  nn.Network
+	testB    *nn.Batch
+	rng      *rand.Rand
+
+	global    []*tensor.Tensor
+	now       float64
+	prevLoss  float64
+	prevTimes []float64
+	prevComm  []float64
+	roundSum  float64
+	roundCnt  int
+
+	// pendingDecision/pendingPrune carry async dispatch overhead into the
+	// next completed round's stats.
+	pendingDecision, pendingPrune float64
+
+	res *Result
+}
+
+// Run executes one federated simulation and returns its result. Local SGD
+// is executed for real on the family's data; completion times are virtual,
+// charged by the cluster model.
+func Run(fam Family, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FailureRate > 0 && !cfg.FaultTolerance {
+		return nil, fmt.Errorf("core: failure injection requires fault tolerance")
+	}
+	scenario := cfg.Scenario
+	if scenario == nil {
+		scenario = cluster.Default(cfg.Workers, cfg.Seed+7)
+	}
+	if scenario.N() != cfg.Workers {
+		return nil, fmt.Errorf("core: scenario has %d devices for %d workers", scenario.N(), cfg.Workers)
+	}
+	strategy, err := NewStrategy(fam, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	sources, err := fam.Sources(cfg.Workers, cfg.NonIID, cfg.BatchSize, cfg.Seed+17)
+	if err != nil {
+		return nil, err
+	}
+	evalNet, err := fam.BuildNet(fam.FullDesc(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:       cfg,
+		fam:       fam,
+		strategy:  strategy,
+		devices:   scenario.Devices,
+		sources:   sources,
+		evalNet:   evalNet,
+		testB:     fam.TestBatch(cfg.EvalLimit),
+		rng:       rand.New(rand.NewSource(cfg.Seed + 29)),
+		global:    fam.InitWeights(cfg.Seed),
+		prevLoss:  math.NaN(),
+		prevTimes: make([]float64, cfg.Workers),
+		prevComm:  make([]float64, cfg.Workers),
+		res: &Result{
+			Config:           cfg,
+			TimeToTargetAcc:  math.Inf(1),
+			TimeToTargetLoss: math.Inf(1),
+		},
+	}
+	r.evaluate(0)
+	if cfg.Async {
+		err = r.runAsync()
+	} else {
+		err = r.runSync()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(r.res.Points) > 0 {
+		last := r.res.Points[len(r.res.Points)-1]
+		r.res.FinalAcc, r.res.FinalLoss = last.Acc, last.Loss
+	}
+	r.res.Time = r.now
+	return r.res, nil
+}
+
+// allWorkers returns [0..n).
+func (r *runner) allWorkers() []int {
+	out := make([]int, r.cfg.Workers)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// runSync executes synchronous rounds (Fig. 1).
+func (r *runner) runSync() error {
+	for round := 1; ; round++ {
+		info := r.roundInfo(round)
+		assignments, err := r.strategy.Assign(info, r.allWorkers())
+		if err != nil {
+			return err
+		}
+		outs := make([]Output, 0, len(assignments))
+		failed := make([]Assignment, 0)
+		for _, a := range assignments {
+			if r.cfg.FailureRate > 0 && r.rng.Float64() < r.cfg.FailureRate {
+				failed = append(failed, a)
+				continue
+			}
+			o, err := r.runWorker(a)
+			if err != nil {
+				return err
+			}
+			outs = append(outs, o)
+		}
+		participants, late, roundTime := r.applyDeadline(outs, len(failed) > 0)
+		dropped := append(failed, late...)
+
+		newGlobal, err := r.strategy.Aggregate(info, participants, dropped)
+		if err != nil {
+			return err
+		}
+		r.global = newGlobal
+		r.finishRound(round, info, participants, dropped, roundTime)
+
+		if stop, err := r.evalAndCheck(round); err != nil {
+			return err
+		} else if stop {
+			return nil
+		}
+		if r.stopByBudget(round) {
+			return nil
+		}
+	}
+}
+
+// roundInfo snapshots the server view for the strategy.
+func (r *runner) roundInfo(round int) *RoundInfo {
+	mean := 0.0
+	if r.roundCnt > 0 {
+		mean = r.roundSum / float64(r.roundCnt)
+	}
+	return &RoundInfo{
+		Round:         round,
+		Global:        r.global,
+		PrevLoss:      r.prevLoss,
+		PrevTimes:     append([]float64(nil), r.prevTimes...),
+		PrevCommTimes: append([]float64(nil), r.prevComm...),
+		MeanRoundTime: mean,
+	}
+}
+
+// finishRound updates clocks and records per-round statistics.
+func (r *runner) finishRound(round int, info *RoundInfo, outs []Output, dropped []Assignment, roundTime float64) {
+	r.now += roundTime
+	r.roundSum += roundTime
+	r.roundCnt++
+	r.res.Rounds = round
+
+	stat := RoundStat{
+		Round:           round,
+		Time:            roundTime,
+		DecisionSeconds: info.DecisionSeconds,
+		PruneSeconds:    info.PruneSeconds,
+		Dropped:         len(dropped),
+		Ratios:          make([]float64, r.cfg.Workers),
+	}
+	for _, o := range outs {
+		stat.CompTime += o.CompTime
+		stat.CommTime += o.CommTime
+		stat.DownBytes += o.DownBytes
+		stat.UpBytes += o.UpBytes
+		stat.Ratios[o.Worker] = o.Ratio
+		r.prevTimes[o.Worker] = o.Total
+		r.prevComm[o.Worker] = o.CommTime
+	}
+	if len(outs) > 0 {
+		stat.CompTime /= float64(len(outs))
+		stat.CommTime /= float64(len(outs))
+		r.prevLoss = meanTrainLoss(outs)
+	}
+	r.res.Stats = append(r.res.Stats, stat)
+}
+
+// evalAndCheck evaluates on schedule and reports whether a quality target
+// was met.
+func (r *runner) evalAndCheck(round int) (bool, error) {
+	if round%r.cfg.EvalEvery != 0 {
+		return false, nil
+	}
+	p := r.evaluate(round)
+	if r.cfg.TargetAccuracy > 0 && p.Acc >= r.cfg.TargetAccuracy {
+		if math.IsInf(r.res.TimeToTargetAcc, 1) {
+			r.res.TimeToTargetAcc = r.now
+		}
+		return true, nil
+	}
+	if r.cfg.TargetLoss > 0 && p.Loss <= r.cfg.TargetLoss {
+		if math.IsInf(r.res.TimeToTargetLoss, 1) {
+			r.res.TimeToTargetLoss = r.now
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// stopByBudget reports whether the round or time caps are exhausted.
+func (r *runner) stopByBudget(round int) bool {
+	if r.cfg.Rounds > 0 && round >= r.cfg.Rounds {
+		return true
+	}
+	if r.cfg.TimeBudget > 0 && r.now >= r.cfg.TimeBudget {
+		return true
+	}
+	return false
+}
+
+// evaluate measures the global model on the test batch and records a Point.
+func (r *runner) evaluate(round int) Point {
+	nn.SetWeights(r.evalNet, r.global)
+	loss, acc := EvalChunked(r.evalNet, r.testB, 64)
+	p := Point{Round: round, Time: r.now, Loss: loss, Acc: acc}
+	r.res.Points = append(r.res.Points, p)
+	// Track first-crossing times even when the run continues for other
+	// reasons (e.g. time-budget sweeps reading the trajectory).
+	if r.cfg.TargetAccuracy > 0 && acc >= r.cfg.TargetAccuracy && math.IsInf(r.res.TimeToTargetAcc, 1) {
+		r.res.TimeToTargetAcc = r.now
+	}
+	if r.cfg.TargetLoss > 0 && loss <= r.cfg.TargetLoss && math.IsInf(r.res.TimeToTargetLoss, 1) {
+		r.res.TimeToTargetLoss = r.now
+	}
+	return p
+}
+
+// EvalChunked evaluates a batch in chunks to bound activation memory,
+// returning the mean loss and accuracy. The network transport shares it with
+// the simulation engine.
+func EvalChunked(net nn.Network, b *nn.Batch, chunk int) (loss, acc float64) {
+	n := b.Size()
+	var lossSum float64
+	var correct int
+	var total int
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		sub := sliceBatch(b, start, end)
+		l, c := net.Eval(sub)
+		cnt := end - start
+		lossSum += l * float64(cnt)
+		correct += c
+		total += cnt
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return lossSum / float64(total), float64(correct) / float64(total)
+}
+
+// sliceBatch returns the [start,end) sub-batch.
+func sliceBatch(b *nn.Batch, start, end int) *nn.Batch {
+	if b.X != nil {
+		per := b.X.Size() / b.X.Shape[0]
+		shape := append([]int{end - start}, b.X.Shape[1:]...)
+		return &nn.Batch{
+			X:      tensor.FromSlice(b.X.Data[start*per:end*per], shape...),
+			Labels: b.Labels[start:end],
+		}
+	}
+	return &nn.Batch{Seq: b.Seq[start:end]}
+}
+
+// applyDeadline implements the §V-A fault-tolerance mechanism: with
+// fault tolerance on, the deadline is DeadlineFactor × the time at which
+// DeadlineQuantile of the workers have delivered; slower workers are
+// dropped from the round. Returns participants, late assignments and the
+// round's virtual duration. With failures present the PS always waits until
+// the deadline.
+func (r *runner) applyDeadline(outs []Output, hadFailures bool) (participants []Output, late []Assignment, roundTime float64) {
+	for _, o := range outs {
+		if o.Total > roundTime {
+			roundTime = o.Total
+		}
+	}
+	if !r.cfg.FaultTolerance || len(outs) == 0 {
+		return outs, nil, roundTime
+	}
+	times := make([]float64, len(outs))
+	for i, o := range outs {
+		times[i] = o.Total
+	}
+	sort.Float64s(times)
+	idx := int(math.Ceil(r.cfg.DeadlineQuantile*float64(r.cfg.Workers))) - 1
+	if idx >= len(times) {
+		idx = len(times) - 1
+	}
+	deadline := r.cfg.DeadlineFactor * times[idx]
+	for _, o := range outs {
+		if o.Total <= deadline {
+			participants = append(participants, o)
+		} else {
+			late = append(late, o.Assignment)
+		}
+	}
+	if len(late) > 0 || hadFailures {
+		// The PS waits out the full deadline before closing the round.
+		roundTime = deadline
+	}
+	return participants, late, roundTime
+}
+
+// runWorker executes one assignment: local training for real, virtual time
+// charged per the device model (phase ② of Fig. 1).
+func (r *runner) runWorker(a Assignment) (Output, error) {
+	dev := r.devices[a.Worker]
+	net, err := r.fam.BuildNet(a.Desc, r.cfg.Seed)
+	if err != nil {
+		return Output{}, fmt.Errorf("core: building worker %d model: %w", a.Worker, err)
+	}
+	nn.SetWeights(net, a.Weights)
+	opt := nn.NewSGD(r.cfg.LR, r.cfg.Momentum, r.cfg.WeightDecay)
+	var lossSum float64
+	for it := 0; it < a.Iters; it++ {
+		b := r.sources[a.Worker].Next()
+		loss, _ := net.TrainStep(b)
+		if a.ProxMu > 0 {
+			nn.AddProximal(net.Params(), a.Weights, a.ProxMu)
+		}
+		opt.Step(net.Params())
+		lossSum += loss
+	}
+	newW := nn.GetWeights(net)
+
+	fwd, err := r.fam.ForwardFLOPs(a.Desc)
+	if err != nil {
+		return Output{}, err
+	}
+	flops := 3 * fwd * float64(a.Iters*r.cfg.BatchSize)
+	comp := dev.ComputeTime(flops)
+
+	out := Output{
+		Assignment: a,
+		TrainLoss:  lossSum / float64(a.Iters),
+		CompTime:   comp,
+		DownBytes:  nn.WeightsBytes(a.Weights),
+	}
+	if a.UploadK > 0 {
+		// Error feedback: unsent deltas from previous rounds re-enter the
+		// selection, the standard fix for top-K compression stalls.
+		delta := nn.CloneWeights(newW)
+		for i := range delta {
+			delta[i].Sub(a.Weights[i])
+			if a.Feedback != nil {
+				delta[i].Add(a.Feedback[i])
+			}
+		}
+		update, nnz := topKOf(delta, a.UploadK)
+		out.Update = update
+		leftover := delta
+		for i := range leftover {
+			leftover[i].Sub(update[i])
+		}
+		out.Leftover = leftover
+		// Sparse encoding: 4-byte value + 4-byte index per entry.
+		out.UpBytes = int64(nnz) * 8
+	} else {
+		out.NewWeights = newW
+		out.UpBytes = nn.WeightsBytes(newW)
+	}
+	out.CommTime = dev.CommTime(out.DownBytes + out.UpBytes)
+	out.Total = out.CompTime + out.CommTime
+	return out, nil
+}
+
+// TopKUpdate computes the sparse FlexCom update like topKUpdate but returns
+// only the tensors; the network transport uses it on the worker side.
+func TopKUpdate(before, after []*tensor.Tensor, k float64) []*tensor.Tensor {
+	update, _ := topKUpdate(before, after, k)
+	return update
+}
+
+// topKUpdate computes the model delta and keeps only the top fraction k of
+// coordinates by magnitude (across the whole model), returning the sparse
+// update in dense form plus the kept-coordinate count.
+func topKUpdate(before, after []*tensor.Tensor, k float64) ([]*tensor.Tensor, int) {
+	deltas := make([]*tensor.Tensor, len(before))
+	for i := range before {
+		d := after[i].Clone()
+		d.Sub(before[i])
+		deltas[i] = d
+	}
+	return topKOf(deltas, k)
+}
+
+// topKOf keeps the top fraction k of each tensor's coordinates by
+// magnitude (layer-wise selection, the form practical compression systems
+// use — a global pool lets the largest dense layer starve the convolution
+// updates), returning the sparse result in dense form plus the total kept
+// count. deltas is not modified.
+func topKOf(deltas []*tensor.Tensor, k float64) ([]*tensor.Tensor, int) {
+	out := make([]*tensor.Tensor, len(deltas))
+	nnz := 0
+	for i, src := range deltas {
+		d := src.Clone()
+		out[i] = d
+		total := d.Size()
+		keep := int(k * float64(total))
+		if keep < 1 {
+			keep = 1
+		}
+		if keep >= total {
+			nnz += total
+			continue
+		}
+		mags := make([]float64, total)
+		for j, v := range d.Data {
+			if v < 0 {
+				v = -v
+			}
+			mags[j] = float64(v)
+		}
+		sort.Float64s(mags)
+		threshold := mags[total-keep]
+		kept := 0
+		for j, v := range d.Data {
+			av := v
+			if av < 0 {
+				av = -av
+			}
+			if float64(av) < threshold || (threshold == 0 && v == 0) || kept >= keep {
+				d.Data[j] = 0
+			} else {
+				kept++
+			}
+		}
+		nnz += kept
+	}
+	return out, nnz
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedmp/internal/bandit"
+	"fedmp/internal/prune"
+	"fedmp/internal/tensor"
+)
+
+// fedMP is the paper's method: per-worker E-UCB agents pick pruning ratios,
+// the PS prunes the global model per worker (distributed model pruning,
+// §III-B), and aggregation recovers sub-models and adds residuals (R2SP,
+// §III-C) — or skips the residuals under the degraded BSP scheme (Fig. 7).
+//
+// With fixed == true the agents are replaced by constant-ratio policies
+// (StrategyFixed), which drives the Fig. 2 and Fig. 5 ratio sweeps.
+type fedMP struct {
+	fam     Family
+	cfg     *Config
+	agents  []bandit.Policy
+	planRng *rand.Rand
+	fixed   bool
+}
+
+func newFedMP(fam Family, cfg *Config, fixed bool) (*fedMP, error) {
+	s := &fedMP{fam: fam, cfg: cfg, fixed: fixed, planRng: rand.New(rand.NewSource(cfg.Seed + 555))}
+	s.agents = make([]bandit.Policy, cfg.Workers)
+	for i := range s.agents {
+		if fixed {
+			s.agents[i] = bandit.Fixed{Ratio: cfg.FixedRatio}
+			continue
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(i)))
+		a, err := newPolicy(cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		s.agents[i] = a
+	}
+	return s, nil
+}
+
+// newPolicy builds the configured pruning-ratio policy (E-UCB by default;
+// discrete UCB1 and ε-greedy for the ablation).
+func newPolicy(cfg *Config, rng *rand.Rand) (bandit.Policy, error) {
+	maxRatio := cfg.Bandit.MaxRatio
+	if maxRatio == 0 {
+		maxRatio = 0.8
+	}
+	switch cfg.Policy {
+	case "", "eucb":
+		return bandit.NewAgent(cfg.Bandit, rng)
+	case "discrete":
+		return bandit.NewDiscreteUCB(bandit.GridArms(9, maxRatio))
+	case "greedy":
+		return bandit.NewEpsilonGreedy(0.1, bandit.GridArms(9, maxRatio), rng)
+	default:
+		return nil, fmt.Errorf("core: unknown ratio policy %q", cfg.Policy)
+	}
+}
+
+// Name implements Strategy.
+func (s *fedMP) Name() string {
+	if s.fixed {
+		return fmt.Sprintf("fixed(%.2f)", s.cfg.FixedRatio)
+	}
+	return "fedmp"
+}
+
+// Assign implements Strategy: adaptive model pruning (phase ① of Fig. 1).
+func (s *fedMP) Assign(info *RoundInfo, workers []int) ([]Assignment, error) {
+	warmup := info.Round <= s.cfg.WarmupRounds || info.Round == 0
+	out := make([]Assignment, 0, len(workers))
+	for _, w := range workers {
+		ratio := 0.0
+		if !warmup {
+			decide := stopwatch()
+			ratio = s.agents[w].Select()
+			info.DecisionSeconds += decide()
+		}
+
+		shrink := stopwatch()
+		plan, desc, subW, err := s.fam.MakePlan(info.Global, ratio, s.cfg.PlanJitter, s.planRng)
+		if err != nil {
+			return nil, fmt.Errorf("core: pruning for worker %d: %w", w, err)
+		}
+		sparse, err := s.fam.Sparse(info.Global, plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: sparse model for worker %d: %w", w, err)
+		}
+		residual := prune.ResidualOf(info.Global, sparse)
+		if s.cfg.QuantizeResiduals {
+			// The PS stores residuals in 8 bits (§III-C); aggregation sees
+			// the dequantized values, so the quantization error flows into
+			// the recovered coordinates exactly as it would in production.
+			residual = prune.QuantizeResiduals(residual).Dequantize()
+		}
+		info.PruneSeconds += shrink()
+
+		out = append(out, Assignment{
+			Worker:   w,
+			Ratio:    ratio,
+			Plan:     plan,
+			Desc:     desc,
+			Weights:  subW,
+			Residual: residual,
+			Iters:    s.cfg.LocalIters,
+			Warmup:   warmup,
+		})
+	}
+	return out, nil
+}
+
+// Aggregate implements Strategy: model recovery plus residual addition and
+// parameter averaging (phase ③ of Fig. 1), then the Eq. 8 reward updates.
+func (s *fedMP) Aggregate(info *RoundInfo, outs []Output, dropped []Assignment) ([]*tensor.Tensor, error) {
+	newGlobal := info.Global
+	if len(outs) > 0 {
+		sets := make([][]*tensor.Tensor, 0, len(outs))
+		for _, o := range outs {
+			rec, err := s.fam.Recover(o.Plan, o.NewWeights)
+			if err != nil {
+				return nil, fmt.Errorf("core: recovering worker %d: %w", o.Worker, err)
+			}
+			if s.cfg.Sync == SyncR2SP {
+				for i := range rec {
+					rec[i].Add(o.Residual[i])
+				}
+			}
+			sets = append(sets, rec)
+		}
+		newGlobal = meanWeights(sets)
+	}
+
+	// Reward bookkeeping (Eq. 8). The numerator is each worker's own loss
+	// improvement against the previous round's global loss — "the
+	// contribution of the workers to model convergence" — so over-pruned
+	// workers whose local loss stalls are penalised even when their timing
+	// fits. Dropped workers earn zero so their agents learn the chosen
+	// ratio missed the deadline.
+	if !s.fixed {
+		var meanT float64
+		var counted int
+		for _, o := range outs {
+			if !o.Warmup {
+				meanT += o.Total
+				counted++
+			}
+		}
+		if counted > 0 {
+			meanT /= float64(counted)
+		}
+		for _, o := range outs {
+			if o.Warmup {
+				continue
+			}
+			improvement := relativeImprovement(info.PrevLoss, o.TrainLoss)
+			s.agents[o.Worker].Observe(eq8Reward(improvement, o.Total, meanT))
+		}
+		for _, a := range dropped {
+			if a.Warmup {
+				continue
+			}
+			s.agents[a.Worker].Observe(0)
+		}
+	}
+	return newGlobal, nil
+}

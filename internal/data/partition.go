@@ -1,0 +1,182 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Partition assigns training-sample indices to workers. Partition[i] holds
+// the indices of worker i's local shard.
+type Partition [][]int
+
+// PartitionIID splits the training set into n equal IID shards after a
+// uniform shuffle. Corresponds to the paper's "data samples are assigned to
+// each worker uniformly" default (§V-A).
+func PartitionIID(d *Dataset, n int, rng *rand.Rand) Partition {
+	if n <= 0 {
+		panic(fmt.Sprintf("data: PartitionIID with %d workers", n))
+	}
+	idx := rng.Perm(len(d.Train))
+	parts := make(Partition, n)
+	for i, sampleIdx := range idx {
+		w := i % n
+		parts[w] = append(parts[w], sampleIdx)
+	}
+	return parts
+}
+
+// PartitionLabelSkew implements the paper's non-IID scheme for MNIST and
+// CIFAR-10 (§V-F): y percent of each worker's data belongs to one dominant
+// label (worker i's dominant label is i mod classes) and the remainder is
+// drawn from the other labels. y = 0 degenerates to IID.
+func PartitionLabelSkew(d *Dataset, n int, yPercent int, rng *rand.Rand) Partition {
+	if yPercent < 0 || yPercent > 100 {
+		panic(fmt.Sprintf("data: label-skew level %d%% out of range", yPercent))
+	}
+	if yPercent == 0 {
+		return PartitionIID(d, n, rng)
+	}
+	byLabel := indicesByLabel(d)
+	for _, idxs := range byLabel {
+		rng.Shuffle(len(idxs), func(a, b int) { idxs[a], idxs[b] = idxs[b], idxs[a] })
+	}
+	cursor := make([]int, d.Classes)
+	perWorker := len(d.Train) / n
+	parts := make(Partition, n)
+	for w := 0; w < n; w++ {
+		dominant := w % d.Classes
+		wantDominant := perWorker * yPercent / 100
+		for k := 0; k < perWorker; k++ {
+			var label int
+			if k < wantDominant {
+				label = dominant
+			} else {
+				// Uniform over the other labels.
+				label = rng.Intn(d.Classes - 1)
+				if label >= dominant {
+					label++
+				}
+			}
+			idx, ok := takeFromLabel(byLabel, cursor, label, dominant)
+			if !ok {
+				// Every pool exhausted; partition is complete enough.
+				break
+			}
+			parts[w] = append(parts[w], idx)
+		}
+	}
+	return parts
+}
+
+// takeFromLabel pops the next index of the requested label, falling back to
+// any non-empty label pool (preferring ones other than avoid) when the
+// requested pool is exhausted.
+func takeFromLabel(byLabel [][]int, cursor []int, label, avoid int) (int, bool) {
+	if cursor[label] < len(byLabel[label]) {
+		idx := byLabel[label][cursor[label]]
+		cursor[label]++
+		return idx, true
+	}
+	for l := range byLabel {
+		if l == avoid {
+			continue
+		}
+		if cursor[l] < len(byLabel[l]) {
+			idx := byLabel[l][cursor[l]]
+			cursor[l]++
+			return idx, true
+		}
+	}
+	if cursor[avoid] < len(byLabel[avoid]) {
+		idx := byLabel[avoid][cursor[avoid]]
+		cursor[avoid]++
+		return idx, true
+	}
+	return 0, false
+}
+
+// PartitionMissingClasses implements the paper's non-IID scheme for EMNIST
+// and Tiny-ImageNet (§V-F): each worker lacks y classes of samples (a
+// rotating window of classes is excluded per worker). y = 0 degenerates to
+// IID.
+func PartitionMissingClasses(d *Dataset, n int, missing int, rng *rand.Rand) Partition {
+	if missing < 0 || missing >= d.Classes {
+		panic(fmt.Sprintf("data: missing-class level %d out of range [0,%d)", missing, d.Classes))
+	}
+	if missing == 0 {
+		return PartitionIID(d, n, rng)
+	}
+	// For each worker, mark the excluded window of classes.
+	excluded := make([]map[int]bool, n)
+	for w := 0; w < n; w++ {
+		ex := make(map[int]bool, missing)
+		start := (w * missing) % d.Classes
+		for k := 0; k < missing; k++ {
+			ex[(start+k)%d.Classes] = true
+		}
+		excluded[w] = ex
+	}
+	parts := make(Partition, n)
+	idx := rng.Perm(len(d.Train))
+	w := 0
+	for _, sampleIdx := range idx {
+		label := d.Train[sampleIdx].Label
+		// Round-robin over workers that accept this label.
+		assigned := false
+		for tries := 0; tries < n; tries++ {
+			cand := (w + tries) % n
+			if !excluded[cand][label] {
+				parts[cand] = append(parts[cand], sampleIdx)
+				w = (cand + 1) % n
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			// Every worker excludes this label (only possible when
+			// missing·n covers all classes several times over); drop it.
+			continue
+		}
+	}
+	return parts
+}
+
+// indicesByLabel groups training indices by label.
+func indicesByLabel(d *Dataset) [][]int {
+	byLabel := make([][]int, d.Classes)
+	for i, s := range d.Train {
+		byLabel[s.Label] = append(byLabel[s.Label], i)
+	}
+	return byLabel
+}
+
+// Stats summarises a partition for logging and tests.
+type Stats struct {
+	// Sizes holds per-worker shard sizes.
+	Sizes []int
+	// DominantShare holds, per worker, the fraction of the shard occupied
+	// by its most frequent label.
+	DominantShare []float64
+}
+
+// PartitionStats computes shard statistics.
+func PartitionStats(d *Dataset, p Partition) Stats {
+	st := Stats{Sizes: make([]int, len(p)), DominantShare: make([]float64, len(p))}
+	for w, idxs := range p {
+		st.Sizes[w] = len(idxs)
+		counts := make([]int, d.Classes)
+		for _, i := range idxs {
+			counts[d.Train[i].Label]++
+		}
+		maxc := 0
+		for _, c := range counts {
+			if c > maxc {
+				maxc = c
+			}
+		}
+		if len(idxs) > 0 {
+			st.DominantShare[w] = float64(maxc) / float64(len(idxs))
+		}
+	}
+	return st
+}

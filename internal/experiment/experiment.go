@@ -1,0 +1,200 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation section (§V–§VI). Each artefact has a runner keyed by its paper
+// id ("table2" … "table4", "fig2" … "fig12") producing text tables with the
+// same rows/series the paper reports.
+//
+// Runners share a result cache: a (model, strategy, scenario, partition)
+// configuration is simulated once per harness instance and reused by every
+// artefact that reads it (Table III and Fig. 6 read the same trajectories;
+// Fig. 8's Medium column reuses them again, and so on).
+//
+// Options.Quick shrinks every experiment (fewer models, workers and rounds)
+// for CI and `go test -bench`; the full mode regenerates the paper-scale
+// artefacts and is what EXPERIMENTS.md records.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"fedmp/internal/core"
+	"fedmp/internal/data"
+	"fedmp/internal/metrics"
+	"fedmp/internal/zoo"
+)
+
+// Options configures a harness instance.
+type Options struct {
+	// Quick selects reduced experiment sizes.
+	Quick bool
+	// Seed drives every simulation (default 1).
+	Seed int64
+	// Logf receives progress lines (nil silences them).
+	Logf func(format string, args ...any)
+}
+
+// Report is one regenerated artefact.
+type Report struct {
+	// ID is the paper artefact id, e.g. "fig6".
+	ID string
+	// Title describes the artefact.
+	Title string
+	// Tables hold the regenerated rows/series.
+	Tables []*metrics.Table
+	// Notes document scope reductions and reading guidance.
+	Notes []string
+}
+
+// runnerFn produces one artefact.
+type runnerFn func(l *lab) (*Report, error)
+
+// registry maps artefact ids to runners in paper order.
+var registry = []struct {
+	id    string
+	title string
+	fn    runnerFn
+}{
+	{"table2", "Table II: Jetson TX2 computing modes", runTable2},
+	{"fig2", "Fig. 2: accuracy under a time budget vs pruning ratio", runFig2},
+	{"fig3", "Fig. 3: worker clusters by computing mode and location", runFig3},
+	{"fig4", "Fig. 4: effect of pruning granularity θ", runFig4},
+	{"fig5", "Fig. 5: per-round computation/communication time vs pruning ratio", runFig5},
+	{"table3", "Table III: accuracy within a time budget, five methods", runTable3},
+	{"fig6", "Fig. 6: accuracy over time, five methods", runFig6},
+	{"fig7", "Fig. 7: R2SP vs BSP synchronization", runFig7},
+	{"fig8", "Fig. 8: completion time under heterogeneity levels", runFig8},
+	{"fig9", "Fig. 9: completion time under non-IID data", runFig9},
+	{"fig10", "Fig. 10: completion time vs number of workers", runFig10},
+	{"fig11", "Fig. 11: algorithm overhead vs number of workers", runFig11},
+	{"fig12", "Fig. 12: synchronous vs asynchronous FedMP", runFig12},
+	{"table4", "Table IV: LSTM language model perplexity and speedup", runTable4},
+}
+
+// IDs returns every artefact id in paper order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Run regenerates one artefact ("all" is not accepted here; loop over IDs).
+func Run(id string, opts Options) (*Report, error) {
+	l := newLab(opts)
+	return l.run(id)
+}
+
+// Lab is a harness instance whose result cache persists across artefacts.
+// Regenerating several artefacts through one Lab avoids re-simulating shared
+// configurations.
+type Lab struct {
+	inner *lab
+}
+
+// NewLab constructs a harness instance.
+func NewLab(opts Options) *Lab { return &Lab{inner: newLab(opts)} }
+
+// Run regenerates one artefact.
+func (l *Lab) Run(id string) (*Report, error) { return l.inner.run(id) }
+
+// lab carries shared state for the runners.
+type lab struct {
+	opts  Options
+	logf  func(string, ...any)
+	mu    sync.Mutex
+	fams  map[zoo.ModelID]*core.ImageFamily
+	lm    *core.LMFamily
+	cache map[string]*core.Result
+}
+
+func newLab(opts Options) *lab {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &lab{
+		opts:  opts,
+		logf:  logf,
+		fams:  map[zoo.ModelID]*core.ImageFamily{},
+		cache: map[string]*core.Result{},
+	}
+}
+
+func (l *lab) run(id string) (*Report, error) {
+	for _, r := range registry {
+		if r.id == id {
+			rep, err := r.fn(l)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", id, err)
+			}
+			rep.ID, rep.Title = r.id, r.title
+			return rep, nil
+		}
+	}
+	return nil, fmt.Errorf("experiment: unknown artefact %q (known: %v)", id, IDs())
+}
+
+// family returns the (cached) image family for a model.
+func (l *lab) family(id zoo.ModelID) (*core.ImageFamily, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if f, ok := l.fams[id]; ok {
+		return f, nil
+	}
+	f, err := core.NewImageFamily(id)
+	if err != nil {
+		return nil, err
+	}
+	l.fams[id] = f
+	return f, nil
+}
+
+// lmFamily returns the (cached) language-model family.
+func (l *lab) lmFamily() *core.LMFamily {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.lm == nil {
+		lmCfg := zoo.DefaultLMConfig()
+		corpusCfg := data.DefaultCorpusConfig()
+		if l.opts.Quick {
+			lmCfg = zoo.LMConfig{Vocab: 30, Embed: 8, Hidden: 12, SeqLen: 8}
+			corpusCfg = data.CorpusConfig{Vocab: 30, Branch: 4, TrainSize: 8000, TestSize: 1200, Seed: 105}
+		}
+		l.lm = core.NewLMFamily(lmCfg, corpusCfg)
+	}
+	return l.lm
+}
+
+// simulate runs (or returns the cached result of) one configuration.
+// The key must uniquely identify the run semantics.
+func (l *lab) simulate(key string, fam core.Family, cfg core.Config) (*core.Result, error) {
+	l.mu.Lock()
+	if res, ok := l.cache[key]; ok {
+		l.mu.Unlock()
+		return res, nil
+	}
+	l.mu.Unlock()
+	l.logf("running %s", key)
+	res, err := core.Run(fam, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", key, err)
+	}
+	l.mu.Lock()
+	l.cache[key] = res
+	l.mu.Unlock()
+	return res, nil
+}
+
+// accSeries converts a result trajectory to a metrics series over virtual
+// time.
+func accSeries(label string, res *core.Result) metrics.Series {
+	s := metrics.Series{Label: label}
+	for _, p := range res.Points {
+		s.Points = append(s.Points, metrics.XY{X: p.Time, Y: p.Acc})
+	}
+	return s
+}

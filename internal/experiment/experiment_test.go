@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllArtefactsQuick regenerates every artefact in quick mode through a
+// single shared lab (so shared configurations are simulated once) and
+// sanity-checks the reports.
+func TestAllArtefactsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick artefact suite still runs dozens of small simulations")
+	}
+	l := NewLab(Options{Quick: true, Seed: 1})
+	for _, id := range IDs() {
+		rep, err := l.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rep.ID != id {
+			t.Errorf("%s: report id %q", id, rep.ID)
+		}
+		if rep.Title == "" {
+			t.Errorf("%s: empty title", id)
+		}
+		if len(rep.Tables) == 0 {
+			t.Errorf("%s: no tables", id)
+		}
+		for ti, tab := range rep.Tables {
+			if len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+				t.Errorf("%s table %d: empty (%d cols, %d rows)", id, ti, len(tab.Columns), len(tab.Rows))
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			if buf.Len() == 0 {
+				t.Errorf("%s table %d: renders to nothing", id, ti)
+			}
+		}
+	}
+}
+
+func TestUnknownArtefact(t *testing.T) {
+	if _, err := Run("fig99", Options{Quick: true}); err == nil {
+		t.Error("unknown artefact accepted")
+	}
+}
+
+func TestIDsCoverPaperArtefacts(t *testing.T) {
+	ids := IDs()
+	want := []string{"table2", "table3", "table4",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
+	have := strings.Join(ids, ",")
+	for _, w := range want {
+		if !strings.Contains(have+",", w+",") {
+			t.Errorf("artefact %s missing from IDs()", w)
+		}
+	}
+	for _, extra := range []string{"ablation-policy", "ablation-quantize", "extra-adaptivity"} {
+		if !strings.Contains(have+",", extra+",") {
+			t.Errorf("extra artefact %s missing from IDs()", extra)
+		}
+	}
+	if len(ids) != len(want)+3 {
+		t.Errorf("IDs() has %d entries, want %d", len(ids), len(want)+3)
+	}
+}
+
+// TestResultCacheSharing verifies that two artefacts reading the same
+// configuration share one simulation.
+func TestResultCacheSharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	l := newLab(Options{Quick: true, Seed: 1})
+	if _, err := l.run("table3"); err != nil {
+		t.Fatal(err)
+	}
+	before := len(l.cache)
+	if before == 0 {
+		t.Fatal("table3 cached nothing")
+	}
+	// Fig. 6 reads exactly the same runs.
+	if _, err := l.run("fig6"); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(l.cache); after != before {
+		t.Errorf("fig6 added %d runs; expected full reuse of table3's", after-before)
+	}
+}

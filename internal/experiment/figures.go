@@ -1,0 +1,445 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"fedmp/internal/cluster"
+	"fedmp/internal/core"
+	"fedmp/internal/metrics"
+	"fedmp/internal/zoo"
+)
+
+// fig2Ratios is the pruning-ratio sweep of Figs. 2 and 5.
+var fig2Ratios = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+
+// runFig2 sweeps fixed pruning ratios under a fixed time budget and reports
+// the accuracy reached — the paper's motivation figure: accuracy first
+// rises (pruned models fit more rounds into the budget) then falls (too
+// much capacity removed).
+func runFig2(l *lab) (*Report, error) {
+	models := l.sweepModels()
+	t := &metrics.Table{
+		Title:   "Test accuracy after a fixed time budget vs pruning ratio (Fig. 2)",
+		Columns: []string{"ratio"},
+	}
+	for _, m := range models {
+		p := l.params(m)
+		t.Columns = append(t.Columns, fmt.Sprintf("%s (budget %s)", m, metrics.FormatDuration(p.budget*0.8)))
+	}
+	for _, ratio := range fig2Ratios {
+		row := []string{fmt.Sprintf("%.1f", ratio)}
+		for _, m := range models {
+			p := l.params(m)
+			res, err := l.simulateSpec(runSpec{
+				model: m, strategy: core.StrategyFixed, fixedRatio: ratio,
+				rounds: p.rounds * 2,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, metrics.FormatPercent(res.BestAccWithin(p.budget*0.8)))
+		}
+		t.AddRow(row...)
+	}
+	return &Report{Tables: []*metrics.Table{t}}, nil
+}
+
+// runFig3 reproduces the worker-cluster layout: which computing modes and
+// distances each heterogeneity level draws on.
+func runFig3(l *lab) (*Report, error) {
+	var tables []*metrics.Table
+	n := l.workers()
+	for _, level := range []cluster.Level{cluster.LevelLow, cluster.LevelMedium, cluster.LevelHigh} {
+		sc, err := cluster.New(level, n, l.opts.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		t := &metrics.Table{
+			Title:   fmt.Sprintf("Heterogeneity level %q: %d workers (Fig. 3)", level, n),
+			Columns: []string{"worker", "cluster", "computing mode", "distance class"},
+		}
+		for _, d := range sc.Devices {
+			t.AddRow(fmt.Sprintf("%d", d.ID), string(d.Cluster),
+				fmt.Sprintf("%d", d.Mode), distanceName(d.Distance))
+		}
+		tables = append(tables, t)
+	}
+	return &Report{Tables: tables}, nil
+}
+
+func distanceName(d cluster.Distance) string {
+	switch d {
+	case cluster.Near:
+		return "near"
+	case cluster.Mid:
+		return "mid"
+	default:
+		return "far"
+	}
+}
+
+// fig4Thetas is the pruning-granularity sweep of Fig. 4.
+var fig4Thetas = []float64{0.01, 0.02, 0.05, 0.10, 0.15, 0.25}
+
+// runFig4 measures the completion time to the target accuracy as the E-UCB
+// granularity θ varies, normalised per model by the best θ.
+func runFig4(l *lab) (*Report, error) {
+	models := l.sweepModels()
+	t := &metrics.Table{
+		Title:   "Normalised completion time to target accuracy vs pruning granularity θ (Fig. 4)",
+		Columns: []string{"theta"},
+	}
+	for _, m := range models {
+		t.Columns = append(t.Columns, string(m))
+	}
+	times := map[zoo.ModelID][]float64{}
+	for _, m := range models {
+		p := l.params(m)
+		for _, theta := range fig4Thetas {
+			res, err := l.simulateSpec(runSpec{
+				model: m, strategy: core.StrategyFedMP, theta: theta,
+				rounds: p.rounds * 3 / 2,
+			})
+			if err != nil {
+				return nil, err
+			}
+			times[m] = append(times[m], timeToTarget(res, p.target))
+		}
+	}
+	best := map[zoo.ModelID]float64{}
+	for _, m := range models {
+		b := math.Inf(1)
+		for _, v := range times[m] {
+			if v < b {
+				b = v
+			}
+		}
+		best[m] = b
+	}
+	for i, theta := range fig4Thetas {
+		row := []string{fmt.Sprintf("%.2f", theta)}
+		for _, m := range models {
+			v := times[m][i]
+			if math.IsInf(v, 1) || math.IsInf(best[m], 1) {
+				row = append(row, "unreached")
+			} else {
+				row = append(row, fmt.Sprintf("%.2f", v/best[m]))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return &Report{Tables: []*metrics.Table{t}}, nil
+}
+
+// runFig5 reports the average per-round computation and communication time
+// as the (fixed) pruning ratio grows.
+func runFig5(l *lab) (*Report, error) {
+	model := zoo.ModelAlexNet
+	if l.opts.Quick {
+		model = zoo.ModelCNN
+	}
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Average per-round time vs pruning ratio, %s (Fig. 5)", model),
+		Columns: []string{"ratio", "computation (s)", "communication (s)", "round (s)"},
+	}
+	for _, ratio := range fig2Ratios {
+		res, err := l.simulateSpec(runSpec{
+			model: model, strategy: core.StrategyFixed, fixedRatio: ratio,
+			rounds: 8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var comp, comm, round float64
+		for _, st := range res.Stats {
+			comp += st.CompTime
+			comm += st.CommTime
+			round += st.Time
+		}
+		n := float64(len(res.Stats))
+		t.AddRow(fmt.Sprintf("%.1f", ratio), fmt.Sprintf("%.1f", comp/n),
+			fmt.Sprintf("%.1f", comm/n), fmt.Sprintf("%.1f", round/n))
+	}
+	return &Report{Tables: []*metrics.Table{t}}, nil
+}
+
+// runFig6 renders the accuracy-over-time trajectories of the five methods.
+func runFig6(l *lab) (*Report, error) {
+	var tables []*metrics.Table
+	for _, model := range l.models() {
+		var series []metrics.Series
+		for _, strat := range core.StrategyIDs {
+			res, err := l.simulateSpec(runSpec{model: model, strategy: strat})
+			if err != nil {
+				return nil, err
+			}
+			series = append(series, accSeries(string(strat), res))
+		}
+		tables = append(tables, metrics.SeriesTable(
+			fmt.Sprintf("Test accuracy over virtual time, %s (Fig. 6)", model),
+			"time(s)", series, 12))
+	}
+	return &Report{Tables: tables}, nil
+}
+
+// runFig7 compares the R2SP and BSP synchronization schemes round by round.
+func runFig7(l *lab) (*Report, error) {
+	var tables []*metrics.Table
+	for _, model := range l.models() {
+		var series []metrics.Series
+		for _, sync := range []core.SyncScheme{core.SyncR2SP, core.SyncBSP} {
+			res, err := l.simulateSpec(runSpec{model: model, strategy: core.StrategyFedMP, sync: sync})
+			if err != nil {
+				return nil, err
+			}
+			s := metrics.Series{Label: string(sync)}
+			for _, p := range res.Points {
+				s.Points = append(s.Points, metrics.XY{X: float64(p.Round), Y: p.Acc})
+			}
+			series = append(series, s)
+		}
+		tables = append(tables, metrics.SeriesTable(
+			fmt.Sprintf("Test accuracy per round, FedMP with R2SP vs BSP, %s (Fig. 7)", model),
+			"round", series, 12))
+	}
+	return &Report{Tables: tables}, nil
+}
+
+// runFig8 reports the completion time to target accuracy under the three
+// heterogeneity levels, with speedups relative to Syn-FL.
+func runFig8(l *lab) (*Report, error) {
+	levels := []cluster.Level{cluster.LevelLow, cluster.LevelMedium, cluster.LevelHigh}
+	var tables []*metrics.Table
+	for _, model := range l.sweepModels() {
+		p := l.params(model)
+		t := &metrics.Table{
+			Title:   fmt.Sprintf("Completion time to %.0f%% accuracy under heterogeneity levels, %s (Fig. 8)", 100*p.target, model),
+			Columns: []string{"level"},
+		}
+		for _, s := range core.StrategyIDs {
+			t.Columns = append(t.Columns, string(s))
+		}
+		t.Columns = append(t.Columns, "fedmp speedup vs synfl")
+		for _, level := range levels {
+			row := []string{string(level)}
+			var synTime, fedTime float64
+			for _, strat := range core.StrategyIDs {
+				res, err := l.simulateSpec(runSpec{
+					model: model, strategy: strat, level: level,
+					rounds: p.rounds * 3 / 2,
+				})
+				if err != nil {
+					return nil, err
+				}
+				tt := timeToTarget(res, p.target)
+				row = append(row, metrics.FormatDuration(tt))
+				switch strat {
+				case core.StrategySynFL:
+					synTime = tt
+				case core.StrategyFedMP:
+					fedTime = tt
+				}
+			}
+			row = append(row, metrics.Speedup(synTime, fedTime))
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return &Report{
+		Tables: tables,
+		Notes:  []string{"Full mode sweeps CNN and AlexNet (the paper's headline speedups); VGG/ResNet medium-level numbers appear in Table III / Fig. 6."},
+	}, nil
+}
+
+// runFig9 reports completion time under increasing non-IID levels.
+func runFig9(l *lab) (*Report, error) {
+	var tables []*metrics.Table
+	for _, model := range l.sweepModels() {
+		p := l.params(model)
+		// Label-skew scheme for the 10-class datasets, per the paper.
+		levels := []int{0, 30, 60}
+		if l.opts.Quick {
+			levels = []int{0, 60}
+		}
+		strategies := core.StrategyIDs
+		t := &metrics.Table{
+			Title:   fmt.Sprintf("Completion time to %.0f%% accuracy vs non-IID level (label skew), %s (Fig. 9)", 100*p.target, model),
+			Columns: []string{"non-IID level"},
+		}
+		for _, s := range strategies {
+			t.Columns = append(t.Columns, string(s))
+		}
+		for _, level := range levels {
+			row := []string{fmt.Sprintf("%d", level)}
+			for _, strat := range strategies {
+				nid := core.NonIID{}
+				if level > 0 {
+					nid = core.NonIID{Kind: "label", Level: level}
+				}
+				res, err := l.simulateSpec(runSpec{
+					model: model, strategy: strat, nonIID: nid,
+					rounds: p.rounds * 2,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, metrics.FormatDuration(timeToTarget(res, p.target)))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	// Missing-class scheme for the many-class datasets (VGG/EMNIST), full
+	// mode only, Syn-FL vs FedMP.
+	if !l.opts.Quick {
+		model := zoo.ModelVGG
+		p := l.params(model)
+		t := &metrics.Table{
+			Title:   fmt.Sprintf("Completion time to %.0f%% accuracy vs non-IID level (missing classes), %s (Fig. 9)", 100*p.target, model),
+			Columns: []string{"missing classes", "synfl", "fedmp"},
+		}
+		for _, level := range []int{0, 8, 16} {
+			nid := core.NonIID{}
+			if level > 0 {
+				nid = core.NonIID{Kind: "missing", Level: level}
+			}
+			row := []string{fmt.Sprintf("%d", level)}
+			for _, strat := range []core.StrategyID{core.StrategySynFL, core.StrategyFedMP} {
+				res, err := l.simulateSpec(runSpec{
+					model: model, strategy: strat, nonIID: nid,
+					rounds: p.rounds * 2,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, metrics.FormatDuration(timeToTarget(res, p.target)))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return &Report{Tables: tables}, nil
+}
+
+// fig10Workers returns the worker-count sweep.
+func (l *lab) fig10Workers() []int {
+	if l.opts.Quick {
+		return []int{4, 8}
+	}
+	return []int{10, 20, 30}
+}
+
+// fig10Model returns the scalability model (AlexNet per the paper).
+func (l *lab) fig10Model() zoo.ModelID {
+	if l.opts.Quick {
+		return zoo.ModelCNN
+	}
+	return zoo.ModelAlexNet
+}
+
+// runFig10 reports completion time to the target accuracy as the worker
+// count grows.
+func runFig10(l *lab) (*Report, error) {
+	model := l.fig10Model()
+	p := l.params(model)
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Completion time to %.0f%% accuracy vs number of workers, %s (Fig. 10)", 100*p.target, model),
+		Columns: []string{"workers"},
+	}
+	for _, s := range core.StrategyIDs {
+		t.Columns = append(t.Columns, string(s))
+	}
+	t.Columns = append(t.Columns, "fedmp speedup vs synfl")
+	for _, n := range l.fig10Workers() {
+		row := []string{fmt.Sprintf("%d", n)}
+		var synTime, fedTime float64
+		for _, strat := range core.StrategyIDs {
+			res, err := l.simulateSpec(runSpec{
+				model: model, strategy: strat, workers: n,
+				rounds: p.rounds * 3 / 2,
+			})
+			if err != nil {
+				return nil, err
+			}
+			tt := timeToTarget(res, p.target)
+			row = append(row, metrics.FormatDuration(tt))
+			switch strat {
+			case core.StrategySynFL:
+				synTime = tt
+			case core.StrategyFedMP:
+				fedTime = tt
+			}
+		}
+		row = append(row, metrics.Speedup(synTime, fedTime))
+		t.AddRow(row...)
+	}
+	return &Report{Tables: []*metrics.Table{t}}, nil
+}
+
+// runFig11 reports the real (wall-clock) per-round algorithm overhead —
+// pruning-ratio decision time plus model pruning time — as the worker count
+// grows. These are measured for real during the FedMP runs, not simulated.
+func runFig11(l *lab) (*Report, error) {
+	model := l.fig10Model()
+	p := l.params(model)
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Average per-round algorithm overhead (real wall clock), %s (Fig. 11)", model),
+		Columns: []string{"workers", "ratio decision (ms)", "model pruning (ms)", "total (ms)"},
+	}
+	for _, n := range l.fig10Workers() {
+		res, err := l.simulateSpec(runSpec{
+			model: model, strategy: core.StrategyFedMP, workers: n,
+			rounds: p.rounds * 3 / 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var dec, pr float64
+		for _, st := range res.Stats {
+			dec += st.DecisionSeconds
+			pr += st.PruneSeconds
+		}
+		rounds := float64(len(res.Stats))
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", 1000*dec/rounds),
+			fmt.Sprintf("%.2f", 1000*pr/rounds),
+			fmt.Sprintf("%.2f", 1000*(dec+pr)/rounds))
+	}
+	return &Report{
+		Tables: []*metrics.Table{t},
+		Notes:  []string{"Compare against per-round training/transmission times of tens of virtual seconds: the overhead is negligible, as in the paper."},
+	}, nil
+}
+
+// runFig12 compares synchronous FedMP, asynchronous FedMP (Alg. 2) and the
+// asynchronous Syn-FL baseline (Asyn-FL).
+func runFig12(l *lab) (*Report, error) {
+	model := l.fig10Model()
+	p := l.params(model)
+	n := l.workers()
+	m := n / 2
+	type entry struct {
+		label string
+		sp    runSpec
+	}
+	entries := []entry{
+		{"FedMP (sync)", runSpec{model: model, strategy: core.StrategyFedMP, rounds: p.rounds * 3 / 2}},
+		{"Asyn-FedMP", runSpec{model: model, strategy: core.StrategyFedMP, async: true, asyncM: m, rounds: p.rounds * 3}},
+		{"Asyn-FL", runSpec{model: model, strategy: core.StrategySynFL, async: true, asyncM: m, rounds: p.rounds * 3}},
+	}
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Completion time to %.0f%% accuracy, sync vs async (m=%d of %d), %s (Fig. 12)", 100*p.target, m, n, model),
+		Columns: []string{"method", "time to target", "final accuracy"},
+	}
+	var notes []string
+	for _, e := range entries {
+		res, err := l.simulateSpec(e.sp)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(e.label, metrics.FormatDuration(timeToTarget(res, p.target)),
+			metrics.FormatPercent(res.FinalAcc))
+	}
+	return &Report{Tables: []*metrics.Table{t}, Notes: notes}, nil
+}

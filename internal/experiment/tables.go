@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"fedmp/internal/bandit"
+	"fedmp/internal/cluster"
+	"fedmp/internal/core"
+	"fedmp/internal/metrics"
+)
+
+// runTable2 renders Table II (the TX2 computing modes) together with the
+// effective speed factors the cluster model derives from them.
+func runTable2(l *lab) (*Report, error) {
+	t := &metrics.Table{
+		Title:   "Computing modes for Jetson TX2 (Table II) and derived speed factors",
+		Columns: []string{"mode", "Denver2 (dual-core)", "Cortex-A57 (quad-core)", "GPU", "speed factor"},
+	}
+	for m, spec := range cluster.ModeSpecs {
+		t.AddRow(fmt.Sprintf("%d", m), spec.Denver2, spec.CortexA57,
+			fmt.Sprintf("%.2f GHz", spec.GPUGHz), fmt.Sprintf("%.2f", spec.SpeedFactor))
+	}
+	return &Report{Tables: []*metrics.Table{t}}, nil
+}
+
+// runTable3 reports the best accuracy each method reaches within the
+// model's time budget (Table III).
+func runTable3(l *lab) (*Report, error) {
+	t := &metrics.Table{
+		Title:   "Test accuracy of different FL methods in a given time (Table III)",
+		Columns: []string{"model", "time budget"},
+	}
+	for _, s := range core.StrategyIDs {
+		t.Columns = append(t.Columns, string(s))
+	}
+	for _, model := range l.models() {
+		p := l.params(model)
+		row := []string{string(model), metrics.FormatDuration(p.budget)}
+		for _, strat := range core.StrategyIDs {
+			res, err := l.simulateSpec(runSpec{model: model, strategy: strat})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, metrics.FormatPercent(res.BestAccWithin(p.budget)))
+		}
+		t.AddRow(row...)
+	}
+	return &Report{
+		Tables: []*metrics.Table{t},
+		Notes: []string{
+			"Budgets and accuracy regimes are re-normalised to the synthetic analogues (DESIGN.md §1).",
+		},
+	}, nil
+}
+
+// runTable4 reports the language-model perplexities and speedups (Table IV,
+// §VI): Syn-FL vs UP-FL vs FedMP on the two-layer LSTM.
+func runTable4(l *lab) (*Report, error) {
+	fam := l.lmFamily()
+	rounds := 40
+	if l.opts.Quick {
+		rounds = 8
+	}
+	strategies := []core.StrategyID{core.StrategySynFL, core.StrategyUPFL, core.StrategyFedMP}
+	results := map[core.StrategyID]*core.Result{}
+	for _, strat := range strategies {
+		cfg := core.Config{
+			Strategy:   strat,
+			Workers:    l.workers(),
+			Rounds:     rounds,
+			LocalIters: 10,
+			BatchSize:  12,
+			EvalEvery:  2,
+			EvalLimit:  64,
+			LR:         0.8,
+			// The image-model default decay is calibrated for LR 0.05;
+			// at the LM's LR it over-regularises and stalls learning.
+			WeightDecay: -1,
+			// The scaled LM has 32 hidden units, so each pruned unit
+			// removes ~3% of capacity — cap the arm space well below the
+			// image-model default (the paper's LSTM has hundreds of
+			// units, where higher ratios stay harmless).
+			Bandit: bandit.Config{Lambda: 0.98, Theta: 0.05, MaxRatio: 0.3, ExplorationC: 0.5},
+			Seed:   l.opts.Seed,
+		}
+		if l.opts.Quick {
+			cfg.LocalIters = 3
+			cfg.BatchSize = 6
+		}
+		res, err := l.simulate(fmt.Sprintf("lstm/%s/r=%d", strat, rounds), fam, cfg)
+		if err != nil {
+			return nil, err
+		}
+		results[strat] = res
+	}
+	// The reporting budget is 70 % of the Syn-FL run, so the table reads
+	// "perplexity in a given time" exactly like the paper's.
+	budget := 0.7 * results[core.StrategySynFL].Time
+	// Target perplexity: halfway (log scale) between Syn-FL's budget
+	// perplexity and its final perplexity, so every method can plausibly
+	// reach it and speedups are well defined.
+	synBudgetLoss := bestLossWithin(results[core.StrategySynFL], budget)
+	synFinalLoss := results[core.StrategySynFL].FinalLoss
+	targetLoss := (synBudgetLoss + synFinalLoss) / 2
+	synTime := lossCrossing(results[core.StrategySynFL], targetLoss)
+
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("LSTM perplexity within %s and speedup to perplexity %.1f (Table IV)", metrics.FormatDuration(budget), math.Exp(targetLoss)),
+		Columns: []string{"method", "perplexity (test)", "speedup"},
+	}
+	for _, strat := range strategies {
+		res := results[strat]
+		ppl := math.Exp(bestLossWithin(res, budget))
+		t.AddRow(string(strat), fmt.Sprintf("%.2f", ppl),
+			metrics.Speedup(synTime, lossCrossing(res, targetLoss)))
+	}
+	opt := fam.Corpus.OptimalPerplexity()
+	return &Report{
+		Tables: []*metrics.Table{t},
+		Notes: []string{
+			fmt.Sprintf("Markov-source optimal perplexity: %.2f (the floor any model can reach).", opt),
+			"The synthetic corpus stands in for Penn TreeBank (DESIGN.md §1); absolute perplexities differ, the ordering is the comparison.",
+		},
+	}, nil
+}
+
+// bestLossWithin returns the lowest loss observed at or before the budget.
+func bestLossWithin(res *core.Result, budget float64) float64 {
+	best := math.Inf(1)
+	for _, p := range res.Points {
+		if p.Time <= budget && p.Loss < best {
+			best = p.Loss
+		}
+	}
+	return best
+}
+
+// lossCrossing returns the first time the loss drops to the target.
+func lossCrossing(res *core.Result, target float64) float64 {
+	for _, p := range res.Points {
+		if p.Loss <= target {
+			return p.Time
+		}
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,200 @@
+// Package metrics provides the small reporting toolkit the experiment
+// harness uses: labelled series, aligned text tables, CSV output and
+// speedup arithmetic matching how the paper reports its results.
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// XY is one point of a series.
+type XY struct {
+	X, Y float64
+}
+
+// Series is a labelled trajectory (e.g. accuracy over virtual time for one
+// method).
+type Series struct {
+	Label  string
+	Points []XY
+}
+
+// At returns the last Y value with X <= x (step interpolation), or NaN when
+// x precedes the first point.
+func (s *Series) At(x float64) float64 {
+	y := math.NaN()
+	for _, p := range s.Points {
+		if p.X > x {
+			break
+		}
+		y = p.Y
+	}
+	return y
+}
+
+// FirstCrossing returns the smallest X at which Y reaches target (rising
+// crossing), or +Inf if it never does.
+func (s *Series) FirstCrossing(target float64) float64 {
+	for _, p := range s.Points {
+		if p.Y >= target {
+			return p.X
+		}
+	}
+	return math.Inf(1)
+}
+
+// Table is a titled grid of cells rendered as aligned text or CSV.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; the cell count must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("metrics: row with %d cells for %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV writes the table as CSV (title omitted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SeriesTable lays several series out as one table with an X column, using
+// step interpolation at the union of X values (downsampled to at most
+// maxRows rows).
+func SeriesTable(title, xName string, series []Series, maxRows int) *Table {
+	// Union of X values.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sortFloats(xs)
+	if maxRows > 0 && len(xs) > maxRows {
+		step := float64(len(xs)) / float64(maxRows)
+		ds := make([]float64, 0, maxRows)
+		for i := 0; i < maxRows; i++ {
+			ds = append(ds, xs[int(float64(i)*step)])
+		}
+		if ds[len(ds)-1] != xs[len(xs)-1] {
+			ds = append(ds, xs[len(xs)-1])
+		}
+		xs = ds
+	}
+	t := &Table{Title: title, Columns: append([]string{xName}, labels(series)...)}
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%.0f", x)}
+		for _, s := range series {
+			y := s.At(x)
+			if math.IsNaN(y) {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.4f", y))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func labels(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Speedup formats a baseline/method time ratio the way the paper reports it
+// ("2.2x"); infinite or undefined ratios render as "-".
+func Speedup(baselineTime, methodTime float64) string {
+	if methodTime <= 0 || math.IsInf(methodTime, 1) || math.IsInf(baselineTime, 1) || math.IsNaN(baselineTime) || math.IsNaN(methodTime) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", baselineTime/methodTime)
+}
+
+// FormatDuration renders virtual seconds compactly.
+func FormatDuration(seconds float64) string {
+	if math.IsInf(seconds, 1) {
+		return "unreached"
+	}
+	return fmt.Sprintf("%.0fs", seconds)
+}
+
+// FormatPercent renders a [0,1] fraction as a percentage.
+func FormatPercent(frac float64) string {
+	return fmt.Sprintf("%.2f%%", 100*frac)
+}

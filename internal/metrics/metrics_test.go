@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesAt(t *testing.T) {
+	s := Series{Label: "a", Points: []XY{{0, 1}, {10, 2}, {20, 3}}}
+	if got := s.At(15); got != 2 {
+		t.Errorf("At(15) = %v, want 2", got)
+	}
+	if got := s.At(20); got != 3 {
+		t.Errorf("At(20) = %v, want 3", got)
+	}
+	if got := s.At(-1); !math.IsNaN(got) {
+		t.Errorf("At(-1) = %v, want NaN", got)
+	}
+}
+
+func TestFirstCrossing(t *testing.T) {
+	s := Series{Points: []XY{{0, 0.1}, {5, 0.5}, {10, 0.9}}}
+	if got := s.FirstCrossing(0.5); got != 5 {
+		t.Errorf("FirstCrossing(0.5) = %v, want 5", got)
+	}
+	if got := s.FirstCrossing(0.95); !math.IsInf(got, 1) {
+		t.Errorf("FirstCrossing(0.95) = %v, want +Inf", got)
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"method", "acc"}}
+	tab.AddRow("fedmp", "0.97")
+	tab.AddRow("synfl", "0.93")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "method", "fedmp", "0.93"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); !strings.HasPrefix(got, "method,acc\n") {
+		t.Errorf("csv = %q", got)
+	}
+}
+
+func TestAddRowMismatchPanics(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	tab.AddRow("only one")
+}
+
+func TestSeriesTable(t *testing.T) {
+	series := []Series{
+		{Label: "m1", Points: []XY{{0, 0.1}, {10, 0.5}}},
+		{Label: "m2", Points: []XY{{5, 0.2}, {10, 0.6}}},
+	}
+	tab := SeriesTable("title", "time", series, 0)
+	if len(tab.Columns) != 3 {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	if len(tab.Rows) != 3 { // x = 0, 5, 10
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// m2 has no value at x=0.
+	if tab.Rows[0][2] != "-" {
+		t.Errorf("expected '-' for m2 at x=0, got %q", tab.Rows[0][2])
+	}
+}
+
+func TestSeriesTableDownsamples(t *testing.T) {
+	var pts []XY
+	for i := 0; i < 100; i++ {
+		pts = append(pts, XY{float64(i), float64(i)})
+	}
+	tab := SeriesTable("t", "x", []Series{{Label: "s", Points: pts}}, 10)
+	if len(tab.Rows) > 12 {
+		t.Errorf("downsampled table has %d rows", len(tab.Rows))
+	}
+	// Last X must be preserved.
+	if tab.Rows[len(tab.Rows)-1][0] != "99" {
+		t.Errorf("last row X = %q, want 99", tab.Rows[len(tab.Rows)-1][0])
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(20, 10); got != "2.0x" {
+		t.Errorf("Speedup = %q", got)
+	}
+	if got := Speedup(20, math.Inf(1)); got != "-" {
+		t.Errorf("Speedup(inf) = %q", got)
+	}
+	if got := Speedup(math.Inf(1), 10); got != "-" {
+		t.Errorf("Speedup(inf baseline) = %q", got)
+	}
+	if got := Speedup(20, 0); got != "-" {
+		t.Errorf("Speedup(zero) = %q", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := FormatDuration(12.4); got != "12s" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+	if got := FormatDuration(math.Inf(1)); got != "unreached" {
+		t.Errorf("FormatDuration(inf) = %q", got)
+	}
+	if got := FormatPercent(0.123); got != "12.30%" {
+		t.Errorf("FormatPercent = %q", got)
+	}
+}

@@ -1,0 +1,250 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedmp/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	name string
+	mask []bool // true where the input was positive
+	size float64
+}
+
+// NewReLU constructs a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// FLOPs implements Layer. Element-wise cost is charged as one op per
+// element of the most recent forward, which is negligible next to the
+// convolutions but kept for completeness.
+func (r *ReLU) FLOPs() float64 { return r.size }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	if len(r.mask) != len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	for i, v := range y.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			y.Data[i] = 0
+		}
+	}
+	if x.Shape[0] > 0 {
+		r.size = float64(len(x.Data)) / float64(x.Shape[0])
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// MaxPool2D performs non-overlapping max pooling with a square window over
+// NCHW inputs. Window size equals stride (the only configuration the model
+// zoo uses).
+type MaxPool2D struct {
+	name        string
+	Window      int
+	C, InH, InW int
+	argmax      []int32 // flat input index of each output's max
+	inShape     []int
+}
+
+// NewMaxPool2D constructs a pooling layer for inputs of [C, inH, inW].
+// inH and inW must be divisible by window.
+func NewMaxPool2D(name string, c, inH, inW, window int) *MaxPool2D {
+	if window <= 0 || inH%window != 0 || inW%window != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D %q window %d does not divide %dx%d", name, window, inH, inW))
+	}
+	return &MaxPool2D{name: name, Window: window, C: c, InH: inH, InW: inW}
+}
+
+// OutShape returns the per-sample output shape.
+func (m *MaxPool2D) OutShape() []int {
+	return []int{m.C, m.InH / m.Window, m.InW / m.Window}
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return m.name }
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// FLOPs implements Layer: one comparison per input element.
+func (m *MaxPool2D) FLOPs() float64 { return float64(m.C * m.InH * m.InW) }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != m.C || x.Shape[2] != m.InH || x.Shape[3] != m.InW {
+		panic(fmt.Sprintf("nn: MaxPool2D %q got input %v, want [N %d %d %d]", m.name, x.Shape, m.C, m.InH, m.InW))
+	}
+	n := x.Shape[0]
+	outH, outW := m.InH/m.Window, m.InW/m.Window
+	y := tensor.New(n, m.C, outH, outW)
+	if len(m.argmax) != len(y.Data) {
+		m.argmax = make([]int32, len(y.Data))
+	}
+	m.inShape = x.Shape
+	planeIn := m.InH * m.InW
+	planeOut := outH * outW
+	for i := 0; i < n; i++ {
+		for c := 0; c < m.C; c++ {
+			in := x.Data[(i*m.C+c)*planeIn : (i*m.C+c+1)*planeIn]
+			outBase := (i*m.C + c) * planeOut
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					best := float32(0)
+					bi := -1
+					for kh := 0; kh < m.Window; kh++ {
+						rowOff := (oh*m.Window + kh) * m.InW
+						for kw := 0; kw < m.Window; kw++ {
+							idx := rowOff + ow*m.Window + kw
+							if bi < 0 || in[idx] > best {
+								best, bi = in[idx], idx
+							}
+						}
+					}
+					oi := outBase + oh*outW + ow
+					y.Data[oi] = best
+					m.argmax[oi] = int32((i*m.C+c)*planeIn + bi)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.inShape...)
+	for oi, v := range dy.Data {
+		dx.Data[m.argmax[oi]] += v
+	}
+	return dx
+}
+
+// GlobalAvgPool averages each channel plane to a single value, mapping
+// [N, C, H, W] to [N, C]. Used as the head of the residual network.
+type GlobalAvgPool struct {
+	name    string
+	C, H, W int
+	n       int
+}
+
+// NewGlobalAvgPool constructs a global average pooling layer for inputs of
+// [C, H, W].
+func NewGlobalAvgPool(name string, c, h, w int) *GlobalAvgPool {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("nn: GlobalAvgPool %q invalid dims %d,%d,%d", name, c, h, w))
+	}
+	return &GlobalAvgPool{name: name, C: c, H: h, W: w}
+}
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return g.name }
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// FLOPs implements Layer.
+func (g *GlobalAvgPool) FLOPs() float64 { return float64(g.C * g.H * g.W) }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != g.C || x.Shape[2] != g.H || x.Shape[3] != g.W {
+		panic(fmt.Sprintf("nn: GlobalAvgPool %q got input %v, want [N %d %d %d]", g.name, x.Shape, g.C, g.H, g.W))
+	}
+	g.n = x.Shape[0]
+	plane := g.H * g.W
+	y := tensor.New(g.n, g.C)
+	inv := 1 / float32(plane)
+	for i := 0; i < g.n; i++ {
+		for c := 0; c < g.C; c++ {
+			src := x.Data[(i*g.C+c)*plane : (i*g.C+c+1)*plane]
+			var s float32
+			for _, v := range src {
+				s += v
+			}
+			y.Data[i*g.C+c] = s * inv
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	plane := g.H * g.W
+	dx := tensor.New(g.n, g.C, g.H, g.W)
+	inv := 1 / float32(plane)
+	for i := 0; i < g.n; i++ {
+		for c := 0; c < g.C; c++ {
+			v := dy.Data[i*g.C+c] * inv
+			dst := dx.Data[(i*g.C+c)*plane : (i*g.C+c+1)*plane]
+			for j := range dst {
+				dst[j] = v
+			}
+		}
+	}
+	return dx
+}
+
+// Flatten reshapes [N, C, H, W] (or any higher-rank batch) to [N, D]. It is
+// a pure view change; D is fixed at construction so the layer can validate
+// its inputs and report its interface width to the pruning planner.
+type Flatten struct {
+	name    string
+	D       int
+	inShape []int
+}
+
+// NewFlatten constructs a flatten layer whose per-sample input has d
+// elements.
+func NewFlatten(name string, d int) *Flatten {
+	if d <= 0 {
+		panic(fmt.Sprintf("nn: Flatten %q with non-positive width %d", name, d))
+	}
+	return &Flatten{name: name, D: d}
+}
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// FLOPs implements Layer.
+func (f *Flatten) FLOPs() float64 { return 0 }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Shape[0]
+	if x.Size() != n*f.D {
+		panic(fmt.Sprintf("nn: Flatten %q got input %v, want %d per sample", f.name, x.Shape, f.D))
+	}
+	f.inShape = x.Shape
+	return x.Reshape(n, f.D)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(f.inShape...)
+}

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedmp/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = x·Wᵀ + b for x of shape
+// [N, in] and W of shape [out, in]. The [out, in] weight layout puts each
+// output neuron's incoming weights in one contiguous row, which is the slice
+// the structured-pruning importance score (sum of absolute incoming weights,
+// §III-B of the paper) is computed over.
+type Dense struct {
+	name    string
+	In, Out int
+	W, B    *Param
+
+	x *tensor.Tensor // cached input for backward
+}
+
+// NewDense constructs a dense layer with He-initialised weights and zero
+// biases.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: Dense %q with non-positive dims %dx%d", name, in, out))
+	}
+	return &Dense{
+		name: name, In: in, Out: out,
+		W: NewParam(name+"/W", tensor.HeInit(rng, in, out, in)),
+		B: NewParam(name+"/b", tensor.New(out)),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// FLOPs implements Layer: one multiply-add per weight.
+func (d *Dense) FLOPs() float64 { return 2 * float64(d.In) * float64(d.Out) }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: Dense %q got input %v, want [N %d]", d.name, x.Shape, d.In))
+	}
+	d.x = x
+	y := tensor.MatMulTB(x, d.W.W) // [N, out]
+	n := x.Shape[0]
+	for i := 0; i < n; i++ {
+		row := y.Data[i*d.Out : (i+1)*d.Out]
+		for j, bv := range d.B.W.Data {
+			row[j] += bv
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n := dy.Shape[0]
+	// dW[out,in] += dyᵀ[out,N]·x[N,in]
+	dw := tensor.MatMulTA(dy, d.x) // [out, in]
+	d.W.Grad.Add(dw)
+	// db += column sums of dy.
+	for i := 0; i < n; i++ {
+		row := dy.Data[i*d.Out : (i+1)*d.Out]
+		for j, v := range row {
+			d.B.Grad.Data[j] += v
+		}
+	}
+	// dx[N,in] = dy[N,out]·W[out,in]
+	return tensor.MatMul(dy, d.W.W)
+}

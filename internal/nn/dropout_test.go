@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedmp/internal/tensor"
+)
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDropout("drop", 0.5, rng)
+	x := tensor.RandN(rng, 4, 10)
+	y := d.Forward(x, false)
+	if !tensor.Equal(x, y) {
+		t.Error("eval-mode dropout changed values")
+	}
+	// Backward after an eval forward passes gradients through unchanged.
+	dy := tensor.RandN(rng, 4, 10)
+	if dx := d.Backward(dy); !tensor.Equal(dx, dy) {
+		t.Error("eval-mode dropout changed gradients")
+	}
+}
+
+func TestDropoutTrainMasksAndScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDropout("drop", 0.4, rng)
+	x := tensor.Full(1, 100, 100)
+	y := d.Forward(x, true)
+	zeros, scaled := 0, 0
+	want := float32(1 / (1 - 0.4))
+	for _, v := range y.Data {
+		switch {
+		case v == 0:
+			zeros++
+		case math.Abs(float64(v-want)) < 1e-6:
+			scaled++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	frac := float64(zeros) / float64(len(y.Data))
+	if frac < 0.35 || frac > 0.45 {
+		t.Errorf("dropped fraction %.3f, want ~0.40", frac)
+	}
+	// Expectation preserved: mean of outputs ≈ 1.
+	var mean float64
+	for _, v := range y.Data {
+		mean += float64(v)
+	}
+	mean /= float64(len(y.Data))
+	if math.Abs(mean-1) > 0.05 {
+		t.Errorf("inverted-dropout mean %v, want ~1", mean)
+	}
+	// Backward applies exactly the same mask.
+	dy := tensor.Full(1, 100, 100)
+	dx := d.Backward(dy)
+	for i := range dx.Data {
+		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatal("backward mask differs from forward mask")
+		}
+	}
+}
+
+func TestDropoutRateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, rate := range []float32{-0.1, 1.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v did not panic", rate)
+				}
+			}()
+			NewDropout("d", rate, rng)
+		}()
+	}
+	// Rate 0 is a no-op in both modes.
+	d := NewDropout("d", 0, rng)
+	x := tensor.RandN(rng, 2, 3)
+	if y := d.Forward(x, true); !tensor.Equal(x, y) {
+		t.Error("rate-0 dropout changed values")
+	}
+}
+
+func TestAvgPoolForwardValues(t *testing.T) {
+	a := NewAvgPool2D("avg", 1, 4, 4, 2)
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	y := a.Forward(x, true)
+	want := []float32{3.5, 5.5, 11.5, 13.5}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("avg pool = %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestAvgPoolGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := tensor.ConvGeom{InC: 1, InH: 6, InW: 6, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	net := NewSequential(
+		NewConv2D("conv", g, rng),
+		NewAvgPool2D("avg", 2, 6, 6, 2),
+		NewFlatten("flat", 2*3*3),
+		NewDense("fc", 2*3*3, 3, rng),
+	)
+	b := imageBatch(rng, 3, 1, 6, 6, 3)
+	net.TrainStep(b)
+	checkGrads(t, net.Params(), func() float64 { return evalTrainLoss(net, b) }, 12, 0.05, rng)
+}
+
+func TestAvgPoolWindowValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indivisible window did not panic")
+		}
+	}()
+	NewAvgPool2D("avg", 1, 5, 5, 2)
+}

@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedmp/internal/tensor"
+)
+
+// lossOf runs a forward pass and returns the loss only.
+func lossOf(net Network, b *Batch) float64 {
+	loss, _ := net.Eval(b)
+	return loss
+}
+
+// evalTrainLoss evaluates the *training-mode* loss for gradient checking on
+// a Sequential (BatchNorm uses batch statistics in training mode, so the
+// finite-difference loss must too).
+func evalTrainLoss(s *Sequential, b *Batch) float64 {
+	logits := s.Forward(b.X, true)
+	loss, _ := s.loss.Loss(logits, b.Labels)
+	return loss
+}
+
+// checkGrads compares analytic gradients (already in params after a
+// TrainStep) with central finite differences of lossFn. It samples at most
+// maxPer entries per parameter to keep runtime sane. relTol is the allowed
+// relative error; float32 arithmetic rarely does better than ~1e-2 on deep
+// chains.
+func checkGrads(t *testing.T, params []*Param, lossFn func() float64, maxPer int, relTol float64, rng *rand.Rand) {
+	t.Helper()
+	// eps trades float32 round-off noise against ReLU-kink crossing error
+	// (which grows with eps); 2e-3 balances both for these small nets.
+	const eps = 2e-3
+	var checked, failed int
+	var details []string
+	for _, p := range params {
+		n := p.W.Size()
+		idxs := make([]int, 0, maxPer)
+		if n <= maxPer {
+			for i := 0; i < n; i++ {
+				idxs = append(idxs, i)
+			}
+		} else {
+			for len(idxs) < maxPer {
+				idxs = append(idxs, rng.Intn(n))
+			}
+		}
+		for _, i := range idxs {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			lp := lossFn()
+			p.W.Data[i] = orig - eps
+			lm := lossFn()
+			p.W.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := float64(p.Grad.Data[i])
+			denom := math.Max(math.Abs(numeric)+math.Abs(analytic), 1e-2)
+			checked++
+			if math.Abs(numeric-analytic)/denom > relTol {
+				failed++
+				details = append(details, fmt.Sprintf("%s[%d]: analytic %.6f vs numeric %.6f", p.Name, i, analytic, numeric))
+			}
+		}
+	}
+	// An input sitting exactly on a ReLU kink makes the central difference
+	// average the two one-sided slopes no matter how small eps is, so a few
+	// isolated mismatches are expected; a real backprop bug breaks far more
+	// than 3% of sampled entries.
+	if limit := 1 + checked*3/100; failed > limit {
+		t.Errorf("%d/%d gradient checks failed (limit %d):", failed, checked, limit)
+		for _, d := range details {
+			t.Errorf("  %s", d)
+		}
+	}
+}
+
+func imageBatch(rng *rand.Rand, n, c, h, w, classes int) *Batch {
+	b := &Batch{X: tensor.RandN(rng, n, c, h, w), Labels: make([]int, n)}
+	for i := range b.Labels {
+		b.Labels[i] = rng.Intn(classes)
+	}
+	return b
+}
+
+func TestDenseGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewSequential(
+		NewDense("fc1", 6, 5, rng),
+		NewReLU("relu1"),
+		NewDense("fc2", 5, 3, rng),
+	)
+	b := &Batch{X: tensor.RandN(rng, 4, 6), Labels: []int{0, 2, 1, 2}}
+	net.TrainStep(b)
+	checkGrads(t, net.Params(), func() float64 { return evalTrainLoss(net, b) }, 20, 0.05, rng)
+}
+
+func TestConvGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := tensor.ConvGeom{InC: 2, InH: 6, InW: 6, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := NewConv2D("conv1", g, rng)
+	net := NewSequential(
+		conv,
+		NewReLU("relu1"),
+		NewFlatten("flat", 3*6*6),
+		NewDense("fc", 3*6*6, 4, rng),
+	)
+	b := imageBatch(rng, 3, 2, 6, 6, 4)
+	net.TrainStep(b)
+	checkGrads(t, net.Params(), func() float64 { return evalTrainLoss(net, b) }, 15, 0.05, rng)
+}
+
+func TestConvStridedGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, OutC: 2, KH: 5, KW: 5, Stride: 2, Pad: 2}
+	conv := NewConv2D("conv1", g, rng)
+	net := NewSequential(
+		conv,
+		NewFlatten("flat", 2*4*4),
+		NewDense("fc", 2*4*4, 3, rng),
+	)
+	b := imageBatch(rng, 2, 1, 8, 8, 3)
+	net.TrainStep(b)
+	checkGrads(t, net.Params(), func() float64 { return evalTrainLoss(net, b) }, 15, 0.05, rng)
+}
+
+func TestMaxPoolGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := tensor.ConvGeom{InC: 1, InH: 6, InW: 6, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	net := NewSequential(
+		NewConv2D("conv1", g, rng),
+		NewMaxPool2D("pool1", 2, 6, 6, 2),
+		NewFlatten("flat", 2*3*3),
+		NewDense("fc", 2*3*3, 3, rng),
+	)
+	b := imageBatch(rng, 3, 1, 6, 6, 3)
+	net.TrainStep(b)
+	checkGrads(t, net.Params(), func() float64 { return evalTrainLoss(net, b) }, 15, 0.05, rng)
+}
+
+func TestBatchNormGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := tensor.ConvGeom{InC: 1, InH: 5, InW: 5, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	net := NewSequential(
+		NewConv2D("conv1", g, rng),
+		NewBatchNorm2D("bn1", 3),
+		NewReLU("relu1"),
+		NewFlatten("flat", 3*5*5),
+		NewDense("fc", 3*5*5, 2, rng),
+	)
+	b := imageBatch(rng, 4, 1, 5, 5, 2)
+	net.TrainStep(b)
+	checkGrads(t, net.Params(), func() float64 { return evalTrainLoss(net, b) }, 12, 0.08, rng)
+}
+
+func TestResidualGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g1 := tensor.ConvGeom{InC: 2, InH: 5, InW: 5, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	g2 := tensor.ConvGeom{InC: 3, InH: 5, InW: 5, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	block := NewResidual("res1",
+		NewConv2D("res1/conv1", g1, rng),
+		NewReLU("res1/relu"),
+		NewConv2D("res1/conv2", g2, rng),
+	)
+	net := NewSequential(
+		block,
+		NewFlatten("flat", 2*5*5),
+		NewDense("fc", 2*5*5, 3, rng),
+	)
+	b := imageBatch(rng, 3, 2, 5, 5, 3)
+	net.TrainStep(b)
+	checkGrads(t, net.Params(), func() float64 { return evalTrainLoss(net, b) }, 12, 0.05, rng)
+}
+
+func TestGlobalAvgPoolGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := tensor.ConvGeom{InC: 1, InH: 4, InW: 4, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	net := NewSequential(
+		NewConv2D("conv1", g, rng),
+		NewGlobalAvgPool("gap", 3, 4, 4),
+		NewDense("fc", 3, 2, rng),
+	)
+	b := imageBatch(rng, 3, 1, 4, 4, 2)
+	net.TrainStep(b)
+	checkGrads(t, net.Params(), func() float64 { return evalTrainLoss(net, b) }, 12, 0.05, rng)
+}
+
+func TestLSTMLMGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewLSTMLM(12, 6, 5, 4, rng)
+	b := &Batch{Seq: [][]int{
+		{1, 3, 5, 7, 9},
+		{0, 2, 4, 6, 8},
+		{11, 10, 9, 8, 7},
+	}}
+	m.TrainStep(b)
+	// Eval path is identical for the LM (no train-mode layers), so lossOf
+	// works for the finite differences.
+	checkGrads(t, m.Params(), func() float64 { return lossOf(m, b) }, 10, 0.08, rng)
+}

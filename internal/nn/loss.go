@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedmp/internal/tensor"
+)
+
+// SoftmaxCE is a softmax cross-entropy head over class logits. It is
+// stateless; both classifiers and the per-timestep language-model loss use
+// it.
+type SoftmaxCE struct{}
+
+// Loss computes the mean cross-entropy loss of logits [N, K] against integer
+// labels, plus the number of argmax-correct predictions.
+func (SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (loss float64, correct int) {
+	loss, correct, _ = softmaxCE(logits, labels, false)
+	return loss, correct
+}
+
+// LossAndGrad additionally returns ∂loss/∂logits (already divided by N).
+func (SoftmaxCE) LossAndGrad(logits *tensor.Tensor, labels []int) (loss float64, correct int, grad *tensor.Tensor) {
+	return softmaxCE(logits, labels, true)
+}
+
+func softmaxCE(logits *tensor.Tensor, labels []int, wantGrad bool) (float64, int, *tensor.Tensor) {
+	if len(logits.Shape) != 2 {
+		panic(fmt.Sprintf("nn: softmax expects [N K] logits, got %v", logits.Shape))
+	}
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d logits rows", len(labels), n))
+	}
+	var grad *tensor.Tensor
+	if wantGrad {
+		grad = tensor.New(n, k)
+	}
+	var totalLoss float64
+	correct := 0
+	invN := 1 / float32(n)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		label := labels[i]
+		if label < 0 || label >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, k))
+		}
+		if tensor.ArgMax(row) == label {
+			correct++
+		}
+		// Numerically stable log-softmax.
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sumExp float64
+		for _, v := range row {
+			sumExp += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sumExp)
+		totalLoss += logSum - float64(row[label]-maxv)
+		if wantGrad {
+			g := grad.Data[i*k : (i+1)*k]
+			for j, v := range row {
+				p := float32(math.Exp(float64(v-maxv)) / sumExp)
+				if j == label {
+					p -= 1
+				}
+				g[j] = p * invN
+			}
+		}
+	}
+	return totalLoss / float64(n), correct, grad
+}

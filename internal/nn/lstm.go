@@ -1,0 +1,370 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedmp/internal/tensor"
+)
+
+// Embedding maps integer token ids to dense vectors. Weights have shape
+// [V, E]; forward gathers rows, backward scatters gradients.
+type Embedding struct {
+	name string
+	V, E int
+	W    *Param
+
+	tokens [][]int
+}
+
+// NewEmbedding constructs an embedding table with Xavier-uniform rows.
+func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
+	if vocab <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("nn: Embedding %q with non-positive dims %dx%d", name, vocab, dim))
+	}
+	return &Embedding{
+		name: name, V: vocab, E: dim,
+		W: NewParam(name+"/W", tensor.XavierInit(rng, vocab, dim, vocab, dim)),
+	}
+}
+
+// Name returns the layer name.
+func (e *Embedding) Name() string { return e.name }
+
+// Params returns the embedding table.
+func (e *Embedding) Params() []*Param { return []*Param{e.W} }
+
+// Lookup gathers embeddings for a batch of equal-length token sequences,
+// producing [N, T, E].
+func (e *Embedding) Lookup(tokens [][]int) *tensor.Tensor {
+	n := len(tokens)
+	if n == 0 {
+		panic("nn: Embedding.Lookup with empty batch")
+	}
+	t := len(tokens[0])
+	out := tensor.New(n, t, e.E)
+	for i, seq := range tokens {
+		if len(seq) != t {
+			panic(fmt.Sprintf("nn: Embedding %q ragged batch: %d vs %d", e.name, len(seq), t))
+		}
+		for j, tok := range seq {
+			if tok < 0 || tok >= e.V {
+				panic(fmt.Sprintf("nn: Embedding %q token %d out of range [0,%d)", e.name, tok, e.V))
+			}
+			copy(out.Data[(i*t+j)*e.E:(i*t+j+1)*e.E], e.W.W.Data[tok*e.E:(tok+1)*e.E])
+		}
+	}
+	e.tokens = tokens
+	return out
+}
+
+// BackwardLookup scatters dY [N, T, E] into the table gradient.
+func (e *Embedding) BackwardLookup(dy *tensor.Tensor) {
+	t := len(e.tokens[0])
+	for i, seq := range e.tokens {
+		for j, tok := range seq {
+			src := dy.Data[(i*t+j)*e.E : (i*t+j+1)*e.E]
+			dst := e.W.Grad.Data[tok*e.E : (tok+1)*e.E]
+			for k, v := range src {
+				dst[k] += v
+			}
+		}
+	}
+}
+
+// LSTM is a single long short-term-memory layer mapping [N, T, D] input
+// activations to [N, T, H] hidden states, with full backpropagation through
+// time. Gates are packed in i,f,g,o order: Wx has shape [4H, D], Wh has
+// shape [4H, H] and the bias b has shape [4H]. Hidden unit k owns rows
+// {k, H+k, 2H+k, 3H+k} of Wx/Wh/b and column k of Wh — exactly the
+// "intrinsic sparse structure" component the RNN pruning strategy (§VI of
+// the paper, after Wen et al.) removes as one unit.
+type LSTM struct {
+	name string
+	D, H int
+	Wx   *Param
+	Wh   *Param
+	B    *Param
+
+	// cached forward state: per-timestep inputs, gate activations and cell
+	// states, flattened as [T] slices of [N,·] tensors.
+	x         *tensor.Tensor
+	gates     []*tensor.Tensor // [T] of [N,4H], post-nonlinearity
+	cells     []*tensor.Tensor // [T] of [N,H]
+	hiddens   []*tensor.Tensor // [T] of [N,H]
+	tanhCells []*tensor.Tensor // [T] of [N,H]
+	timeSteps int
+	batchSize int
+}
+
+// NewLSTM constructs an LSTM layer. The forget-gate bias is initialised to 1,
+// the usual trick for stable early training.
+func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
+	if in <= 0 || hidden <= 0 {
+		panic(fmt.Sprintf("nn: LSTM %q with non-positive dims %dx%d", name, in, hidden))
+	}
+	l := &LSTM{
+		name: name, D: in, H: hidden,
+		Wx: NewParam(name+"/Wx", tensor.XavierInit(rng, in, hidden, 4*hidden, in)),
+		Wh: NewParam(name+"/Wh", tensor.XavierInit(rng, hidden, hidden, 4*hidden, hidden)),
+		B:  NewParam(name+"/b", tensor.New(4*hidden)),
+	}
+	for k := 0; k < hidden; k++ {
+		l.B.W.Data[hidden+k] = 1 // forget gate bias
+	}
+	return l
+}
+
+// Name returns the layer name.
+func (l *LSTM) Name() string { return l.name }
+
+// Params returns Wx, Wh and b.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// StepFLOPs returns the per-sample FLOPs of one timestep.
+func (l *LSTM) StepFLOPs() float64 {
+	return 2 * float64(4*l.H) * float64(l.D+l.H)
+}
+
+func sigmoid(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+func tanhf(v float32) float32 {
+	return float32(math.Tanh(float64(v)))
+}
+
+// Forward runs the sequence x [N, T, D] and returns hidden states [N, T, H].
+// Initial hidden and cell states are zero.
+func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[2] != l.D {
+		panic(fmt.Sprintf("nn: LSTM %q got input %v, want [N T %d]", l.name, x.Shape, l.D))
+	}
+	n, t := x.Shape[0], x.Shape[1]
+	l.x = x
+	l.timeSteps, l.batchSize = t, n
+	l.gates = make([]*tensor.Tensor, t)
+	l.cells = make([]*tensor.Tensor, t)
+	l.hiddens = make([]*tensor.Tensor, t)
+	l.tanhCells = make([]*tensor.Tensor, t)
+	out := tensor.New(n, t, l.H)
+	hPrev := tensor.New(n, l.H)
+	cPrev := tensor.New(n, l.H)
+	for step := 0; step < t; step++ {
+		xt := l.timeSlice(x, step) // [N, D]
+		z := tensor.MatMulTB(xt, l.Wx.W)
+		z.Add(tensor.MatMulTB(hPrev, l.Wh.W))
+		for i := 0; i < n; i++ {
+			row := z.Data[i*4*l.H : (i+1)*4*l.H]
+			for j, bv := range l.B.W.Data {
+				row[j] += bv
+			}
+		}
+		c := tensor.New(n, l.H)
+		h := tensor.New(n, l.H)
+		tc := tensor.New(n, l.H)
+		for i := 0; i < n; i++ {
+			zr := z.Data[i*4*l.H : (i+1)*4*l.H]
+			cr := c.Data[i*l.H : (i+1)*l.H]
+			cp := cPrev.Data[i*l.H : (i+1)*l.H]
+			hr := h.Data[i*l.H : (i+1)*l.H]
+			tr := tc.Data[i*l.H : (i+1)*l.H]
+			for k := 0; k < l.H; k++ {
+				ig := sigmoid(zr[k])
+				fg := sigmoid(zr[l.H+k])
+				gg := tanhf(zr[2*l.H+k])
+				og := sigmoid(zr[3*l.H+k])
+				zr[k], zr[l.H+k], zr[2*l.H+k], zr[3*l.H+k] = ig, fg, gg, og
+				cv := fg*cp[k] + ig*gg
+				cr[k] = cv
+				tv := tanhf(cv)
+				tr[k] = tv
+				hr[k] = og * tv
+			}
+		}
+		l.gates[step] = z
+		l.cells[step] = c
+		l.hiddens[step] = h
+		l.tanhCells[step] = tc
+		for i := 0; i < n; i++ {
+			copy(out.Data[(i*t+step)*l.H:(i*t+step+1)*l.H], h.Data[i*l.H:(i+1)*l.H])
+		}
+		hPrev, cPrev = h, c
+	}
+	return out
+}
+
+// timeSlice extracts timestep `step` of x [N, T, D] as a fresh [N, D] tensor.
+func (l *LSTM) timeSlice(x *tensor.Tensor, step int) *tensor.Tensor {
+	n, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
+	out := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*d:(i+1)*d], x.Data[(i*t+step)*d:(i*t+step+1)*d])
+	}
+	return out
+}
+
+// Backward consumes dOut [N, T, H] and returns dX [N, T, D], accumulating
+// parameter gradients.
+func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, t := l.batchSize, l.timeSteps
+	dx := tensor.New(n, t, l.D)
+	dhNext := tensor.New(n, l.H)
+	dcNext := tensor.New(n, l.H)
+	for step := t - 1; step >= 0; step-- {
+		// dh = dOut_t + dhNext
+		dh := tensor.New(n, l.H)
+		for i := 0; i < n; i++ {
+			src := dout.Data[(i*t+step)*l.H : (i*t+step+1)*l.H]
+			dst := dh.Data[i*l.H : (i+1)*l.H]
+			copy(dst, src)
+		}
+		dh.Add(dhNext)
+
+		gates := l.gates[step]
+		tc := l.tanhCells[step]
+		var cPrev *tensor.Tensor
+		if step > 0 {
+			cPrev = l.cells[step-1]
+		} else {
+			cPrev = tensor.New(n, l.H)
+		}
+		dz := tensor.New(n, 4*l.H)
+		dcPrev := tensor.New(n, l.H)
+		for i := 0; i < n; i++ {
+			zr := gates.Data[i*4*l.H : (i+1)*4*l.H]
+			dhr := dh.Data[i*l.H : (i+1)*l.H]
+			dcn := dcNext.Data[i*l.H : (i+1)*l.H]
+			tr := tc.Data[i*l.H : (i+1)*l.H]
+			cp := cPrev.Data[i*l.H : (i+1)*l.H]
+			dzr := dz.Data[i*4*l.H : (i+1)*4*l.H]
+			dcp := dcPrev.Data[i*l.H : (i+1)*l.H]
+			for k := 0; k < l.H; k++ {
+				ig, fg, gg, og := zr[k], zr[l.H+k], zr[2*l.H+k], zr[3*l.H+k]
+				tv := tr[k]
+				dc := dcn[k] + dhr[k]*og*(1-tv*tv)
+				dzr[k] = dc * gg * ig * (1 - ig)           // input gate (pre-sigmoid)
+				dzr[l.H+k] = dc * cp[k] * fg * (1 - fg)    // forget gate
+				dzr[2*l.H+k] = dc * ig * (1 - gg*gg)       // candidate (pre-tanh)
+				dzr[3*l.H+k] = dhr[k] * tv * og * (1 - og) // output gate
+				dcp[k] = dc * fg
+			}
+		}
+		xt := l.timeSlice(l.x, step)
+		var hPrev *tensor.Tensor
+		if step > 0 {
+			hPrev = l.hiddens[step-1]
+		} else {
+			hPrev = tensor.New(n, l.H)
+		}
+		l.Wx.Grad.Add(tensor.MatMulTA(dz, xt))
+		l.Wh.Grad.Add(tensor.MatMulTA(dz, hPrev))
+		for i := 0; i < n; i++ {
+			row := dz.Data[i*4*l.H : (i+1)*4*l.H]
+			for j, v := range row {
+				l.B.Grad.Data[j] += v
+			}
+		}
+		dxT := tensor.MatMul(dz, l.Wx.W) // [N, D]
+		for i := 0; i < n; i++ {
+			copy(dx.Data[(i*t+step)*l.D:(i*t+step+1)*l.D], dxT.Data[i*l.D:(i+1)*l.D])
+		}
+		dhNext = tensor.MatMul(dz, l.Wh.W) // [N, H]
+		dcNext = dcPrev
+	}
+	return dx
+}
+
+// LSTMLM is the two-layer LSTM language model from §VI of the paper: an
+// embedding table, two stacked LSTM layers and a dense vocabulary head,
+// trained with per-token softmax cross-entropy. It implements Network.
+type LSTMLM struct {
+	Embed  *Embedding
+	L1, L2 *LSTM
+	Out    *Dense
+	SeqLen int
+
+	loss   SoftmaxCE
+	params []*Param
+}
+
+// NewLSTMLM builds the language model. seqLen is the BPTT window (sequences
+// in batches must contain seqLen+1 tokens).
+func NewLSTMLM(vocab, embedDim, hidden, seqLen int, rng *rand.Rand) *LSTMLM {
+	m := &LSTMLM{
+		Embed:  NewEmbedding("embed", vocab, embedDim, rng),
+		L1:     NewLSTM("lstm1", embedDim, hidden, rng),
+		L2:     NewLSTM("lstm2", hidden, hidden, rng),
+		Out:    NewDense("out", hidden, vocab, rng),
+		SeqLen: seqLen,
+	}
+	m.params = append(m.params, m.Embed.Params()...)
+	m.params = append(m.params, m.L1.Params()...)
+	m.params = append(m.params, m.L2.Params()...)
+	m.params = append(m.params, m.Out.Params()...)
+	return m
+}
+
+// Params implements Network.
+func (m *LSTMLM) Params() []*Param { return m.params }
+
+// ForwardFLOPs implements Network: per sample, T timesteps through both
+// LSTMs plus the vocabulary projection.
+func (m *LSTMLM) ForwardFLOPs() float64 {
+	t := float64(m.SeqLen)
+	return t * (m.L1.StepFLOPs() + m.L2.StepFLOPs() + 2*float64(m.Out.In)*float64(m.Out.Out))
+}
+
+// splitSeqs separates input tokens from shifted targets.
+func (m *LSTMLM) splitSeqs(b *Batch) (inputs [][]int, targets []int) {
+	inputs = make([][]int, len(b.Seq))
+	for i, seq := range b.Seq {
+		if len(seq) != m.SeqLen+1 {
+			panic(fmt.Sprintf("nn: LSTMLM wants sequences of %d tokens, got %d", m.SeqLen+1, len(seq)))
+		}
+		inputs[i] = seq[:m.SeqLen]
+		targets = append(targets, seq[1:]...)
+	}
+	return inputs, targets
+}
+
+func (m *LSTMLM) forward(b *Batch) (logits *tensor.Tensor, targets []int) {
+	inputs, targets := m.splitSeqs(b)
+	e := m.Embed.Lookup(inputs)
+	h1 := m.L1.Forward(e)
+	h2 := m.L2.Forward(h1)
+	n := len(inputs)
+	flat := h2.Reshape(n*m.SeqLen, m.L2.H)
+	return m.Out.Forward(flat, true), targets
+}
+
+// gradClip bounds language-model gradients; BPTT through two stacked LSTMs
+// explodes without it.
+const gradClip = 5
+
+// TrainStep implements Network.
+func (m *LSTMLM) TrainStep(b *Batch) (float64, int) {
+	for _, p := range m.params {
+		p.ZeroGrad()
+	}
+	logits, targets := m.forward(b)
+	loss, correct, dlogits := m.loss.LossAndGrad(logits, targets)
+	dflat := m.Out.Backward(dlogits)
+	n := len(b.Seq)
+	dh2 := dflat.Reshape(n, m.SeqLen, m.L2.H)
+	dh1 := m.L2.Backward(dh2)
+	de := m.L1.Backward(dh1)
+	m.Embed.BackwardLookup(de)
+	for _, p := range m.params {
+		p.Grad.Clip(gradClip)
+	}
+	return loss, correct
+}
+
+// Eval implements Network. It reports the mean per-token loss; perplexity is
+// exp of that value.
+func (m *LSTMLM) Eval(b *Batch) (float64, int) {
+	logits, targets := m.forward(b)
+	return m.loss.Loss(logits, targets)
+}

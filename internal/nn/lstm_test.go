@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedmp/internal/tensor"
+)
+
+func TestEmbeddingLookupAndScatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewEmbedding("emb", 5, 3, rng)
+	out := e.Lookup([][]int{{0, 4}, {2, 2}})
+	if out.Shape[0] != 2 || out.Shape[1] != 2 || out.Shape[2] != 3 {
+		t.Fatalf("lookup shape %v", out.Shape)
+	}
+	// Row 0 of the output must equal table row 0.
+	for k := 0; k < 3; k++ {
+		if out.At(0, 0, k) != e.W.W.At(0, k) {
+			t.Fatal("lookup did not gather the right row")
+		}
+	}
+	// Backward scatters: token 2 appears twice, so its gradient doubles.
+	dy := tensor.Full(1, 2, 2, 3)
+	e.W.ZeroGrad()
+	e.BackwardLookup(dy)
+	if e.W.Grad.At(2, 0) != 2 {
+		t.Errorf("token-2 grad %v, want 2", e.W.Grad.At(2, 0))
+	}
+	if e.W.Grad.At(0, 0) != 1 {
+		t.Errorf("token-0 grad %v, want 1", e.W.Grad.At(0, 0))
+	}
+	if e.W.Grad.At(1, 0) != 0 {
+		t.Errorf("unused token grad %v, want 0", e.W.Grad.At(1, 0))
+	}
+}
+
+func TestEmbeddingValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := NewEmbedding("emb", 4, 2, rng)
+	for _, tokens := range [][][]int{
+		{{0, 1}, {2}}, // ragged
+		{{0, 4}},      // out of range
+		{{-1, 0}},     // negative
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Lookup(%v) did not panic", tokens)
+				}
+			}()
+			e.Lookup(tokens)
+		}()
+	}
+}
+
+func TestLSTMForwardShapesAndDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLSTM("l", 4, 6, rng)
+	x := tensor.RandN(rand.New(rand.NewSource(4)), 3, 5, 4)
+	h1 := l.Forward(x)
+	if h1.Shape[0] != 3 || h1.Shape[1] != 5 || h1.Shape[2] != 6 {
+		t.Fatalf("hidden shape %v", h1.Shape)
+	}
+	h2 := l.Forward(x)
+	if !tensor.Equal(h1, h2) {
+		t.Error("LSTM forward is not deterministic")
+	}
+	if !h1.IsFinite() {
+		t.Error("non-finite hidden states")
+	}
+	// Hidden values are bounded by the tanh/sigmoid structure: |h| < 1.
+	if h1.MaxAbs() >= 1 {
+		t.Errorf("hidden magnitude %v ≥ 1", h1.MaxAbs())
+	}
+}
+
+func TestLSTMStatePropagatesAcrossTime(t *testing.T) {
+	// The same input at every timestep must not produce identical hidden
+	// states across time (the recurrent state accumulates).
+	rng := rand.New(rand.NewSource(5))
+	l := NewLSTM("l", 2, 4, rng)
+	x := tensor.New(1, 3, 2)
+	for i := range x.Data {
+		x.Data[i] = 0.5
+	}
+	h := l.Forward(x)
+	t0 := h.Data[0:4]
+	t2 := h.Data[8:12]
+	same := true
+	for i := range t0 {
+		if math.Abs(float64(t0[i]-t2[i])) > 1e-6 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("hidden state identical across timesteps; recurrence broken")
+	}
+}
+
+func TestLSTMForgetGateBiasInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := NewLSTM("l", 3, 4, rng)
+	for k := 0; k < 4; k++ {
+		if l.B.W.Data[4+k] != 1 {
+			t.Errorf("forget bias[%d] = %v, want 1", k, l.B.W.Data[4+k])
+		}
+		if l.B.W.Data[k] != 0 {
+			t.Errorf("input bias[%d] = %v, want 0", k, l.B.W.Data[k])
+		}
+	}
+}
+
+func TestLSTMLMSequenceLengthValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewLSTMLM(10, 4, 6, 5, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong sequence length did not panic")
+		}
+	}()
+	m.TrainStep(&Batch{Seq: [][]int{{1, 2, 3}}})
+}
+
+func TestGradClipApplied(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewLSTMLM(12, 6, 8, 6, rng)
+	seqs := make([][]int, 4)
+	for i := range seqs {
+		s := make([]int, 7)
+		for j := range s {
+			s[j] = rng.Intn(12)
+		}
+		seqs[i] = s
+	}
+	m.TrainStep(&Batch{Seq: seqs})
+	for _, p := range m.Params() {
+		if p.Grad.MaxAbs() > gradClip {
+			t.Errorf("%s gradient %v exceeds clip %v", p.Name, p.Grad.MaxAbs(), float32(gradClip))
+		}
+	}
+}

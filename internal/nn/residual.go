@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedmp/internal/tensor"
+)
+
+// Residual wraps a shape-preserving chain of inner layers with an identity
+// skip connection: y = body(x) + x. The model zoo uses it for the
+// ResNet-style classifier; structured pruning may shrink channels *inside*
+// the body, but the body's output width must stay equal to its input width
+// so the skip addition remains valid (the standard constraint for pruning
+// residual networks).
+type Residual struct {
+	name string
+	Body []Layer
+
+	params []*Param
+}
+
+// NewResidual constructs a residual block around body.
+func NewResidual(name string, body ...Layer) *Residual {
+	if len(body) == 0 {
+		panic(fmt.Sprintf("nn: Residual %q needs a non-empty body", name))
+	}
+	r := &Residual{name: name, Body: body}
+	for _, l := range body {
+		r.params = append(r.params, l.Params()...)
+	}
+	return r
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param { return r.params }
+
+// FLOPs implements Layer: the body plus one add per output element.
+func (r *Residual) FLOPs() float64 {
+	var f float64
+	for _, l := range r.Body {
+		f += l.FLOPs()
+	}
+	return f
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x
+	for _, l := range r.Body {
+		y = l.Forward(y, train)
+	}
+	if !tensor.SameShape(x, y) {
+		panic(fmt.Sprintf("nn: Residual %q body maps %v to %v; skip requires equal shapes",
+			r.name, x.Shape, y.Shape))
+	}
+	out := y.Clone()
+	out.Add(x)
+	return out
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy
+	for i := len(r.Body) - 1; i >= 0; i-- {
+		dx = r.Body[i].Backward(dx)
+	}
+	out := dx.Clone()
+	out.Add(dy)
+	return out
+}

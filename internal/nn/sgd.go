@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedmp/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with classical momentum and decoupled
+// L2 weight decay. A single optimiser instance is bound to one network; the
+// velocity buffers are keyed by parameter identity.
+type SGD struct {
+	// LR is the learning rate (must be positive).
+	LR float32
+	// Momentum in [0,1); 0 disables the velocity term.
+	Momentum float32
+	// WeightDecay is the L2 penalty coefficient applied to weights.
+	WeightDecay float32
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD constructs an optimiser.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: SGD learning rate must be positive, got %v", lr))
+	}
+	if momentum < 0 || momentum >= 1 {
+		panic(fmt.Sprintf("nn: SGD momentum must be in [0,1), got %v", momentum))
+	}
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter using its current gradient:
+//
+//	v ← momentum·v + grad + wd·w
+//	w ← w − lr·v
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		g := p.Grad
+		if s.WeightDecay != 0 {
+			// Applied into a scratch copy so Grad still reports the raw
+			// data gradient after Step (the FedProx strategy reads it).
+			g = g.Clone()
+			g.AddScaled(s.WeightDecay, p.W)
+		}
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.W.Shape...)
+				s.velocity[p] = v
+			}
+			v.Scale(s.Momentum)
+			v.Add(g)
+			g = v
+		}
+		p.W.AddScaled(-s.LR, g)
+	}
+}
+
+// Reset clears all velocity buffers. The federated workers call it when a
+// new (possibly differently shaped) sub-model arrives, since stale momentum
+// from the previous round's structure is meaningless.
+func (s *SGD) Reset() { s.velocity = make(map[*Param]*tensor.Tensor) }
+
+// AddProximal adds the FedProx proximal gradient μ·(w − w₀) to each
+// parameter's gradient, where w₀ is the round's reference weights in Params
+// order. Used by the FedProx baseline strategy.
+func AddProximal(params []*Param, reference []*tensor.Tensor, mu float32) {
+	if len(params) != len(reference) {
+		panic(fmt.Sprintf("nn: AddProximal got %d reference tensors for %d params", len(reference), len(params)))
+	}
+	if mu == 0 {
+		return
+	}
+	for i, p := range params {
+		if p.Frozen {
+			continue
+		}
+		for j := range p.Grad.Data {
+			p.Grad.Data[j] += mu * (p.W.Data[j] - reference[i].Data[j])
+		}
+	}
+}

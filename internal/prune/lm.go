@@ -1,0 +1,169 @@
+package prune
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fedmp/internal/tensor"
+	"fedmp/internal/zoo"
+)
+
+// LMPlan records the kept hidden units of each LSTM layer of the language
+// model. Following the intrinsic-sparse-structure strategy (§VI, after Wen
+// et al.), removing hidden unit k of an LSTM removes rows {k, H+k, 2H+k,
+// 3H+k} of Wx/Wh/b, column k of Wh, and the corresponding input column of
+// the next layer. Embedding and vocabulary head are never pruned.
+type LMPlan struct {
+	Ratio        float64
+	Kept1, Kept2 []int // kept hidden units of lstm1 and lstm2, sorted
+}
+
+// LM parameter layout in nn.GetWeights order (see nn.LSTMLM):
+//
+//	0: embed/W [V,E]
+//	1: lstm1/Wx [4H,E]   2: lstm1/Wh [4H,H]   3: lstm1/b [4H]
+//	4: lstm2/Wx [4H,H]   5: lstm2/Wh [4H,H]   6: lstm2/b [4H]
+//	7: out/W [V,H]       8: out/b [V]
+const lmTensors = 9
+
+// BuildLMPlan scores each hidden unit by the l1 norm of its intrinsic
+// sparse structure (its gate rows in Wx and Wh plus its Wh recurrent
+// column) and keeps the top (1−ratio) fraction per layer.
+func BuildLMPlan(cfg zoo.LMConfig, weights []*tensor.Tensor, ratio float64) (*LMPlan, error) {
+	return BuildLMPlanJittered(cfg, weights, ratio, 0, nil)
+}
+
+// BuildLMPlanJittered is BuildLMPlan with multiplicative log-normal score
+// noise, mirroring BuildPlanJittered.
+func BuildLMPlanJittered(cfg zoo.LMConfig, weights []*tensor.Tensor, ratio, jitter float64, rng *rand.Rand) (*LMPlan, error) {
+	if ratio < 0 || ratio >= 1 {
+		return nil, fmt.Errorf("prune: LM ratio %v outside [0,1)", ratio)
+	}
+	if jitter < 0 {
+		return nil, fmt.Errorf("prune: negative score jitter %v", jitter)
+	}
+	if len(weights) != lmTensors {
+		return nil, fmt.Errorf("prune: LM weight list has %d tensors, want %d", len(weights), lmTensors)
+	}
+	h := cfg.Hidden
+	score := func(wx, wh *tensor.Tensor) []float64 {
+		scores := make([]float64, h)
+		dIn := wx.Shape[1]
+		for k := 0; k < h; k++ {
+			var s float64
+			for g := 0; g < 4; g++ {
+				row := g*h + k
+				s += tensor.AbsSumSlice(wx.Data[row*dIn : (row+1)*dIn])
+				s += tensor.AbsSumSlice(wh.Data[row*h : (row+1)*h])
+			}
+			// Recurrent column k of Wh.
+			for r := 0; r < 4*h; r++ {
+				v := wh.Data[r*h+k]
+				if v < 0 {
+					v = -v
+				}
+				s += float64(v)
+			}
+			scores[k] = s
+		}
+		return scores
+	}
+	keep := keepCount(h, ratio)
+	s1 := score(weights[1], weights[2])
+	s2 := score(weights[4], weights[5])
+	jitterScores(s1, jitter, rng)
+	jitterScores(s2, jitter, rng)
+	p := &LMPlan{
+		Ratio: ratio,
+		Kept1: topK(s1, keep),
+		Kept2: topK(s2, keep),
+	}
+	return p, nil
+}
+
+// gateRows expands kept hidden units into kept rows of a packed [4H, ·]
+// gate matrix.
+func gateRows(kept []int, h int) []int {
+	rows := make([]int, 0, 4*len(kept))
+	for g := 0; g < 4; g++ {
+		for _, k := range kept {
+			rows = append(rows, g*h+k)
+		}
+	}
+	sort.Ints(rows)
+	return rows
+}
+
+// ShrinkLM extracts the pruned language model: a smaller config plus the
+// sub-model weights.
+func ShrinkLM(cfg zoo.LMConfig, weights []*tensor.Tensor, plan *LMPlan) (zoo.LMConfig, []*tensor.Tensor, error) {
+	if len(weights) != lmTensors {
+		return cfg, nil, fmt.Errorf("prune: LM weight list has %d tensors, want %d", len(weights), lmTensors)
+	}
+	h := cfg.Hidden
+	rows1, rows2 := gateRows(plan.Kept1, h), gateRows(plan.Kept2, h)
+	allE := allIndices(cfg.Embed)
+	allV := allIndices(cfg.Vocab)
+	sub := cfg
+	sub.Hidden = len(plan.Kept1)
+	if len(plan.Kept2) != len(plan.Kept1) {
+		return cfg, nil, fmt.Errorf("prune: LM layers pruned to different widths %d vs %d",
+			len(plan.Kept1), len(plan.Kept2))
+	}
+	out := []*tensor.Tensor{
+		weights[0].Clone(),                        // embedding untouched
+		extractMat(weights[1], rows1, allE),       // lstm1/Wx
+		extractMat(weights[2], rows1, plan.Kept1), // lstm1/Wh
+		extractVec(weights[3], rows1),             // lstm1/b
+		extractMat(weights[4], rows2, plan.Kept1), // lstm2/Wx (input = lstm1 hidden)
+		extractMat(weights[5], rows2, plan.Kept2), // lstm2/Wh
+		extractVec(weights[6], rows2),             // lstm2/b
+		extractMat(weights[7], allV, plan.Kept2),  // out/W
+		weights[8].Clone(),                        // out/b untouched
+	}
+	return sub, out, nil
+}
+
+// SparseLM zeroes every pruned coordinate of the full-shape weights.
+func SparseLM(cfg zoo.LMConfig, weights []*tensor.Tensor, plan *LMPlan) ([]*tensor.Tensor, error) {
+	sub, subW, err := ShrinkLM(cfg, weights, plan)
+	if err != nil {
+		return nil, err
+	}
+	return RecoverLM(cfg, sub, subW, plan)
+}
+
+// RecoverLM scatters a sub-model back into full shape, zero elsewhere.
+func RecoverLM(cfg, subCfg zoo.LMConfig, subWeights []*tensor.Tensor, plan *LMPlan) ([]*tensor.Tensor, error) {
+	if len(subWeights) != lmTensors {
+		return nil, fmt.Errorf("prune: LM sub-model has %d tensors, want %d", len(subWeights), lmTensors)
+	}
+	if subCfg.Hidden != len(plan.Kept1) {
+		return nil, fmt.Errorf("prune: sub-model hidden %d does not match plan (%d kept)",
+			subCfg.Hidden, len(plan.Kept1))
+	}
+	h := cfg.Hidden
+	rows1, rows2 := gateRows(plan.Kept1, h), gateRows(plan.Kept2, h)
+	allE := allIndices(cfg.Embed)
+	allV := allIndices(cfg.Vocab)
+
+	out := make([]*tensor.Tensor, lmTensors)
+	out[0] = subWeights[0].Clone()
+	out[1] = tensor.New(4*h, cfg.Embed)
+	scatterMat(out[1], subWeights[1], rows1, allE)
+	out[2] = tensor.New(4*h, h)
+	scatterMat(out[2], subWeights[2], rows1, plan.Kept1)
+	out[3] = tensor.New(4 * h)
+	scatterVec(out[3], subWeights[3], rows1)
+	out[4] = tensor.New(4*h, h)
+	scatterMat(out[4], subWeights[4], rows2, plan.Kept1)
+	out[5] = tensor.New(4*h, h)
+	scatterMat(out[5], subWeights[5], rows2, plan.Kept2)
+	out[6] = tensor.New(4 * h)
+	scatterVec(out[6], subWeights[6], rows2)
+	out[7] = tensor.New(cfg.Vocab, h)
+	scatterMat(out[7], subWeights[7], allV, plan.Kept2)
+	out[8] = subWeights[8].Clone()
+	return out, nil
+}

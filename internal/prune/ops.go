@@ -1,0 +1,267 @@
+package prune
+
+import (
+	"fmt"
+
+	"fedmp/internal/tensor"
+	"fedmp/internal/zoo"
+)
+
+// Shrink physically extracts the sub-model the plan describes: a smaller
+// spec whose Out counts equal the kept-set sizes, and the corresponding
+// weight tensors copied out of the global model (§III-B: "the remaining
+// parameters of the modified global model are copied into the sub-model").
+func Shrink(spec *zoo.Spec, weights []*tensor.Tensor, plan *Plan) (*zoo.Spec, []*tensor.Tensor, error) {
+	sub := spec.Clone()
+	sub.Name = spec.Name + "-sub"
+	// Index shrunk layers by name for Out rewriting.
+	byName := map[string]*zoo.LayerSpec{}
+	indexLayers(sub.Layers, byName)
+
+	var out []*tensor.Tensor
+	err := walkPlanned(spec, weights, planChoose(plan), func(v *visit) error {
+		switch v.l.Kind {
+		case zoo.KindConv:
+			byName[v.l.Name].Out = len(v.keptOut)
+			w, b := weights[v.paramStart], weights[v.paramStart+1]
+			out = append(out, extractConv(w, v.keptOut, v.keptIn), extractVec(b, v.keptOut))
+		case zoo.KindBatchNorm:
+			for k := 0; k < 4; k++ {
+				out = append(out, extractVec(weights[v.paramStart+k], v.keptOut))
+			}
+		case zoo.KindDense:
+			byName[v.l.Name].Out = len(v.keptOut)
+			w, b := weights[v.paramStart], weights[v.paramStart+1]
+			out = append(out, extractMat(w, v.keptOut, v.keptIn), extractVec(b, v.keptOut))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("prune: shrunk spec invalid: %w", err)
+	}
+	return sub, out, nil
+}
+
+// Sparse returns global-shaped weight copies with every pruned coordinate
+// set to zero — the paper's "sparse model": same network structure as the
+// global model, logically pruned parameters zeroed.
+func Sparse(spec *zoo.Spec, weights []*tensor.Tensor, plan *Plan) ([]*tensor.Tensor, error) {
+	out := make([]*tensor.Tensor, len(weights))
+	for i, w := range weights {
+		out[i] = tensor.New(w.Shape...)
+	}
+	err := walkPlanned(spec, weights, planChoose(plan), func(v *visit) error {
+		scatterLayer(out, weights, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Recover scatters a sub-model's weights back into global shape, zero
+// elsewhere — R2SP's "model recovery" step, using the index sets the plan
+// stores on the parameter server.
+func Recover(spec *zoo.Spec, subWeights []*tensor.Tensor, plan *Plan) ([]*tensor.Tensor, error) {
+	// Allocate global-shaped outputs by walking the *global* spec.
+	var out []*tensor.Tensor
+	cursor := 0
+	err := walkPlanned(spec, nil, planChoose(plan), func(v *visit) error {
+		switch v.l.Kind {
+		case zoo.KindConv:
+			if cursor+2 > len(subWeights) {
+				return fmt.Errorf("prune: sub-model weight list too short at %q", v.l.Name)
+			}
+			w := tensor.New(v.fullOut, v.fullIn, v.l.K, v.l.K)
+			scatterConv(w, subWeights[cursor], v.keptOut, v.keptIn)
+			b := tensor.New(v.fullOut)
+			scatterVec(b, subWeights[cursor+1], v.keptOut)
+			out = append(out, w, b)
+			cursor += 2
+		case zoo.KindBatchNorm:
+			if cursor+4 > len(subWeights) {
+				return fmt.Errorf("prune: sub-model weight list too short at %q", v.l.Name)
+			}
+			for k := 0; k < 4; k++ {
+				g := tensor.New(v.fullOut)
+				scatterVec(g, subWeights[cursor+k], v.keptOut)
+				out = append(out, g)
+			}
+			cursor += 4
+		case zoo.KindDense:
+			if cursor+2 > len(subWeights) {
+				return fmt.Errorf("prune: sub-model weight list too short at %q", v.l.Name)
+			}
+			w := tensor.New(v.fullOut, v.fullIn)
+			scatterMat(w, subWeights[cursor], v.keptOut, v.keptIn)
+			b := tensor.New(v.fullOut)
+			scatterVec(b, subWeights[cursor+1], v.keptOut)
+			out = append(out, w, b)
+			cursor += 2
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cursor != len(subWeights) {
+		return nil, fmt.Errorf("prune: sub-model has %d tensors, plan implies %d", len(subWeights), cursor)
+	}
+	return out, nil
+}
+
+// ResidualOf returns global − sparse: the R2SP residual model holding the
+// global values of every pruned coordinate and zero at kept coordinates.
+func ResidualOf(global, sparse []*tensor.Tensor) []*tensor.Tensor {
+	if len(global) != len(sparse) {
+		panic(fmt.Sprintf("prune: ResidualOf length mismatch %d vs %d", len(global), len(sparse)))
+	}
+	out := make([]*tensor.Tensor, len(global))
+	for i := range global {
+		r := global[i].Clone()
+		r.Sub(sparse[i])
+		out[i] = r
+	}
+	return out
+}
+
+// PruneError returns Q = ‖x − sparse(x)‖², the pruning error of Lemma 1,
+// measuring how well the sparse model approximates the global model.
+func PruneError(global, sparse []*tensor.Tensor) float64 {
+	var q float64
+	for i := range global {
+		for j, v := range global[i].Data {
+			d := float64(v - sparse[i].Data[j])
+			q += d * d
+		}
+	}
+	return q
+}
+
+// indexLayers maps names to layer specs, recursing into residual bodies.
+func indexLayers(layers []zoo.LayerSpec, into map[string]*zoo.LayerSpec) {
+	for i := range layers {
+		into[layers[i].Name] = &layers[i]
+		if len(layers[i].Body) > 0 {
+			indexLayers(layers[i].Body, into)
+		}
+	}
+}
+
+// extractConv copies W[keptOut, keptIn, :, :] out of a [O,I,KH,KW] kernel.
+func extractConv(w *tensor.Tensor, keptOut, keptIn []int) *tensor.Tensor {
+	kh, kw := w.Shape[2], w.Shape[3]
+	inC := w.Shape[1]
+	per := kh * kw
+	out := tensor.New(len(keptOut), len(keptIn), kh, kw)
+	for oi, o := range keptOut {
+		for ii, in := range keptIn {
+			src := w.Data[(o*inC+in)*per : (o*inC+in+1)*per]
+			dst := out.Data[(oi*len(keptIn)+ii)*per : (oi*len(keptIn)+ii+1)*per]
+			copy(dst, src)
+		}
+	}
+	return out
+}
+
+// scatterConv writes sub [o,i,kh,kw] into full at (keptOut × keptIn).
+func scatterConv(full, sub *tensor.Tensor, keptOut, keptIn []int) {
+	kh, kw := full.Shape[2], full.Shape[3]
+	inC := full.Shape[1]
+	per := kh * kw
+	for oi, o := range keptOut {
+		for ii, in := range keptIn {
+			src := sub.Data[(oi*len(keptIn)+ii)*per : (oi*len(keptIn)+ii+1)*per]
+			dst := full.Data[(o*inC+in)*per : (o*inC+in+1)*per]
+			copy(dst, src)
+		}
+	}
+}
+
+// extractMat copies W[keptOut, keptIn] out of a [O,I] matrix.
+func extractMat(w *tensor.Tensor, keptOut, keptIn []int) *tensor.Tensor {
+	in := w.Shape[1]
+	out := tensor.New(len(keptOut), len(keptIn))
+	for oi, o := range keptOut {
+		row := w.Data[o*in : (o+1)*in]
+		dst := out.Data[oi*len(keptIn) : (oi+1)*len(keptIn)]
+		for ii, idx := range keptIn {
+			dst[ii] = row[idx]
+		}
+	}
+	return out
+}
+
+// scatterMat writes sub into full at (keptOut × keptIn).
+func scatterMat(full, sub *tensor.Tensor, keptOut, keptIn []int) {
+	in := full.Shape[1]
+	for oi, o := range keptOut {
+		row := full.Data[o*in : (o+1)*in]
+		src := sub.Data[oi*len(keptIn) : (oi+1)*len(keptIn)]
+		for ii, idx := range keptIn {
+			row[idx] = src[ii]
+		}
+	}
+}
+
+// extractVec copies v[kept].
+func extractVec(v *tensor.Tensor, kept []int) *tensor.Tensor {
+	out := tensor.New(len(kept))
+	for i, idx := range kept {
+		out.Data[i] = v.Data[idx]
+	}
+	return out
+}
+
+// scatterVec writes sub into full at kept.
+func scatterVec(full, sub *tensor.Tensor, kept []int) {
+	for i, idx := range kept {
+		full.Data[idx] = sub.Data[i]
+	}
+}
+
+// scatterLayer copies the kept coordinates of one layer's tensors from src
+// into dst (both global-shaped), realising the sparse model layer by layer.
+func scatterLayer(dst, src []*tensor.Tensor, v *visit) {
+	switch v.l.Kind {
+	case zoo.KindConv:
+		w := src[v.paramStart]
+		kh, kw := w.Shape[2], w.Shape[3]
+		inC := w.Shape[1]
+		per := kh * kw
+		dw := dst[v.paramStart]
+		for _, o := range v.keptOut {
+			for _, in := range v.keptIn {
+				off := (o*inC + in) * per
+				copy(dw.Data[off:off+per], w.Data[off:off+per])
+			}
+		}
+		for _, o := range v.keptOut {
+			dst[v.paramStart+1].Data[o] = src[v.paramStart+1].Data[o]
+		}
+	case zoo.KindBatchNorm:
+		for k := 0; k < 4; k++ {
+			for _, o := range v.keptOut {
+				dst[v.paramStart+k].Data[o] = src[v.paramStart+k].Data[o]
+			}
+		}
+	case zoo.KindDense:
+		w := src[v.paramStart]
+		in := w.Shape[1]
+		dw := dst[v.paramStart]
+		for _, o := range v.keptOut {
+			row := w.Data[o*in : (o+1)*in]
+			drow := dw.Data[o*in : (o+1)*in]
+			for _, idx := range v.keptIn {
+				drow[idx] = row[idx]
+			}
+		}
+		for _, o := range v.keptOut {
+			dst[v.paramStart+1].Data[o] = src[v.paramStart+1].Data[o]
+		}
+	}
+}

@@ -1,0 +1,366 @@
+// Package prune implements the structured model pruning of FedMP §III-B and
+// the model algebra R2SP (§III-C) is built on.
+//
+// A Plan records, for every parameter-carrying layer of a zoo.Spec, the
+// output structures (convolution filters, batch-norm channels, dense
+// neurons) that survive pruning at a given ratio. Importance is the l1 norm
+// of each structure's weights, every layer uses the same ratio (the paper
+// avoids layer-wise hyper-parameters), the classifier output layer is never
+// pruned, and the last convolution inside a residual block inherits the
+// block's input channel set so the identity skip stays well-formed.
+//
+// Four operations share one index walk and therefore can never disagree
+// about which coordinate belongs to which structure:
+//
+//   - Shrink: physically extract the sub-model (smaller spec + weights)
+//   - Sparse: the global-shaped model with pruned coordinates zeroed
+//   - Recover: scatter a sub-model back into global shape (zeros elsewhere)
+//   - ResidualOf: global − sparse, the R2SP auxiliary model
+//
+// The invariants Recover(Shrink(x)) == Sparse(x) and
+// Sparse(x) + ResidualOf(x) == x are property-tested.
+package prune
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fedmp/internal/tensor"
+	"fedmp/internal/zoo"
+)
+
+// Plan records the kept output indices (sorted ascending) of every
+// parameter-carrying layer, keyed by layer name. A nil plan or an absent
+// entry means "keep everything".
+type Plan struct {
+	// Model is the spec name the plan was built for.
+	Model string
+	// Ratio is the pruning ratio in [0,1) that produced the plan.
+	Ratio float64
+	// Kept maps layer name to sorted kept output indices.
+	Kept map[string][]int
+}
+
+// keepCount returns how many of n structures survive ratio.
+func keepCount(n int, ratio float64) int {
+	k := n - int(ratio*float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// visit describes one parameter-carrying layer during a planned walk, with
+// its resolved index sets.
+type visit struct {
+	l          *zoo.LayerSpec
+	paramStart int   // offset of the layer's first tensor in the weight list
+	keptOut    []int // kept output structures (filters/channels/neurons)
+	keptIn     []int // kept input coordinates of the weight matrix's 2nd dim
+	fullOut    int   // original output width
+	fullIn     int   // original input width (channels for conv, flat for dense)
+}
+
+// paramTensors returns the number of weight tensors each kind contributes,
+// mirroring the construction order in zoo.Build.
+func paramTensors(k zoo.Kind) int {
+	switch k {
+	case zoo.KindConv, zoo.KindDense:
+		return 2 // W, b
+	case zoo.KindBatchNorm:
+		return 4 // gamma, beta, running mean, running variance
+	default:
+		return 0
+	}
+}
+
+// chooseFn decides the kept output indices for a prunable layer. forced is
+// non-nil when the layer's output set is dictated by structure (the last
+// convolution of a residual body).
+type chooseFn func(v *visit, weights []*tensor.Tensor, forced []int) ([]int, error)
+
+// walkPlanned walks the spec with full index bookkeeping, calling choose for
+// every parameter-carrying layer to fix its kept output set, then fn with
+// the fully resolved visit. Both plan construction and every model-algebra
+// operation run through this single function.
+func walkPlanned(spec *zoo.Spec, weights []*tensor.Tensor, choose chooseFn, fn func(v *visit) error) error {
+	if len(spec.Layers) == 0 || spec.Layers[len(spec.Layers)-1].Kind != zoo.KindDense {
+		return fmt.Errorf("prune: spec %q must end in a dense classifier layer", spec.Name)
+	}
+	finalDense := &spec.Layers[len(spec.Layers)-1]
+
+	cursor := 0
+	// curKept tracks the surviving coordinates of the current activation:
+	// channel indices before flattening, flat feature indices after.
+	curKept := allIndices(spec.InC)
+
+	// Residual bookkeeping.
+	var blockInputKept []int
+	var forcedConv *zoo.LayerSpec
+
+	err := spec.Walk(func(l *zoo.LayerSpec, parent *zoo.LayerSpec, inC, inH, inW, inFlat int) error {
+		if parent != nil && blockInputKept == nil {
+			// First body layer of a residual block: snapshot the entry set
+			// and find the conv whose output must match it.
+			blockInputKept = append([]int(nil), curKept...)
+			forcedConv = lastConv(parent.Body)
+		}
+		if parent == nil {
+			blockInputKept, forcedConv = nil, nil
+		}
+		start := cursor
+		cursor += paramTensors(l.Kind)
+		if weights != nil && cursor > len(weights) {
+			return fmt.Errorf("prune: weight list too short at layer %q", l.Name)
+		}
+
+		switch l.Kind {
+		case zoo.KindConv:
+			v := &visit{l: l, paramStart: start, keptIn: curKept, fullOut: l.Out, fullIn: inC}
+			var forced []int
+			if l == forcedConv {
+				forced = blockInputKept
+			}
+			kept, err := choose(v, weights, forced)
+			if err != nil {
+				return err
+			}
+			v.keptOut = kept
+			if err := fn(v); err != nil {
+				return err
+			}
+			curKept = kept
+
+		case zoo.KindBatchNorm:
+			// Follows its convolution's channel set.
+			v := &visit{l: l, paramStart: start, keptOut: curKept, keptIn: nil, fullOut: inC, fullIn: 0}
+			if err := fn(v); err != nil {
+				return err
+			}
+
+		case zoo.KindGlobalAvgPool:
+			// Channels map 1:1 onto flat features; curKept carries over.
+
+		case zoo.KindFlatten:
+			// Channel c occupies the contiguous block [c·H·W, (c+1)·H·W).
+			hw := inH * inW
+			expanded := make([]int, 0, len(curKept)*hw)
+			for _, c := range curKept {
+				base := c * hw
+				for k := 0; k < hw; k++ {
+					expanded = append(expanded, base+k)
+				}
+			}
+			curKept = expanded
+
+		case zoo.KindDense:
+			v := &visit{l: l, paramStart: start, keptIn: curKept, fullOut: l.Out, fullIn: inFlat}
+			var forced []int
+			if l == finalDense {
+				forced = allIndices(l.Out)
+			}
+			kept, err := choose(v, weights, forced)
+			if err != nil {
+				return err
+			}
+			v.keptOut = kept
+			if err := fn(v); err != nil {
+				return err
+			}
+			curKept = kept
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if weights != nil && cursor != len(weights) {
+		return fmt.Errorf("prune: weight list has %d tensors, spec %q implies %d",
+			len(weights), spec.Name, cursor)
+	}
+	return nil
+}
+
+// lastConv returns the final convolution spec of a residual body, or nil.
+func lastConv(body []zoo.LayerSpec) *zoo.LayerSpec {
+	for i := len(body) - 1; i >= 0; i-- {
+		if body[i].Kind == zoo.KindConv {
+			return &body[i]
+		}
+	}
+	return nil
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// BuildPlan scores every prunable structure of the global model by l1 norm
+// and keeps the most important (1−ratio) fraction per layer, following the
+// paper's pruning strategy (§III-B). weights must be the global model's
+// parameters in nn.GetWeights order.
+func BuildPlan(spec *zoo.Spec, weights []*tensor.Tensor, ratio float64) (*Plan, error) {
+	return BuildPlanJittered(spec, weights, ratio, 0, nil)
+}
+
+// BuildPlanJittered is BuildPlan with multiplicative log-normal noise on the
+// importance scores: each structure's score is scaled by exp(jitter·N(0,1))
+// before the top-k selection. R2SP's convergence story requires that "each
+// model parameter has a chance to be trained" (§III-C); with a perfectly
+// stable importance ranking, deterministic top-k freezes the bottom
+// structures forever, so the FedMP strategy samples its per-worker plans
+// with a small jitter. jitter 0 (or a nil rng) recovers the deterministic
+// plan.
+func BuildPlanJittered(spec *zoo.Spec, weights []*tensor.Tensor, ratio, jitter float64, rng *rand.Rand) (*Plan, error) {
+	if ratio < 0 || ratio >= 1 {
+		return nil, fmt.Errorf("prune: ratio %v outside [0,1)", ratio)
+	}
+	if jitter < 0 {
+		return nil, fmt.Errorf("prune: negative score jitter %v", jitter)
+	}
+	plan := &Plan{Model: spec.Name, Ratio: ratio, Kept: map[string][]int{}}
+	choose := func(v *visit, ws []*tensor.Tensor, forced []int) ([]int, error) {
+		if forced != nil {
+			return append([]int(nil), forced...), nil
+		}
+		w := ws[v.paramStart]
+		scores, err := structureScores(v, w)
+		if err != nil {
+			return nil, err
+		}
+		jitterScores(scores, jitter, rng)
+		return topK(scores, keepCount(v.fullOut, ratio)), nil
+	}
+	record := func(v *visit) error {
+		plan.Kept[v.l.Name] = v.keptOut
+		return nil
+	}
+	if err := walkPlanned(spec, weights, choose, record); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// jitterScores applies multiplicative log-normal noise in place.
+func jitterScores(scores []float64, jitter float64, rng *rand.Rand) {
+	if jitter == 0 || rng == nil {
+		return
+	}
+	for i := range scores {
+		scores[i] *= math.Exp(jitter * rng.NormFloat64())
+	}
+}
+
+// structureScores computes the l1 importance of each output structure: the
+// sum of absolute kernel weights per filter (conv) or absolute incoming
+// weights per neuron (dense), per the paper.
+func structureScores(v *visit, w *tensor.Tensor) ([]float64, error) {
+	switch v.l.Kind {
+	case zoo.KindConv:
+		if len(w.Shape) != 4 || w.Shape[0] != v.fullOut {
+			return nil, fmt.Errorf("prune: conv %q weight shape %v", v.l.Name, w.Shape)
+		}
+		per := w.Shape[1] * w.Shape[2] * w.Shape[3]
+		scores := make([]float64, v.fullOut)
+		for i := range scores {
+			scores[i] = tensor.AbsSumSlice(w.Data[i*per : (i+1)*per])
+		}
+		return scores, nil
+	case zoo.KindDense:
+		if len(w.Shape) != 2 || w.Shape[0] != v.fullOut {
+			return nil, fmt.Errorf("prune: dense %q weight shape %v", v.l.Name, w.Shape)
+		}
+		in := w.Shape[1]
+		scores := make([]float64, v.fullOut)
+		for i := range scores {
+			scores[i] = tensor.AbsSumSlice(w.Data[i*in : (i+1)*in])
+		}
+		return scores, nil
+	default:
+		return nil, fmt.Errorf("prune: no scores for layer kind %v", v.l.Kind)
+	}
+}
+
+// topK returns the indices of the k largest scores, sorted ascending.
+// Ties break toward the lower index, so plans are deterministic.
+func topK(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	kept := append([]int(nil), idx[:k]...)
+	sort.Ints(kept)
+	return kept
+}
+
+// planChoose returns a chooseFn that reads kept sets from an existing plan,
+// validating structural constraints as it goes.
+func planChoose(plan *Plan) chooseFn {
+	return func(v *visit, _ []*tensor.Tensor, forced []int) ([]int, error) {
+		kept, ok := plan.Kept[v.l.Name]
+		if !ok {
+			return nil, fmt.Errorf("prune: plan has no entry for layer %q", v.l.Name)
+		}
+		if forced != nil && !equalInts(kept, forced) {
+			return nil, fmt.Errorf("prune: plan entry for %q violates a structural constraint", v.l.Name)
+		}
+		for i, x := range kept {
+			if x < 0 || x >= v.fullOut || (i > 0 && kept[i-1] >= x) {
+				return nil, fmt.Errorf("prune: plan entry for %q is not a sorted subset of [0,%d)", v.l.Name, v.fullOut)
+			}
+		}
+		return kept, nil
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// KeptFraction returns the fraction of the model's scalar parameters the
+// plan retains; 1−KeptFraction is the realised parameter-level pruning rate
+// (it differs from Ratio because inputs and outputs prune jointly).
+func KeptFraction(spec *zoo.Spec, weights []*tensor.Tensor, plan *Plan) (float64, error) {
+	var total, kept int
+	err := walkPlanned(spec, weights, planChoose(plan), func(v *visit) error {
+		switch v.l.Kind {
+		case zoo.KindConv:
+			w := weights[v.paramStart]
+			per := w.Shape[2] * w.Shape[3]
+			total += w.Size() + v.fullOut
+			kept += len(v.keptOut)*len(v.keptIn)*per + len(v.keptOut)
+		case zoo.KindBatchNorm:
+			total += 4 * v.fullOut
+			kept += 4 * len(v.keptOut)
+		case zoo.KindDense:
+			total += v.fullOut*v.fullIn + v.fullOut
+			kept += len(v.keptOut)*len(v.keptIn) + len(v.keptOut)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 1, nil
+	}
+	return float64(kept) / float64(total), nil
+}

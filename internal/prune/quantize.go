@@ -1,0 +1,95 @@
+package prune
+
+import (
+	"fmt"
+	"math"
+
+	"fedmp/internal/tensor"
+)
+
+// Quantized is a residual model stored with 8-bit linear quantization.
+// §III-C of the paper notes the PS can "quantize each parameter in residual
+// models with fewer bits to further reduce the memory overhead"; this is
+// that mechanism. Each tensor is quantized symmetrically with one float32
+// scale (q = round(x/scale), x̂ = q·scale).
+type Quantized struct {
+	shapes [][]int
+	scales []float32
+	data   [][]int8
+}
+
+// QuantizeResiduals quantizes a residual model to int8.
+func QuantizeResiduals(ws []*tensor.Tensor) *Quantized {
+	q := &Quantized{
+		shapes: make([][]int, len(ws)),
+		scales: make([]float32, len(ws)),
+		data:   make([][]int8, len(ws)),
+	}
+	for i, w := range ws {
+		q.shapes[i] = append([]int(nil), w.Shape...)
+		scale := w.MaxAbs() / 127
+		q.scales[i] = scale
+		d := make([]int8, len(w.Data))
+		if scale > 0 {
+			inv := 1 / scale
+			for j, v := range w.Data {
+				r := math.Round(float64(v * inv))
+				if r > 127 {
+					r = 127
+				} else if r < -127 {
+					r = -127
+				}
+				d[j] = int8(r)
+			}
+		}
+		q.data[i] = d
+	}
+	return q
+}
+
+// Dequantize reconstructs the float32 residual model.
+func (q *Quantized) Dequantize() []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(q.data))
+	for i, d := range q.data {
+		t := tensor.New(q.shapes[i]...)
+		scale := q.scales[i]
+		for j, v := range d {
+			t.Data[j] = float32(v) * scale
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// Bytes returns the quantized storage footprint (1 byte per element plus a
+// 4-byte scale per tensor).
+func (q *Quantized) Bytes() int64 {
+	var n int64
+	for _, d := range q.data {
+		n += int64(len(d))
+	}
+	return n + int64(4*len(q.scales))
+}
+
+// MaxError returns the largest absolute reconstruction error against the
+// original model (diagnostic; bounded by scale/2 per tensor).
+func (q *Quantized) MaxError(orig []*tensor.Tensor) (float32, error) {
+	if len(orig) != len(q.data) {
+		return 0, fmt.Errorf("prune: MaxError against %d tensors, have %d", len(orig), len(q.data))
+	}
+	var worst float32
+	for i, w := range orig {
+		scale := q.scales[i]
+		for j, v := range w.Data {
+			r := float32(q.data[i][j]) * scale
+			d := v - r
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,81 @@
+package prune
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedmp/internal/tensor"
+)
+
+func TestQuantizeRoundTripAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ws := []*tensor.Tensor{
+		tensor.RandN(rng, 10, 20),
+		tensor.RandN(rng, 33),
+		tensor.New(5), // all zeros: scale 0 must not divide by zero
+	}
+	q := QuantizeResiduals(ws)
+	rec := q.Dequantize()
+	for i := range ws {
+		if !tensor.SameShape(ws[i], rec[i]) {
+			t.Fatalf("tensor %d: shape changed", i)
+		}
+	}
+	worst, err := q.MaxError(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error is bounded by half a quantization step per tensor.
+	var maxStep float32
+	for _, w := range ws {
+		step := w.MaxAbs() / 127
+		if step > maxStep {
+			maxStep = step
+		}
+	}
+	if worst > maxStep {
+		t.Errorf("max error %v exceeds one step %v", worst, maxStep)
+	}
+}
+
+func TestQuantizeBytes(t *testing.T) {
+	ws := []*tensor.Tensor{tensor.New(100), tensor.New(50)}
+	q := QuantizeResiduals(ws)
+	if got := q.Bytes(); got != 150+8 {
+		t.Errorf("Bytes = %d, want 158", got)
+	}
+	// 8-bit storage is ~4x smaller than float32.
+	var f32 int64
+	for _, w := range ws {
+		f32 += int64(4 * w.Size())
+	}
+	if q.Bytes()*3 > f32 {
+		t.Errorf("quantized %d bytes not well below float32 %d", q.Bytes(), f32)
+	}
+}
+
+func TestQuantizeErrorBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := tensor.RandN(rng, 1+rng.Intn(64))
+		w.Scale(float32(rng.Float64()*10 + 0.01))
+		q := QuantizeResiduals([]*tensor.Tensor{w})
+		worst, err := q.MaxError([]*tensor.Tensor{w})
+		if err != nil {
+			return false
+		}
+		step := w.MaxAbs() / 127
+		return worst <= step*0.51+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxErrorLengthMismatch(t *testing.T) {
+	q := QuantizeResiduals([]*tensor.Tensor{tensor.New(3)})
+	if _, err := q.MaxError([]*tensor.Tensor{tensor.New(3), tensor.New(3)}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

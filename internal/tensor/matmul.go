@@ -1,0 +1,127 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for A of shape [m,k] and B of shape [k,n],
+// returning a new [m,n] tensor. The kernel uses the i-k-j loop order so the
+// innermost loop streams both B and C rows sequentially, which is the main
+// thing that matters for throughput in pure Go.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul("MatMul", a, b)
+	c := New(m, n)
+	matMulInto(c.Data, a.Data, b.Data, m, k, n, false)
+	return c
+}
+
+// MatMulInto computes C = A·B (or C += A·B when accumulate is true) into an
+// existing [m,n] tensor, avoiding the allocation in hot training loops.
+func MatMulInto(c, a, b *Tensor, accumulate bool) {
+	m, k, n := checkMatMul("MatMulInto", a, b)
+	if len(c.Shape) != 2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", c.Shape, m, n))
+	}
+	matMulInto(c.Data, a.Data, b.Data, m, k, n, accumulate)
+}
+
+func checkMatMul(op string, a, b *Tensor) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires rank-2 operands, got %v and %v", op, a.Shape, b.Shape))
+	}
+	if a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: %s inner dimensions differ: %v vs %v", op, a.Shape, b.Shape))
+	}
+	return a.Shape[0], a.Shape[1], b.Shape[1]
+}
+
+func matMulInto(c, a, b []float32, m, k, n int, accumulate bool) {
+	if !accumulate {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	}
+	for i := 0; i < m; i++ {
+		ci := c[i*n : i*n+n]
+		ai := a[i*k : i*k+k]
+		for p := 0; p < k; p++ {
+			aip := ai[p]
+			if aip == 0 {
+				continue
+			}
+			bp := b[p*n : p*n+n]
+			for j, bv := range bp {
+				ci[j] += aip * bv
+			}
+		}
+	}
+}
+
+// MatMulTA computes C = Aᵀ·B for A of shape [k,m] and B of shape [k,n],
+// returning [m,n]. Used for weight gradients (dW = Xᵀ·dY).
+func MatMulTA(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTA requires rank-2 operands, got %v and %v", a.Shape, b.Shape))
+	}
+	if a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTA leading dimensions differ: %v vs %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : p*m+m]
+		bp := b.Data[p*n : p*n+n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c.Data[i*n : i*n+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTB computes C = A·Bᵀ for A of shape [m,k] and B of shape [n,k],
+// returning [m,n]. Used for input gradients (dX = dY·Wᵀ when W is [out,in]).
+func MatMulTB(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTB requires rank-2 operands, got %v and %v", a.Shape, b.Shape))
+	}
+	if a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTB trailing dimensions differ: %v vs %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : i*k+k]
+		ci := c.Data[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : j*k+k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+	return c
+}
+
+// MatVec computes y = A·x for A of shape [m,n] and x of length n.
+func MatVec(a *Tensor, x []float32) []float32 {
+	if len(a.Shape) != 2 || a.Shape[1] != len(x) {
+		panic(fmt.Sprintf("tensor: MatVec shape %v with vector length %d", a.Shape, len(x)))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	y := make([]float32, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : i*n+n]
+		var s float32
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}

@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is the reference implementation the optimised kernels are
+// checked against.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += float64(a.At(i, p)) * float64(b.At(p, j))
+			}
+			c.Set(float32(s), i, j)
+		}
+	}
+	return c
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := FromSlice([]float32{58, 64, 139, 154}, 2, 2)
+	if !Equal(c, want) {
+		t.Fatalf("MatMul = %v, want %v", c.Data, want.Data)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandN(rng, 5, 5)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(1, i, i)
+	}
+	if c := MatMul(a, id); !AllClose(c, a, 1e-6) {
+		t.Error("A·I != A")
+	}
+	if c := MatMul(id, a); !AllClose(c, a, 1e-6) {
+		t.Error("I·A != A")
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 3}, {16, 16, 16}, {1, 10, 1}, {13, 1, 13}} {
+		a := RandN(rng, dims[0], dims[1])
+		b := RandN(rng, dims[1], dims[2])
+		got, want := MatMul(a, b), naiveMatMul(a, b)
+		if !AllClose(got, want, 1e-4) {
+			t.Errorf("MatMul dims %v mismatch", dims)
+		}
+	}
+}
+
+func TestMatMulInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b := RandN(rng, 4, 6), RandN(rng, 6, 5)
+	c := New(4, 5)
+	MatMulInto(c, a, b, false)
+	if !AllClose(c, naiveMatMul(a, b), 1e-4) {
+		t.Error("MatMulInto (overwrite) mismatch")
+	}
+	// Accumulate doubles the result.
+	MatMulInto(c, a, b, true)
+	twice := naiveMatMul(a, b)
+	twice.Scale(2)
+	if !AllClose(c, twice, 1e-4) {
+		t.Error("MatMulInto (accumulate) mismatch")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	a, b := New(2, 3), New(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul with bad inner dims did not panic")
+		}
+	}()
+	MatMul(a, b)
+}
+
+func TestMatMulTA(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := RandN(rng, 6, 4), RandN(rng, 6, 5)
+	got := MatMulTA(a, b)
+	// Compare against explicit transpose.
+	at := New(4, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			at.Set(a.At(i, j), j, i)
+		}
+	}
+	if !AllClose(got, naiveMatMul(at, b), 1e-4) {
+		t.Error("MatMulTA mismatch")
+	}
+}
+
+func TestMatMulTB(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := RandN(rng, 3, 7), RandN(rng, 5, 7)
+	got := MatMulTB(a, b)
+	bt := New(7, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 7; j++ {
+			bt.Set(b.At(i, j), j, i)
+		}
+	}
+	if !AllClose(got, naiveMatMul(a, bt), 1e-4) {
+		t.Error("MatMulTB mismatch")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := MatVec(a, []float32{1, 0, -1})
+	if y[0] != -2 || y[1] != -2 {
+		t.Fatalf("MatVec = %v, want [-2 -2]", y)
+	}
+}
+
+// Property: (A·B)·C == A·(B·C) within float tolerance, for random small dims.
+func TestMatMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n, p := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a, b, c := RandN(rng, m, k), RandN(rng, k, n), RandN(rng, n, p)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return AllClose(left, right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MatMul distributes over addition: A·(B+C) == A·B + A·C.
+func TestMatMulDistributivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a, b, c := RandN(r, m, k), RandN(r, k, n), RandN(r, k, n)
+		bc := b.Clone()
+		bc.Add(c)
+		left := MatMul(a, bc)
+		right := MatMul(a, b)
+		right.Add(MatMul(a, c))
+		return AllClose(left, right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

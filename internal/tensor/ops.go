@@ -1,0 +1,189 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// checkSame panics unless a and b have the same number of elements. Shape
+// equality is deliberately not required: element-wise kernels are frequently
+// applied across reshaped views of the same buffer.
+func checkSame(op string, a, b *Tensor) {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: %s size mismatch: %v vs %v", op, a.Shape, b.Shape))
+	}
+}
+
+// Add computes t += other element-wise.
+func (t *Tensor) Add(other *Tensor) {
+	checkSame("Add", t, other)
+	for i, v := range other.Data {
+		t.Data[i] += v
+	}
+}
+
+// Sub computes t -= other element-wise.
+func (t *Tensor) Sub(other *Tensor) {
+	checkSame("Sub", t, other)
+	for i, v := range other.Data {
+		t.Data[i] -= v
+	}
+}
+
+// Mul computes t *= other element-wise (Hadamard product).
+func (t *Tensor) Mul(other *Tensor) {
+	checkSame("Mul", t, other)
+	for i, v := range other.Data {
+		t.Data[i] *= v
+	}
+}
+
+// Scale computes t *= s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AddScaled computes t += s*other (axpy).
+func (t *Tensor) AddScaled(s float32, other *Tensor) {
+	checkSame("AddScaled", t, other)
+	for i, v := range other.Data {
+		t.Data[i] += s * v
+	}
+}
+
+// AddScalar computes t += s element-wise.
+func (t *Tensor) AddScalar(s float32) {
+	for i := range t.Data {
+		t.Data[i] += s
+	}
+}
+
+// Sum returns the sum of all elements, accumulated in float64 to limit
+// rounding drift on large tensors.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// AbsSum returns the l1-norm of the whole tensor. Structured pruning uses
+// row/column slices of Data with AbsSumSlice; this whole-tensor variant is
+// used for layer-level statistics.
+func (t *Tensor) AbsSum() float64 {
+	return AbsSumSlice(t.Data)
+}
+
+// AbsSumSlice returns the sum of absolute values of xs.
+func AbsSumSlice(xs []float32) float64 {
+	var s float64
+	for _, v := range xs {
+		if v < 0 {
+			s -= float64(v)
+		} else {
+			s += float64(v)
+		}
+	}
+	return s
+}
+
+// SqNorm returns the squared l2-norm of the whole tensor.
+func (t *Tensor) SqNorm() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return s
+}
+
+// Norm returns the l2-norm of the whole tensor.
+func (t *Tensor) Norm() float64 { return math.Sqrt(t.SqNorm()) }
+
+// Dot returns the inner product of a and b viewed as flat vectors.
+func Dot(a, b *Tensor) float64 {
+	checkSame("Dot", a, b)
+	var s float64
+	for i, v := range a.Data {
+		s += float64(v) * float64(b.Data[i])
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for empty tensors.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the maximum element of xs. Ties resolve to the
+// first maximal index. Panics on an empty slice.
+func ArgMax(xs []float32) int {
+	if len(xs) == 0 {
+		panic("tensor: ArgMax of empty slice")
+	}
+	best, bi := xs[0], 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > best {
+			best, bi = xs[i], i
+		}
+	}
+	return bi
+}
+
+// Clip bounds every element of t into [-limit, limit]. Used for gradient
+// clipping in the recurrent models, where exploding gradients are otherwise
+// routine.
+func (t *Tensor) Clip(limit float32) {
+	if limit <= 0 {
+		panic("tensor: Clip limit must be positive")
+	}
+	for i, v := range t.Data {
+		if v > limit {
+			t.Data[i] = limit
+		} else if v < -limit {
+			t.Data[i] = -limit
+		}
+	}
+}
+
+// Equal reports whether a and b have the same shape and identical elements.
+func Equal(a, b *Tensor) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether a and b have the same shape and all elements are
+// within tol of each other.
+func AllClose(a, b *Tensor, tol float32) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,323 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndSize(t *testing.T) {
+	cases := []struct {
+		shape []int
+		size  int
+	}{
+		{[]int{}, 1},
+		{[]int{0}, 0},
+		{[]int{3}, 3},
+		{[]int{2, 3}, 6},
+		{[]int{2, 3, 4}, 24},
+		{[]int{1, 1, 1, 1}, 1},
+	}
+	for _, c := range cases {
+		tt := New(c.shape...)
+		if tt.Size() != c.size {
+			t.Errorf("New(%v).Size() = %d, want %d", c.shape, tt.Size(), c.size)
+		}
+		if tt.Rank() != len(c.shape) {
+			t.Errorf("New(%v).Rank() = %d, want %d", c.shape, tt.Rank(), len(c.shape))
+		}
+		for _, v := range tt.Data {
+			if v != 0 {
+				t.Errorf("New(%v) not zero-filled", c.shape)
+			}
+		}
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with negative dim did not panic")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFull(t *testing.T) {
+	tt := Full(2.5, 2, 2)
+	for _, v := range tt.Data {
+		if v != 2.5 {
+			t.Fatalf("Full element = %v, want 2.5", v)
+		}
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float32{1, 2, 3, 4, 5, 6}
+	tt := FromSlice(d, 2, 3)
+	if tt.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", tt.At(1, 2))
+	}
+	if tt.At(0, 1) != 2 {
+		t.Errorf("At(0,1) = %v, want 2", tt.At(0, 1))
+	}
+	// Views share data.
+	tt.Set(99, 0, 0)
+	if d[0] != 99 {
+		t.Error("FromSlice should not copy the slice")
+	}
+}
+
+func TestFromSliceBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := a.Clone()
+	b.Data[0] = 42
+	if a.Data[0] != 1 {
+		t.Error("Clone shares underlying data")
+	}
+	if !SameShape(a, b) {
+		t.Error("Clone changed shape")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	if b.At(2, 1) != 6 {
+		t.Errorf("reshaped At(2,1) = %v, want 6", b.At(2, 1))
+	}
+	b.Set(-1, 0, 0)
+	if a.At(0, 0) != -1 {
+		t.Error("Reshape must be a view sharing data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reshape to wrong size did not panic")
+		}
+	}()
+	a.Reshape(4, 2)
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	a := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	a.At(2, 0)
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	a.Add(b)
+	want := []float32{5, 7, 9}
+	for i := range want {
+		if a.Data[i] != want[i] {
+			t.Fatalf("Add: got %v, want %v", a.Data, want)
+		}
+	}
+	a.Sub(b)
+	for i, w := range []float32{1, 2, 3} {
+		if a.Data[i] != w {
+			t.Fatalf("Sub: got %v", a.Data)
+		}
+	}
+	a.Mul(b)
+	for i, w := range []float32{4, 10, 18} {
+		if a.Data[i] != w {
+			t.Fatalf("Mul: got %v", a.Data)
+		}
+	}
+	a.Scale(0.5)
+	for i, w := range []float32{2, 5, 9} {
+		if a.Data[i] != w {
+			t.Fatalf("Scale: got %v", a.Data)
+		}
+	}
+	a.AddScaled(2, b)
+	for i, w := range []float32{10, 15, 21} {
+		if a.Data[i] != w {
+			t.Fatalf("AddScaled: got %v", a.Data)
+		}
+	}
+	a.AddScalar(-10)
+	for i, w := range []float32{0, 5, 11} {
+		if a.Data[i] != w {
+			t.Fatalf("AddScalar: got %v", a.Data)
+		}
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	a, b := New(3), New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched sizes did not panic")
+		}
+	}()
+	a.Add(b)
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float32{-1, 2, -3}, 3)
+	if got := a.Sum(); got != -2 {
+		t.Errorf("Sum = %v, want -2", got)
+	}
+	if got := a.AbsSum(); got != 6 {
+		t.Errorf("AbsSum = %v, want 6", got)
+	}
+	if got := a.SqNorm(); got != 14 {
+		t.Errorf("SqNorm = %v, want 14", got)
+	}
+	if got := a.Norm(); math.Abs(got-math.Sqrt(14)) > 1e-12 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.MaxAbs(); got != 3 {
+		t.Errorf("MaxAbs = %v, want 3", got)
+	}
+	b := FromSlice([]float32{1, 1, 1}, 3)
+	if got := Dot(a, b); got != -2 {
+		t.Errorf("Dot = %v, want -2", got)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	cases := []struct {
+		xs   []float32
+		want int
+	}{
+		{[]float32{1}, 0},
+		{[]float32{1, 3, 2}, 1},
+		{[]float32{-5, -1, -3}, 1},
+		{[]float32{2, 2, 2}, 0}, // ties resolve to first
+		{[]float32{0, 0, 1, 1}, 2},
+	}
+	for _, c := range cases {
+		if got := ArgMax(c.xs); got != c.want {
+			t.Errorf("ArgMax(%v) = %d, want %d", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestClip(t *testing.T) {
+	a := FromSlice([]float32{-10, -0.5, 0.5, 10}, 4)
+	a.Clip(1)
+	want := []float32{-1, -0.5, 0.5, 1}
+	for i := range want {
+		if a.Data[i] != want[i] {
+			t.Fatalf("Clip: got %v, want %v", a.Data, want)
+		}
+	}
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1, 2}, 2)
+	c := FromSlice([]float32{1, 2.0001}, 2)
+	d := FromSlice([]float32{1, 2}, 1, 2)
+	if !Equal(a, b) {
+		t.Error("Equal(a,b) = false")
+	}
+	if Equal(a, c) {
+		t.Error("Equal(a,c) = true")
+	}
+	if Equal(a, d) {
+		t.Error("Equal should require identical shape")
+	}
+	if !AllClose(a, c, 1e-3) {
+		t.Error("AllClose(a,c,1e-3) = false")
+	}
+	if AllClose(a, c, 1e-6) {
+		t.Error("AllClose(a,c,1e-6) = true")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	if !a.IsFinite() {
+		t.Error("finite tensor reported non-finite")
+	}
+	a.Data[1] = float32(math.NaN())
+	if a.IsFinite() {
+		t.Error("NaN tensor reported finite")
+	}
+	a.Data[1] = float32(math.Inf(1))
+	if a.IsFinite() {
+		t.Error("Inf tensor reported finite")
+	}
+}
+
+func TestZeroAndFill(t *testing.T) {
+	a := Full(3, 4)
+	a.Zero()
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("Zero did not clear")
+		}
+	}
+	a.Fill(7)
+	for _, v := range a.Data {
+		if v != 7 {
+			t.Fatal("Fill did not set")
+		}
+	}
+}
+
+func TestRandNDeterminism(t *testing.T) {
+	a := RandN(rand.New(rand.NewSource(7)), 100)
+	b := RandN(rand.New(rand.NewSource(7)), 100)
+	if !Equal(a, b) {
+		t.Error("RandN with same seed should be identical")
+	}
+	c := RandN(rand.New(rand.NewSource(8)), 100)
+	if Equal(a, c) {
+		t.Error("RandN with different seeds should differ")
+	}
+}
+
+func TestHeInitScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fanIn := 200
+	a := HeInit(rng, fanIn, 50, fanIn)
+	var ss float64
+	for _, v := range a.Data {
+		ss += float64(v) * float64(v)
+	}
+	std := math.Sqrt(ss / float64(a.Size()))
+	want := math.Sqrt(2.0 / float64(fanIn))
+	if math.Abs(std-want)/want > 0.1 {
+		t.Errorf("He std = %v, want ~%v", std, want)
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := XavierInit(rng, 10, 20, 10, 20)
+	limit := float32(math.Sqrt(6.0 / 30.0))
+	for _, v := range a.Data {
+		if v < -limit || v >= limit {
+			t.Fatalf("Xavier element %v outside [-%v, %v)", v, limit, limit)
+		}
+	}
+}
+
+func TestRandUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandUniform(rng, -2, 5, 1000)
+	for _, v := range a.Data {
+		if v < -2 || v >= 5 {
+			t.Fatalf("uniform sample %v outside [-2,5)", v)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"fedmp/internal/core"
+	"fedmp/internal/data"
+)
+
+// deadAfterWorker behaves like a normal worker for a number of rounds, then
+// closes its connection mid-training.
+func deadAfterWorker(t *testing.T, fam *core.ImageFamily, addr string, src core.Source, dieAfter int) {
+	t.Helper()
+	c, err := dial(addr)
+	if err != nil {
+		t.Errorf("flaky worker dial: %v", err)
+		return
+	}
+	defer c.close()
+	if err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: "flaky"}}); err != nil {
+		t.Errorf("flaky hello: %v", err)
+		return
+	}
+	for served := 0; ; served++ {
+		e, err := c.recv(30 * time.Second)
+		if err != nil || e.Kind != kindAssign {
+			return // shutdown or our own closed conn
+		}
+		if served >= dieAfter {
+			return // die without answering
+		}
+		res, err := trainAssignment(fam, src, e.Assign, WorkerConfig{LR: 0.05, Momentum: 0.9})
+		if err != nil {
+			t.Errorf("flaky train: %v", err)
+			return
+		}
+		if err := c.send(&envelope{Kind: kindResult, Result: res}); err != nil {
+			return
+		}
+	}
+}
+
+// TestServerSurvivesWorkerDeath runs three workers, kills one after two
+// rounds, and verifies the server completes the full schedule with the
+// remaining two.
+func TestServerSurvivesWorkerDeath(t *testing.T) {
+	fam := testFamily()
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	const rounds = 5
+	part := data.PartitionIID(fam.DS, 3, rand.New(rand.NewSource(1)))
+	for i := 0; i < 2; i++ {
+		src := data.NewLoader(fam.DS, part[i], 4, rand.New(rand.NewSource(int64(i)+50)))
+		go func(src core.Source) {
+			_ = RunWorker(fam, src, WorkerConfig{Addr: addr, Name: "steady"})
+		}(src)
+	}
+	flakySrc := data.NewLoader(fam.DS, part[2], 4, rand.New(rand.NewSource(60)))
+	go deadAfterWorker(t, fam, addr, flakySrc, 2)
+
+	res, err := Serve(fam, ServerConfig{
+		Addr:         addr,
+		Workers:      3,
+		Rounds:       rounds,
+		RoundTimeout: 10 * time.Second,
+		Core: core.Config{
+			Strategy:   core.StrategySynFL,
+			Rounds:     rounds,
+			LocalIters: 1,
+			BatchSize:  4,
+			EvalLimit:  40,
+			Seed:       4,
+		},
+	})
+	if err != nil {
+		t.Fatalf("server did not survive a worker death: %v", err)
+	}
+	if res.Rounds != rounds {
+		t.Errorf("completed %d rounds, want %d", res.Rounds, rounds)
+	}
+}

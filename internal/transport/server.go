@@ -1,0 +1,241 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"time"
+
+	"fedmp/internal/core"
+	"fedmp/internal/nn"
+)
+
+// ServerConfig parameterises a parameter server.
+type ServerConfig struct {
+	// Addr is the listen address, e.g. ":7070" (":0" for an ephemeral
+	// port in tests).
+	Addr string
+	// Workers is the number of workers to wait for before training.
+	Workers int
+	// Rounds is the number of global rounds to run.
+	Rounds int
+	// RoundTimeout bounds how long the server waits for one worker's
+	// result each round; a worker exceeding it is dropped for the round.
+	RoundTimeout time.Duration
+	// Core carries the strategy and hyper-parameters; its Workers field is
+	// overwritten by this config's.
+	Core core.Config
+	// Logf receives progress lines (nil silences logging).
+	Logf func(format string, args ...any)
+}
+
+// Serve runs the parameter server end to end: it accepts the configured
+// number of workers, runs the rounds and shuts the workers down, returning
+// the evaluation trajectory. It reuses the simulation's strategies verbatim;
+// only the time source differs (wall clock instead of the cluster model).
+func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("transport: server needs at least one worker")
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("transport: server needs at least one round")
+	}
+	if cfg.RoundTimeout == 0 {
+		cfg.RoundTimeout = 2 * time.Minute
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	coreCfg := cfg.Core
+	coreCfg.Workers = cfg.Workers
+	if coreCfg.Rounds == 0 {
+		coreCfg.Rounds = cfg.Rounds
+	}
+	coreCfg, err := core.Normalize(coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	strategy, err := core.NewStrategy(fam, &coreCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	logf("parameter server listening on %s, waiting for %d workers", ln.Addr(), cfg.Workers)
+
+	conns := make([]*conn, 0, cfg.Workers)
+	defer func() {
+		for _, c := range conns {
+			_ = c.send(&envelope{Kind: kindShutdown, Shutdown: &shutdownMsg{Reason: "done"}})
+			_ = c.close()
+		}
+	}()
+	for len(conns) < cfg.Workers {
+		raw, err := ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		c := newConn(raw)
+		e, err := c.recv(ioTimeout)
+		if err != nil || e.Kind != kindHello {
+			_ = c.close()
+			logf("rejecting connection %v: bad hello", raw.RemoteAddr())
+			continue
+		}
+		logf("worker %d joined: %s (%v)", len(conns), e.Hello.Name, raw.RemoteAddr())
+		conns = append(conns, c)
+	}
+
+	global := fam.InitWeights(coreCfg.Seed)
+	evalNet, err := fam.BuildNet(fam.FullDesc(), coreCfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	testB := fam.TestBatch(coreCfg.EvalLimit)
+
+	res := &core.Result{
+		Config:           coreCfg,
+		TimeToTargetAcc:  math.Inf(1),
+		TimeToTargetLoss: math.Inf(1),
+	}
+	start := time.Now()
+	prevLoss := math.NaN()
+	prevTimes := make([]float64, cfg.Workers)
+	prevComm := make([]float64, cfg.Workers)
+	var roundSum float64
+
+	evaluate := func(round int) core.Point {
+		nn.SetWeights(evalNet, global)
+		loss, acc := core.EvalChunked(evalNet, testB, 64)
+		p := core.Point{Round: round, Time: time.Since(start).Seconds(), Loss: loss, Acc: acc}
+		res.Points = append(res.Points, p)
+		return p
+	}
+	evaluate(0)
+
+	alive := make([]bool, cfg.Workers)
+	for i := range alive {
+		alive[i] = true
+	}
+	liveWorkers := func() []int {
+		var out []int
+		for i, ok := range alive {
+			if ok {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for round := 1; round <= coreCfg.Rounds; round++ {
+		workerIDs := liveWorkers()
+		if len(workerIDs) == 0 {
+			return nil, fmt.Errorf("transport: every worker has disconnected")
+		}
+		mean := 0.0
+		if round > 1 {
+			mean = roundSum / float64(round-1)
+		}
+		info := &core.RoundInfo{
+			Round:         round,
+			Global:        global,
+			PrevLoss:      prevLoss,
+			PrevTimes:     append([]float64(nil), prevTimes...),
+			PrevCommTimes: append([]float64(nil), prevComm...),
+			MeanRoundTime: mean,
+		}
+		assignments, err := strategy.Assign(info, workerIDs)
+		if err != nil {
+			return nil, err
+		}
+		sentAt := make([]time.Time, len(assignments))
+		var dropped []core.Assignment
+		sent := make([]bool, len(assignments))
+		for i, a := range assignments {
+			msg := &assignMsg{
+				Round:   round,
+				Desc:    a.Desc,
+				Weights: a.Weights,
+				Iters:   a.Iters,
+				ProxMu:  a.ProxMu,
+				UploadK: a.UploadK,
+				Ratio:   a.Ratio,
+			}
+			sentAt[i] = time.Now()
+			if err := conns[a.Worker].send(&envelope{Kind: kindAssign, Assign: msg}); err != nil {
+				logf("round %d: worker %d unreachable, removing (%v)", round, a.Worker, err)
+				alive[a.Worker] = false
+				dropped = append(dropped, a)
+				continue
+			}
+			sent[i] = true
+		}
+		outs := make([]core.Output, 0, len(assignments))
+		roundStart := time.Now()
+		for i, a := range assignments {
+			if !sent[i] {
+				continue
+			}
+			e, err := conns[a.Worker].recv(cfg.RoundTimeout)
+			if err != nil || e.Kind != kindResult || e.Result.Round != round {
+				logf("round %d: dropping worker %d (%v)", round, a.Worker, err)
+				alive[a.Worker] = false
+				dropped = append(dropped, a)
+				continue
+			}
+			total := time.Since(sentAt[i]).Seconds()
+			comm := total - e.Result.CompSeconds
+			if comm < 0 {
+				comm = 0
+			}
+			o := core.Output{
+				Assignment: a,
+				NewWeights: e.Result.Weights,
+				Update:     e.Result.Update,
+				TrainLoss:  e.Result.TrainLoss,
+				CompTime:   e.Result.CompSeconds,
+				CommTime:   comm,
+				Total:      total,
+				DownBytes:  nn.WeightsBytes(a.Weights),
+			}
+			if o.NewWeights != nil {
+				o.UpBytes = nn.WeightsBytes(o.NewWeights)
+			}
+			outs = append(outs, o)
+			prevTimes[a.Worker] = total
+			prevComm[a.Worker] = comm
+		}
+		if len(outs) == 0 {
+			return nil, fmt.Errorf("transport: round %d lost every worker", round)
+		}
+
+		global, err = strategy.Aggregate(info, outs, dropped)
+		if err != nil {
+			return nil, err
+		}
+		roundTime := time.Since(roundStart).Seconds()
+		roundSum += roundTime
+		res.Rounds = round
+		var losses float64
+		for _, o := range outs {
+			losses += o.TrainLoss
+		}
+		prevLoss = losses / float64(len(outs))
+
+		if round%coreCfg.EvalEvery == 0 {
+			p := evaluate(round)
+			logf("round %d: loss %.4f acc %.3f (%d/%d workers, %.2fs)",
+				round, p.Loss, p.Acc, len(outs), cfg.Workers, roundTime)
+		}
+	}
+	if len(res.Points) > 0 {
+		last := res.Points[len(res.Points)-1]
+		res.FinalAcc, res.FinalLoss = last.Acc, last.Loss
+	}
+	res.Time = time.Since(start).Seconds()
+	return res, nil
+}

@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"fedmp/internal/core"
+	"fedmp/internal/data"
+	"fedmp/internal/tensor"
+	"fedmp/internal/zoo"
+)
+
+// testFamily builds a small image family shared by server and workers.
+func testFamily() *core.ImageFamily {
+	spec := &zoo.Spec{
+		Name: "wire-tiny", InC: 1, InH: 8, InW: 8, Classes: 4,
+		Layers: []zoo.LayerSpec{
+			{Kind: zoo.KindConv, Name: "conv1", Out: 4, K: 3, Stride: 1, Pad: 1},
+			{Kind: zoo.KindReLU, Name: "relu1"},
+			{Kind: zoo.KindMaxPool, Name: "pool1", Window: 2},
+			{Kind: zoo.KindFlatten, Name: "flat"},
+			{Kind: zoo.KindDense, Name: "fc1", Out: 16},
+			{Kind: zoo.KindReLU, Name: "relu2"},
+			{Kind: zoo.KindDense, Name: "out", Out: 4},
+		},
+	}
+	ds := data.Generate("wire-tiny", data.Config{
+		Classes: 4, C: 1, H: 8, W: 8,
+		TrainSize: 240, TestSize: 80, Noise: 0.5, MaxShift: 0, Seed: 77,
+	})
+	return &core.ImageFamily{Spec: spec, DS: ds}
+}
+
+// launch starts a server on an ephemeral port and n worker goroutines; it
+// returns the server result.
+func launch(t *testing.T, strategy core.StrategyID, workers, rounds int) *core.Result {
+	t.Helper()
+	fam := testFamily()
+
+	// Reserve a port deterministically by listening on :0 first.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	srvCfg := ServerConfig{
+		Addr:         addr,
+		Workers:      workers,
+		Rounds:       rounds,
+		RoundTimeout: 30 * time.Second,
+		Core: core.Config{
+			Strategy:   strategy,
+			Rounds:     rounds,
+			LocalIters: 2,
+			BatchSize:  4,
+			EvalLimit:  80,
+			Seed:       5,
+		},
+	}
+
+	part := data.PartitionIID(fam.DS, workers, rand.New(rand.NewSource(9)))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		src := data.NewLoader(fam.DS, part[i], 4, rand.New(rand.NewSource(int64(i)+100)))
+		go func(i int, src core.Source) {
+			defer wg.Done()
+			if err := RunWorker(fam, src, WorkerConfig{Addr: addr, Name: "w"}); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i, src)
+	}
+	res, err := Serve(fam, srvCfg)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+	return res
+}
+
+func TestDistributedSynFL(t *testing.T) {
+	res := launch(t, core.StrategySynFL, 3, 4)
+	if res.Rounds != 4 {
+		t.Errorf("ran %d rounds, want 4", res.Rounds)
+	}
+	if len(res.Points) != 5 {
+		t.Errorf("%d eval points, want 5", len(res.Points))
+	}
+	if res.FinalLoss >= res.Points[0].Loss {
+		t.Errorf("loss did not improve over the wire: %v -> %v", res.Points[0].Loss, res.FinalLoss)
+	}
+}
+
+func TestDistributedFedMP(t *testing.T) {
+	res := launch(t, core.StrategyFedMP, 3, 4)
+	if res.Rounds != 4 {
+		t.Errorf("ran %d rounds, want 4", res.Rounds)
+	}
+	if res.FinalAcc <= 0 {
+		t.Error("zero accuracy after distributed FedMP training")
+	}
+}
+
+func TestDistributedFlexCom(t *testing.T) {
+	res := launch(t, core.StrategyFlexCom, 2, 3)
+	if res.Rounds != 3 {
+		t.Errorf("ran %d rounds, want 3", res.Rounds)
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	fam := testFamily()
+	if _, err := Serve(fam, ServerConfig{Addr: "127.0.0.1:0", Workers: 0, Rounds: 1}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := Serve(fam, ServerConfig{Addr: "127.0.0.1:0", Workers: 1, Rounds: 0}); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestWorkerDialFailure(t *testing.T) {
+	fam := testFamily()
+	src := data.NewLoader(fam.DS, []int{0, 1, 2, 3}, 2, rand.New(rand.NewSource(1)))
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(fam, src, WorkerConfig{Addr: "127.0.0.1:1", Name: "w"})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("worker connected to a closed port")
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("worker dial did not fail promptly")
+	}
+}
+
+func TestBadHelloRejected(t *testing.T) {
+	fam := testFamily()
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	resCh := make(chan *core.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := Serve(fam, ServerConfig{
+			Addr: addr, Workers: 1, Rounds: 1,
+			RoundTimeout: 20 * time.Second,
+			Core:         core.Config{Strategy: core.StrategySynFL, Rounds: 1, LocalIters: 1, BatchSize: 2, EvalLimit: 40, Seed: 2},
+		})
+		resCh <- res
+		errCh <- err
+	}()
+
+	// First connection sends garbage and must be rejected.
+	time.Sleep(200 * time.Millisecond)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Write([]byte("not gob at all\n"))
+	raw.Close()
+
+	// A real worker then joins and training completes.
+	src := data.NewLoader(fam.DS, []int{0, 1, 2, 3, 4, 5}, 2, rand.New(rand.NewSource(3)))
+	go func() {
+		_ = RunWorker(fam, src, WorkerConfig{Addr: addr, Name: "legit"})
+	}()
+	res := <-resCh
+	if err := <-errCh; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Rounds)
+	}
+}
+
+func TestSparseBytes(t *testing.T) {
+	u := []*tensor.Tensor{tensor.FromSlice([]float32{0, 1, 0, -2}, 4)}
+	if got := sparseBytes(u); got != 16 {
+		t.Errorf("sparseBytes = %d, want 16", got)
+	}
+}

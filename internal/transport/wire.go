@@ -1,0 +1,117 @@
+// Package transport provides a real distributed runtime for the federated
+// framework: a parameter server and workers exchanging gob-encoded messages
+// over TCP. The paper deploys FedMP on a physical testbed (one workstation
+// PS plus Jetson workers); this package is the equivalent network runtime —
+// the same core strategies drive it, but completion times are measured on
+// the wall clock instead of the cluster simulation.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"fedmp/internal/prune"
+	"fedmp/internal/tensor"
+	"fedmp/internal/zoo"
+)
+
+func init() {
+	// Concrete types carried in `any`-typed fields.
+	gob.Register(&zoo.Spec{})
+	gob.Register(zoo.LMConfig{})
+	gob.Register(&prune.Plan{})
+	gob.Register(&prune.LMPlan{})
+}
+
+// msgKind discriminates wire messages.
+type msgKind int
+
+const (
+	kindHello msgKind = iota + 1
+	kindAssign
+	kindResult
+	kindShutdown
+)
+
+// envelope is the single wire frame; exactly one payload field matching
+// Kind is set.
+type envelope struct {
+	Kind     msgKind
+	Hello    *helloMsg
+	Assign   *assignMsg
+	Result   *resultMsg
+	Shutdown *shutdownMsg
+}
+
+// helloMsg introduces a worker to the server.
+type helloMsg struct {
+	// Name is a human-readable worker label.
+	Name string
+}
+
+// assignMsg is a per-round work order. It deliberately omits the R2SP
+// residual and pruning plan — those are server-side bookkeeping the worker
+// never needs (and the residual is as large as the full model).
+type assignMsg struct {
+	Round   int
+	Desc    any
+	Weights []*tensor.Tensor
+	Iters   int
+	ProxMu  float32
+	UploadK float64
+	Ratio   float64
+}
+
+// resultMsg is a worker's round result.
+type resultMsg struct {
+	Round       int
+	Weights     []*tensor.Tensor
+	Update      []*tensor.Tensor
+	TrainLoss   float64
+	CompSeconds float64
+}
+
+// shutdownMsg ends a worker's session.
+type shutdownMsg struct {
+	Reason string
+}
+
+// conn wraps a TCP connection with gob codecs and deadlines.
+type conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+func (c *conn) send(e *envelope) error {
+	if err := c.raw.SetWriteDeadline(time.Now().Add(ioTimeout)); err != nil {
+		return err
+	}
+	return c.enc.Encode(e)
+}
+
+func (c *conn) recv(timeout time.Duration) (*envelope, error) {
+	if err := c.raw.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	var e envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	if e.Kind == 0 {
+		return nil, fmt.Errorf("transport: malformed envelope")
+	}
+	return &e, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }
+
+// ioTimeout bounds individual sends; round-level receives use the server's
+// configured round timeout.
+const ioTimeout = 30 * time.Second

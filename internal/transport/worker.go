@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"fedmp/internal/core"
+	"fedmp/internal/nn"
+	"fedmp/internal/tensor"
+)
+
+// WorkerConfig parameterises one edge worker process.
+type WorkerConfig struct {
+	// Addr is the parameter server's address.
+	Addr string
+	// Name is a human-readable label sent at registration.
+	Name string
+	// LR and Momentum configure the local optimiser.
+	LR, Momentum float32
+	// Logf receives progress lines (nil silences logging).
+	Logf func(format string, args ...any)
+}
+
+// RunWorker connects to the parameter server and serves training rounds
+// until the server sends a shutdown (or the connection drops). fam builds
+// networks for incoming model descriptions; src supplies this worker's
+// local data.
+func RunWorker(fam core.Family, src core.Source, cfg WorkerConfig) error {
+	if cfg.LR == 0 {
+		cfg.LR = 0.05
+	}
+	if cfg.Momentum == 0 {
+		cfg.Momentum = 0.9
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c, err := dial(cfg.Addr)
+	if err != nil {
+		return err
+	}
+	defer c.close()
+	if err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: cfg.Name}}); err != nil {
+		return fmt.Errorf("transport: hello: %w", err)
+	}
+	logf("connected to %s", cfg.Addr)
+
+	for {
+		e, err := c.recv(24 * time.Hour)
+		if err != nil {
+			return fmt.Errorf("transport: receiving assignment: %w", err)
+		}
+		switch e.Kind {
+		case kindShutdown:
+			logf("shutdown: %s", e.Shutdown.Reason)
+			return nil
+		case kindAssign:
+			res, err := trainAssignment(fam, src, e.Assign, cfg)
+			if err != nil {
+				return err
+			}
+			if err := c.send(&envelope{Kind: kindResult, Result: res}); err != nil {
+				return fmt.Errorf("transport: sending result: %w", err)
+			}
+			logf("round %d done: loss %.4f (ratio %.2f, %d params)",
+				e.Assign.Round, res.TrainLoss, e.Assign.Ratio, nn.WeightsSize(e.Assign.Weights))
+		default:
+			return fmt.Errorf("transport: unexpected message kind %d", e.Kind)
+		}
+	}
+}
+
+// trainAssignment performs the local-training phase for one assignment,
+// mirroring the simulation engine's worker step with wall-clock timing.
+func trainAssignment(fam core.Family, src core.Source, a *assignMsg, cfg WorkerConfig) (*resultMsg, error) {
+	start := time.Now()
+	net, err := fam.BuildNet(a.Desc, 1)
+	if err != nil {
+		return nil, fmt.Errorf("transport: building assigned model: %w", err)
+	}
+	nn.SetWeights(net, a.Weights)
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+	var lossSum float64
+	iters := a.Iters
+	if iters < 1 {
+		iters = 1
+	}
+	for it := 0; it < iters; it++ {
+		b := src.Next()
+		loss, _ := net.TrainStep(b)
+		if a.ProxMu > 0 {
+			nn.AddProximal(net.Params(), a.Weights, a.ProxMu)
+		}
+		opt.Step(net.Params())
+		lossSum += loss
+	}
+	res := &resultMsg{
+		Round:       a.Round,
+		TrainLoss:   lossSum / float64(iters),
+		CompSeconds: time.Since(start).Seconds(),
+	}
+	newW := nn.GetWeights(net)
+	if a.UploadK > 0 {
+		res.Update = core.TopKUpdate(a.Weights, newW, a.UploadK)
+	} else {
+		res.Weights = newW
+	}
+	return res, nil
+}
+
+// dial connects to the server with a bounded number of retries so workers
+// can start before the server finishes binding.
+func dial(addr string) (*conn, error) {
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		raw, err := net.DialTimeout("tcp", addr, ioTimeout)
+		if err == nil {
+			return newConn(raw), nil
+		}
+		lastErr = err
+		time.Sleep(100 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("transport: dialing %s: %w", addr, lastErr)
+}
+
+// sparseBytes is exported for tests: the wire size of a sparse update.
+func sparseBytes(update []*tensor.Tensor) int64 {
+	var nnz int64
+	for _, u := range update {
+		for _, v := range u.Data {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	return nnz * 8
+}

@@ -1,0 +1,74 @@
+package zoo
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedmp/internal/nn"
+	"fedmp/internal/tensor"
+)
+
+// dropoutSpec is a small spec exercising the Dropout and AvgPool kinds.
+func dropoutSpec() *Spec {
+	return &Spec{
+		Name: "dropout-net", InC: 1, InH: 8, InW: 8, Classes: 4,
+		Layers: []LayerSpec{
+			{Kind: KindConv, Name: "conv", Out: 4, K: 3, Stride: 1, Pad: 1},
+			{Kind: KindReLU, Name: "relu"},
+			{Kind: KindAvgPool, Name: "avg", Window: 2},
+			{Kind: KindFlatten, Name: "flat"},
+			{Kind: KindDense, Name: "fc", Out: 16},
+			{Kind: KindDropout, Name: "drop", Rate: 0.3},
+			{Kind: KindDense, Name: "out", Out: 4},
+		},
+	}
+}
+
+func TestDropoutSpecBuildsAndTrains(t *testing.T) {
+	spec := dropoutSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	net, err := Build(spec, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandN(rng, 4, 1, 8, 8)
+	loss, _ := net.TrainStep(&nn.Batch{X: x, Labels: []int{0, 1, 2, 3}})
+	if loss <= 0 {
+		t.Errorf("train loss %v", loss)
+	}
+	// Eval mode must be deterministic (dropout disabled).
+	a := net.Forward(x, false)
+	b := net.Forward(x, false)
+	if !tensor.Equal(a, b) {
+		t.Error("eval-mode forward with dropout is not deterministic")
+	}
+}
+
+func TestDropoutSpecValidation(t *testing.T) {
+	spec := dropoutSpec()
+	spec.Layers[5].Rate = 1.0
+	if err := spec.Validate(); err == nil {
+		t.Error("dropout rate 1.0 accepted")
+	}
+}
+
+func TestDropoutSpecFLOPsAndParams(t *testing.T) {
+	spec := dropoutSpec()
+	if _, err := spec.ForwardFLOPs(); err != nil {
+		t.Fatal(err)
+	}
+	fromSpec, err := spec.ParamCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Build(spec, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nn.ParamCount(net); got != fromSpec {
+		t.Errorf("param count %d vs spec %d", got, fromSpec)
+	}
+}
