@@ -1,0 +1,19 @@
+# Developer entry points. The Go toolchain is the only dependency.
+
+.PHONY: build test vet race check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+# race exercises the concurrent round loop (quorum collection, worker
+# rejoin, fault-injected engines) under the race detector.
+race:
+	go test -race ./internal/transport/... ./internal/core/...
+
+check: vet build test race

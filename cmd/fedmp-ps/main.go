@@ -22,7 +22,11 @@ func main() {
 	rounds := flag.Int("rounds", 20, "global rounds")
 	model := flag.String("model", "cnn", "cnn | alexnet | vgg | resnet | lstm")
 	strategy := flag.String("strategy", "fedmp", "fedmp | synfl | upfl | fedprox | flexcom")
-	timeout := flag.Duration("round-timeout", 2*time.Minute, "per-worker round timeout")
+	timeout := flag.Duration("round-timeout", 2*time.Minute, "round collection deadline")
+	quorum := flag.Int("quorum", 0, "results that close a round early (0 = wait for all workers)")
+	grace := flag.Duration("grace", 0, "extra wait for stragglers once the quorum is in (0 = timeout/4)")
+	helloTimeout := flag.Duration("hello-timeout", 10*time.Second, "per-connection hello deadline")
+	acceptTimeout := flag.Duration("accept-timeout", 2*time.Minute, "bound on the initial wait for workers")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -37,10 +41,14 @@ func main() {
 		}
 	}
 	res, err := fedmp.Serve(fam, fedmp.ServerConfig{
-		Addr:         *addr,
-		Workers:      *workers,
-		Rounds:       *rounds,
-		RoundTimeout: *timeout,
+		Addr:           *addr,
+		Workers:        *workers,
+		Rounds:         *rounds,
+		RoundTimeout:   *timeout,
+		Quorum:         *quorum,
+		StragglerGrace: *grace,
+		HelloTimeout:   *helloTimeout,
+		AcceptTimeout:  *acceptTimeout,
 		Core: fedmp.Config{
 			Strategy: fedmp.StrategyID(*strategy),
 			Rounds:   *rounds,

@@ -34,6 +34,11 @@ func main() {
 	budget := flag.Float64("budget", 0, "stop after this many virtual seconds (0 = none)")
 	evalEvery := flag.Int("eval-every", 2, "evaluate every k rounds")
 	seed := flag.Int64("seed", 1, "random seed")
+	crash := flag.Float64("crash", 0, "per-round device crash probability (fault injection)")
+	downRounds := flag.Int("down-rounds", 2, "rounds a crashed device stays down")
+	straggle := flag.Float64("straggle", 0, "per-round transient straggler probability")
+	straggleFactor := flag.Float64("straggle-factor", 3, "straggler completion-time multiplier")
+	blackout := flag.Float64("blackout", 0, "per-round link blackout probability")
 	flag.Parse()
 
 	var fam fedmp.Family
@@ -61,6 +66,16 @@ func main() {
 	}
 	if *nonIIDKind != "" {
 		cfg.NonIID = fedmp.NonIID{Kind: *nonIIDKind, Level: *nonIIDLevel}
+	}
+	if *crash > 0 || *straggle > 0 || *blackout > 0 {
+		cfg.Faults = fedmp.FaultConfig{
+			CrashProb:       *crash,
+			DownRounds:      *downRounds,
+			StragglerProb:   *straggle,
+			StragglerFactor: *straggleFactor,
+			BlackoutProb:    *blackout,
+			Seed:            *seed + 31,
+		}
 	}
 	if *level != "" {
 		sc, err := cluster.New(cluster.Level(*level), *workers, *seed+7)
@@ -94,7 +109,7 @@ func metricString(fam fedmp.Family, p fedmp.Point) string {
 func summarize(res *fedmp.Result) {
 	var comp, comm, dec, pr float64
 	var down, up int64
-	var dropped int
+	var dropped, suspect int
 	for _, st := range res.Stats {
 		comp += st.CompTime
 		comm += st.CommTime
@@ -103,6 +118,7 @@ func summarize(res *fedmp.Result) {
 		down += st.DownBytes
 		up += st.UpBytes
 		dropped += st.Dropped
+		suspect += st.Suspect
 	}
 	n := float64(len(res.Stats))
 	if n == 0 {
@@ -112,8 +128,8 @@ func summarize(res *fedmp.Result) {
 	fmt.Printf("traffic: %.1f MB down, %.1f MB up\n", float64(down)/1e6, float64(up)/1e6)
 	fmt.Printf("algorithm overhead (real): %.2f ms decision + %.2f ms pruning per round\n",
 		1000*dec/n, 1000*pr/n)
-	if dropped > 0 {
-		fmt.Printf("workers dropped by deadline: %d\n", dropped)
+	if dropped > 0 || suspect > 0 {
+		fmt.Printf("participation losses: %d assignments dropped, %d worker-rounds suspect\n", dropped, suspect)
 	}
 	if !math.IsInf(res.TimeToTargetAcc, 1) {
 		fmt.Printf("target accuracy reached at %.0f virtual seconds\n", res.TimeToTargetAcc)

@@ -26,6 +26,7 @@ func main() {
 	total := flag.Int("total", 2, "total workers in the deployment")
 	batch := flag.Int("batch", 8, "local minibatch size")
 	seed := flag.Int64("seed", 1, "partitioning seed (must match across workers)")
+	reconnects := flag.Int("reconnects", 5, "lost sessions to re-establish before giving up (-1 = never reconnect)")
 	flag.Parse()
 
 	var fam fedmp.Family
@@ -43,9 +44,11 @@ func main() {
 		log.Fatal(err)
 	}
 	err = fedmp.RunWorker(fam, src, fedmp.WorkerConfig{
-		Addr: *addr,
-		Name: fmt.Sprintf("worker-%d", *index),
-		Logf: log.Printf,
+		Addr:          *addr,
+		Name:          fmt.Sprintf("worker-%d", *index),
+		ID:            fmt.Sprintf("worker-%d", *index),
+		MaxReconnects: *reconnects,
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

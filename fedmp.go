@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 
+	"fedmp/internal/cluster"
 	"fedmp/internal/core"
 	"fedmp/internal/data"
 	"fedmp/internal/experiment"
@@ -47,6 +48,9 @@ type (
 	StrategyID = core.StrategyID
 	// SyncScheme selects R2SP or BSP synchronization.
 	SyncScheme = core.SyncScheme
+	// FaultConfig injects simulated cluster failures (crashes, transient
+	// stragglers, link blackouts) into a run via Config.Faults.
+	FaultConfig = cluster.FaultConfig
 )
 
 // Strategies of the paper's evaluation.

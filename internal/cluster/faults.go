@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FaultConfig parameterises injected failures for the simulated cluster, so
+// the simulation engine exercises the same partial-participation paths as
+// the wire runtime: crashed devices disappear for a few rounds and recover,
+// stragglers transiently slow down, links black out.
+type FaultConfig struct {
+	// CrashProb is the per-device per-round probability of a crash. A
+	// crashed device misses DownRounds rounds before recovering.
+	CrashProb float64
+	// DownRounds is how many rounds a crashed device stays down
+	// (default 2).
+	DownRounds int
+	// StragglerProb is the per-device per-round probability of a transient
+	// slowdown multiplying the device's completion time by StragglerFactor.
+	StragglerProb float64
+	// StragglerFactor is the slowdown multiplier (default 3).
+	StragglerFactor float64
+	// BlackoutProb is the per-device per-round probability that the
+	// wireless link drops for the round: the device computes but its
+	// result never arrives.
+	BlackoutProb float64
+	// Seed drives the injector's randomness (default 1).
+	Seed int64
+}
+
+// Enabled reports whether any fault class is configured.
+func (c FaultConfig) Enabled() bool {
+	return c.CrashProb > 0 || c.StragglerProb > 0 || c.BlackoutProb > 0
+}
+
+// Validate checks probability ranges and fills defaults.
+func (c FaultConfig) Validate() (FaultConfig, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"crash", c.CrashProb}, {"straggler", c.StragglerProb}, {"blackout", c.BlackoutProb}} {
+		if p.v < 0 || p.v >= 1 {
+			return c, fmt.Errorf("cluster: %s probability %v outside [0,1)", p.name, p.v)
+		}
+	}
+	if c.DownRounds == 0 {
+		c.DownRounds = 2
+	}
+	if c.DownRounds < 1 {
+		return c, fmt.Errorf("cluster: down rounds %d", c.DownRounds)
+	}
+	if c.StragglerFactor == 0 {
+		c.StragglerFactor = 3
+	}
+	if c.StragglerFactor < 1 {
+		return c, fmt.Errorf("cluster: straggler factor %v below 1", c.StragglerFactor)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c, nil
+}
+
+// Fault is one device's injected state for one round.
+type Fault struct {
+	// Down: the device misses the round entirely.
+	Down bool
+	// Fresh distinguishes a failure that strikes mid-round (the device was
+	// assigned work that is then lost — it counts as dropped) from a
+	// device still recovering from an earlier crash (skipped up front — it
+	// counts as suspect).
+	Fresh bool
+	// Slowdown ≥ 1 multiplies the device's completion time.
+	Slowdown float64
+}
+
+// Injector draws per-round fault states for a device population.
+// Deterministic in (FaultConfig.Seed, call order); not safe for concurrent
+// use.
+type Injector struct {
+	cfg       FaultConfig
+	rng       *rand.Rand
+	downUntil []int // device is down through rounds < downUntil[i]
+}
+
+// NewInjector builds an injector for n devices. The config must have been
+// validated.
+func NewInjector(cfg FaultConfig, n int) *Injector {
+	return &Injector{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		downUntil: make([]int, n),
+	}
+}
+
+// Advance draws every device's fault state for the given round. Call it
+// once per round with strictly increasing round numbers.
+func (in *Injector) Advance(round int) []Fault {
+	out := make([]Fault, len(in.downUntil))
+	for i := range out {
+		if round < in.downUntil[i] {
+			out[i] = Fault{Down: true, Slowdown: 1}
+			continue
+		}
+		f := Fault{Slowdown: 1}
+		if in.cfg.CrashProb > 0 && in.rng.Float64() < in.cfg.CrashProb {
+			in.downUntil[i] = round + in.cfg.DownRounds
+			f.Down, f.Fresh = true, true
+		} else if in.cfg.BlackoutProb > 0 && in.rng.Float64() < in.cfg.BlackoutProb {
+			// Link out for this round only: the result is lost in flight.
+			f.Down, f.Fresh = true, true
+		} else if in.cfg.StragglerProb > 0 && in.rng.Float64() < in.cfg.StragglerProb {
+			f.Slowdown = in.cfg.StragglerFactor
+		}
+		out[i] = f
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import "testing"
+
+func TestFaultConfigValidate(t *testing.T) {
+	c, err := FaultConfig{CrashProb: 0.1}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DownRounds != 2 || c.StragglerFactor != 3 || c.Seed != 1 {
+		t.Errorf("defaults not filled: %+v", c)
+	}
+	for _, bad := range []FaultConfig{
+		{CrashProb: -0.1},
+		{CrashProb: 1},
+		{BlackoutProb: 2},
+		{StragglerProb: 0.5, StragglerFactor: 0.5},
+		{CrashProb: 0.1, DownRounds: -1},
+	} {
+		if _, err := bad.Validate(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+	if (FaultConfig{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !(FaultConfig{StragglerProb: 0.2}).Enabled() {
+		t.Error("straggler config reports disabled")
+	}
+}
+
+func TestInjectorCrashRecovery(t *testing.T) {
+	cfg, err := FaultConfig{CrashProb: 0.999999, DownRounds: 3, Seed: 9}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(cfg, 4)
+	r1 := in.Advance(1)
+	for i, f := range r1 {
+		if !f.Down || !f.Fresh {
+			t.Fatalf("round 1 device %d: %+v, want fresh crash", i, f)
+		}
+	}
+	// Rounds 2 and 3: still recovering (not fresh).
+	for round := 2; round <= 3; round++ {
+		for i, f := range in.Advance(round) {
+			if !f.Down || f.Fresh {
+				t.Errorf("round %d device %d: %+v, want recovering", round, i, f)
+			}
+		}
+	}
+	// Round 4: recovered — and (with crash prob ≈1) immediately re-crashed.
+	for i, f := range in.Advance(4) {
+		if !f.Down || !f.Fresh {
+			t.Errorf("round 4 device %d: %+v, want fresh crash after recovery", i, f)
+		}
+	}
+}
+
+func TestInjectorStragglerAndDeterminism(t *testing.T) {
+	cfg, err := FaultConfig{StragglerProb: 0.5, StragglerFactor: 4, Seed: 11}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func() []Fault {
+		in := NewInjector(cfg, 8)
+		var all []Fault
+		for round := 1; round <= 10; round++ {
+			all = append(all, in.Advance(round)...)
+		}
+		return all
+	}
+	a, b := draw(), draw()
+	var slowed int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically seeded injectors", i)
+		}
+		if a[i].Down {
+			t.Errorf("draw %d down under straggler-only config", i)
+		}
+		switch a[i].Slowdown {
+		case 1:
+		case 4:
+			slowed++
+		default:
+			t.Errorf("draw %d slowdown %v, want 1 or 4", i, a[i].Slowdown)
+		}
+	}
+	if slowed == 0 || slowed == len(a) {
+		t.Errorf("%d of %d draws slowed; want a mix at prob 0.5", slowed, len(a))
+	}
+}
+
+func TestInjectorBlackoutIsTransient(t *testing.T) {
+	cfg, err := FaultConfig{BlackoutProb: 0.999999, Seed: 3}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(cfg, 2)
+	for round := 1; round <= 4; round++ {
+		for i, f := range in.Advance(round) {
+			// A blackout never carries over: every round is a fresh loss.
+			if !f.Down || !f.Fresh {
+				t.Errorf("round %d device %d: %+v, want fresh blackout", round, i, f)
+			}
+		}
+	}
+}

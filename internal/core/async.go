@@ -2,12 +2,19 @@ package core
 
 import (
 	"container/heap"
+	"math"
+
+	"fedmp/internal/cluster"
 )
 
 // asyncItem is one in-flight worker computation in the asynchronous engine.
+// A lost item is an assignment destroyed by an injected fault: it surfaces
+// at its finish time only so the PS can notice the loss and re-dispatch the
+// worker.
 type asyncItem struct {
 	out    Output
 	finish float64
+	lost   bool
 }
 
 // asyncQueue orders in-flight work by virtual finish time.
@@ -28,7 +35,10 @@ func (q *asyncQueue) Pop() any {
 // runAsync executes Algorithm 2 of the paper: the PS aggregates the first m
 // local models to arrive, updates the global model, re-decides pruning
 // ratios for exactly those m workers and sends them fresh sub-models while
-// the other workers keep training their (now stale) assignments.
+// the other workers keep training their (now stale) assignments. Injected
+// faults destroy in-flight work: the affected worker re-enters the dispatch
+// cycle once its loss surfaces (crashes additionally delay that until the
+// device has recovered).
 func (r *runner) runAsync() error {
 	q := &asyncQueue{}
 	heap.Init(q)
@@ -37,14 +47,36 @@ func (r *runner) runAsync() error {
 	// and schedules their completions.
 	dispatch := func(round int, workers []int) error {
 		info := r.roundInfo(round)
+		var faults []cluster.Fault
+		if r.injector != nil {
+			faults = r.injector.Advance(round)
+		}
 		assignments, err := r.strategy.Assign(info, workers)
 		if err != nil {
 			return err
 		}
 		for _, a := range assignments {
+			if faults != nil && faults[a.Worker].Down {
+				// The assignment is lost. A crashed device surfaces after
+				// its recovery window; a blackout costs one mean round.
+				delay := math.Max(info.MeanRoundTime, 1)
+				if faults[a.Worker].Fresh && r.cfg.Faults.CrashProb > 0 {
+					delay *= float64(r.cfg.Faults.DownRounds)
+				}
+				heap.Push(q, asyncItem{
+					out:    Output{Assignment: a},
+					finish: r.now + delay,
+					lost:   true,
+				})
+				continue
+			}
 			o, err := r.runWorker(a)
 			if err != nil {
 				return err
+			}
+			if faults != nil && faults[a.Worker].Slowdown > 1 {
+				o.CompTime *= faults[a.Worker].Slowdown
+				o.Total = o.CompTime + o.CommTime
 			}
 			heap.Push(q, asyncItem{out: o, finish: r.now + o.Total})
 		}
@@ -67,16 +99,21 @@ func (r *runner) runAsync() error {
 			return nil
 		}
 		outs := make([]Output, 0, m)
+		var dropped []Assignment
 		var roundEnd float64
-		for i := 0; i < m; i++ {
+		for len(outs) < m && q.Len() > 0 {
 			it := heap.Pop(q).(asyncItem)
-			outs = append(outs, it.out)
 			if it.finish > roundEnd {
 				roundEnd = it.finish
 			}
+			if it.lost {
+				dropped = append(dropped, it.out.Assignment)
+				continue
+			}
+			outs = append(outs, it.out)
 		}
 		info := r.roundInfo(round)
-		newGlobal, err := r.strategy.Aggregate(info, outs, nil)
+		newGlobal, err := r.strategy.Aggregate(info, outs, dropped)
 		if err != nil {
 			return err
 		}
@@ -88,7 +125,7 @@ func (r *runner) runAsync() error {
 		info.DecisionSeconds += r.pendingDecision
 		info.PruneSeconds += r.pendingPrune
 		r.pendingDecision, r.pendingPrune = 0, 0
-		r.finishRound(round, info, outs, nil, roundTime)
+		r.finishRound(round, info, outs, dropped, 0, roundTime)
 
 		if stop, err := r.evalAndCheck(round); err != nil {
 			return err
@@ -99,11 +136,14 @@ func (r *runner) runAsync() error {
 			return nil
 		}
 
-		// Re-dispatch exactly the workers that just reported (Alg. 2
-		// lines 9–10).
-		workers := make([]int, len(outs))
-		for i, o := range outs {
-			workers[i] = o.Worker
+		// Re-dispatch exactly the workers that just reported or whose work
+		// was lost (Alg. 2 lines 9–10, extended with loss recovery).
+		workers := make([]int, 0, len(outs)+len(dropped))
+		for _, o := range outs {
+			workers = append(workers, o.Worker)
+		}
+		for _, a := range dropped {
+			workers = append(workers, a.Worker)
 		}
 		if err := dispatch(round, workers); err != nil {
 			return err

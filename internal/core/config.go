@@ -124,6 +124,11 @@ type Config struct {
 	// FailureRate is the per-round probability that a worker stalls
 	// (fault-injection testing; requires FaultTolerance to make progress).
 	FailureRate float64
+	// Faults injects cluster-level failures (crashes with recovery,
+	// transient stragglers, link blackouts) so the simulation exercises
+	// the same partial-participation paths as the wire runtime. The zero
+	// value disables injection.
+	Faults cluster.FaultConfig
 
 	// EvalEvery evaluates the global model every k rounds (default 1).
 	EvalEvery int
@@ -235,6 +240,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.FailureRate < 0 || c.FailureRate >= 1 {
 		return c, fmt.Errorf("core: failure rate %v outside [0,1)", c.FailureRate)
 	}
+	if c.Faults.Enabled() {
+		var err error
+		if c.Faults, err = c.Faults.Validate(); err != nil {
+			return c, err
+		}
+	}
 	if c.EvalEvery == 0 {
 		c.EvalEvery = 1
 	}
@@ -273,8 +284,16 @@ type RoundStat struct {
 	// in pruning-ratio decisions and in model pruning (Fig. 11 measures
 	// these for real rather than in virtual time).
 	DecisionSeconds, PruneSeconds float64
-	// Dropped counts workers cut off by the fault-tolerance deadline.
+	// Participants counts workers whose results were aggregated.
+	Participants int
+	// Dropped counts workers whose assignments were lost this round —
+	// cut off by the fault-tolerance deadline, crashed mid-round, or (on
+	// the wire runtime) missing at the quorum close.
 	Dropped int
+	// Suspect counts workers skipped up front: devices still recovering
+	// from an injected crash, or wire workers marked suspect after a
+	// missed round and not yet restored.
+	Suspect int
 }
 
 // Result summarises one run.

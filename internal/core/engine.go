@@ -21,6 +21,7 @@ type runner struct {
 	evalNet  nn.Network
 	testB    *nn.Batch
 	rng      *rand.Rand
+	injector *cluster.Injector
 
 	global    []*tensor.Tensor
 	now       float64
@@ -86,6 +87,9 @@ func Run(fam Family, cfg Config) (*Result, error) {
 			TimeToTargetLoss: math.Inf(1),
 		},
 	}
+	if cfg.Faults.Enabled() {
+		r.injector = cluster.NewInjector(cfg.Faults, cfg.Workers)
+	}
 	r.evaluate(0)
 	if cfg.Async {
 		err = r.runAsync()
@@ -112,36 +116,59 @@ func (r *runner) allWorkers() []int {
 	return out
 }
 
-// runSync executes synchronous rounds (Fig. 1).
+// runSync executes synchronous rounds (Fig. 1). With fault injection
+// enabled, devices recovering from an earlier crash are skipped up front
+// (suspect, mirroring the wire runtime's suspect state) while devices hit
+// mid-round lose their assignment (dropped).
 func (r *runner) runSync() error {
 	for round := 1; ; round++ {
-		info := r.roundInfo(round)
-		assignments, err := r.strategy.Assign(info, r.allWorkers())
-		if err != nil {
-			return err
+		var faults []cluster.Fault
+		if r.injector != nil {
+			faults = r.injector.Advance(round)
 		}
-		outs := make([]Output, 0, len(assignments))
+		available, suspect := r.availableWorkers(faults)
+		info := r.roundInfo(round)
+		outs := make([]Output, 0, len(available))
 		failed := make([]Assignment, 0)
-		for _, a := range assignments {
-			if r.cfg.FailureRate > 0 && r.rng.Float64() < r.cfg.FailureRate {
-				failed = append(failed, a)
-				continue
-			}
-			o, err := r.runWorker(a)
+		if len(available) > 0 {
+			assignments, err := r.strategy.Assign(info, available)
 			if err != nil {
 				return err
 			}
-			outs = append(outs, o)
+			for _, a := range assignments {
+				if faults != nil && faults[a.Worker].Down {
+					failed = append(failed, a)
+					continue
+				}
+				if r.cfg.FailureRate > 0 && r.rng.Float64() < r.cfg.FailureRate {
+					failed = append(failed, a)
+					continue
+				}
+				o, err := r.runWorker(a)
+				if err != nil {
+					return err
+				}
+				if faults != nil && faults[a.Worker].Slowdown > 1 {
+					o.CompTime *= faults[a.Worker].Slowdown
+					o.Total = o.CompTime + o.CommTime
+				}
+				outs = append(outs, o)
+			}
 		}
 		participants, late, roundTime := r.applyDeadline(outs, len(failed) > 0)
 		dropped := append(failed, late...)
+		if len(participants) == 0 && roundTime == 0 {
+			// Nobody ran (everyone down or recovering): the PS idles for a
+			// mean round before trying again.
+			roundTime = math.Max(info.MeanRoundTime, 1)
+		}
 
 		newGlobal, err := r.strategy.Aggregate(info, participants, dropped)
 		if err != nil {
 			return err
 		}
 		r.global = newGlobal
-		r.finishRound(round, info, participants, dropped, roundTime)
+		r.finishRound(round, info, participants, dropped, suspect, roundTime)
 
 		if stop, err := r.evalAndCheck(round); err != nil {
 			return err
@@ -152,6 +179,22 @@ func (r *runner) runSync() error {
 			return nil
 		}
 	}
+}
+
+// availableWorkers filters out devices still recovering from an injected
+// crash, returning the assignable workers and the skipped (suspect) count.
+func (r *runner) availableWorkers(faults []cluster.Fault) (available []int, suspect int) {
+	if faults == nil {
+		return r.allWorkers(), 0
+	}
+	for _, w := range r.allWorkers() {
+		if faults[w].Down && !faults[w].Fresh {
+			suspect++
+			continue
+		}
+		available = append(available, w)
+	}
+	return available, suspect
 }
 
 // roundInfo snapshots the server view for the strategy.
@@ -170,8 +213,10 @@ func (r *runner) roundInfo(round int) *RoundInfo {
 	}
 }
 
-// finishRound updates clocks and records per-round statistics.
-func (r *runner) finishRound(round int, info *RoundInfo, outs []Output, dropped []Assignment, roundTime float64) {
+// finishRound updates clocks and records per-round statistics. suspect
+// counts workers skipped up front this round (recovering from an injected
+// crash).
+func (r *runner) finishRound(round int, info *RoundInfo, outs []Output, dropped []Assignment, suspect int, roundTime float64) {
 	r.now += roundTime
 	r.roundSum += roundTime
 	r.roundCnt++
@@ -182,7 +227,9 @@ func (r *runner) finishRound(round int, info *RoundInfo, outs []Output, dropped 
 		Time:            roundTime,
 		DecisionSeconds: info.DecisionSeconds,
 		PruneSeconds:    info.PruneSeconds,
+		Participants:    len(outs),
 		Dropped:         len(dropped),
+		Suspect:         suspect,
 		Ratios:          make([]float64, r.cfg.Workers),
 	}
 	for _, o := range outs {

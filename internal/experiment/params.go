@@ -98,13 +98,20 @@ type runSpec struct {
 	policy string
 	// quantize stores residuals in 8 bits (§III-C memory optimisation).
 	quantize bool
+	// crash injects cluster faults at the given per-round crash
+	// probability (churn artefact); stragglers ride along at half of it.
+	crash float64
+	// quantile enables the §V-A fault-tolerance deadline at the given
+	// quantile — the simulation's quorum analogue.
+	quantile float64
 }
 
 // key renders the unique cache key.
 func (sp runSpec) key(workers int, rounds int) string {
-	return fmt.Sprintf("%s/%s/level=%s/w=%d/r=%d/noniid=%s%d/sync=%s/ratio=%.2f/theta=%.3f/async=%v-%d/policy=%s/quant=%v",
+	return fmt.Sprintf("%s/%s/level=%s/w=%d/r=%d/noniid=%s%d/sync=%s/ratio=%.2f/theta=%.3f/async=%v-%d/policy=%s/quant=%v/crash=%.3f/quorum=%.2f",
 		sp.model, sp.strategy, sp.level, workers, rounds, sp.nonIID.Kind, sp.nonIID.Level,
-		sp.sync, sp.fixedRatio, sp.theta, sp.async, sp.asyncM, sp.policy, sp.quantize)
+		sp.sync, sp.fixedRatio, sp.theta, sp.async, sp.asyncM, sp.policy, sp.quantize,
+		sp.crash, sp.quantile)
 }
 
 // simulateSpec builds the core config for a spec and runs (or fetches) it.
@@ -152,6 +159,18 @@ func (l *lab) simulateSpec(sp runSpec) (*core.Result, error) {
 			return nil, err
 		}
 		cfg.Scenario = sc
+	}
+	if sp.crash > 0 {
+		cfg.Faults = cluster.FaultConfig{
+			CrashProb:     sp.crash,
+			DownRounds:    2,
+			StragglerProb: sp.crash / 2,
+			Seed:          l.opts.Seed + 31,
+		}
+	}
+	if sp.quantile > 0 {
+		cfg.FaultTolerance = true
+		cfg.DeadlineQuantile = sp.quantile
 	}
 	return l.simulate(sp.key(workers, rounds), fam, cfg)
 }

@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// backoff computes retry delays: exponential growth from base, doubling each
+// attempt and capped at max, with uniform jitter in [0.5, 1.5)× so a fleet
+// of workers restarting together does not hammer the server in lockstep.
+// Safe for concurrent use.
+type backoff struct {
+	base, max time.Duration
+	mu        sync.Mutex
+	rng       *rand.Rand
+}
+
+// Default reconnect/dial backoff parameters.
+const (
+	defaultBackoffBase = 100 * time.Millisecond
+	defaultBackoffMax  = 5 * time.Second
+	// defaultDialAttempts bounds a single connection establishment;
+	// with the default base/max it spans roughly 30 seconds of retrying.
+	defaultDialAttempts = 12
+)
+
+// newBackoff builds a backoff schedule; zero base or max select the
+// defaults.
+func newBackoff(base, max time.Duration, seed int64) *backoff {
+	if base <= 0 {
+		base = defaultBackoffBase
+	}
+	if max <= 0 {
+		max = defaultBackoffMax
+	}
+	if max < base {
+		max = base
+	}
+	return &backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// raw returns the un-jittered delay for an attempt: base·2^attempt capped
+// at max.
+func (b *backoff) raw(attempt int) time.Duration {
+	d := b.base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= b.max {
+			return b.max
+		}
+	}
+	if d > b.max {
+		d = b.max
+	}
+	return d
+}
+
+// delay returns the jittered sleep for the given 0-based attempt, always in
+// [raw/2, 3·raw/2).
+func (b *backoff) delay(attempt int) time.Duration {
+	raw := b.raw(attempt)
+	b.mu.Lock()
+	f := 0.5 + b.rng.Float64()
+	b.mu.Unlock()
+	return time.Duration(float64(raw) * f)
+}

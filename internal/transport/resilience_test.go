@@ -10,24 +10,45 @@ import (
 	"fedmp/internal/data"
 )
 
+// reservePort grabs an ephemeral port deterministically.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+	return addr
+}
+
 // deadAfterWorker behaves like a normal worker for a number of rounds, then
 // closes its connection mid-training.
-func deadAfterWorker(t *testing.T, fam *core.ImageFamily, addr string, src core.Source, dieAfter int) {
+func deadAfterWorker(t *testing.T, fam *core.ImageFamily, addr string, src core.Source, id string, dieAfter int) {
 	t.Helper()
-	c, err := dial(addr)
+	c, err := dial(addr, newBackoff(0, 0, 1), 5)
 	if err != nil {
 		t.Errorf("flaky worker dial: %v", err)
 		return
 	}
 	defer c.close()
-	if err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: "flaky"}}); err != nil {
+	if err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: "flaky", ID: id}}); err != nil {
 		t.Errorf("flaky hello: %v", err)
 		return
 	}
-	for served := 0; ; served++ {
+	for served := 0; ; {
 		e, err := c.recv(30 * time.Second)
-		if err != nil || e.Kind != kindAssign {
-			return // shutdown or our own closed conn
+		if err != nil || e.Kind == kindShutdown {
+			return
+		}
+		if e.Kind == kindPing {
+			if c.send(&envelope{Kind: kindPong}) != nil {
+				return
+			}
+			continue
+		}
+		if e.Kind != kindAssign {
+			return
 		}
 		if served >= dieAfter {
 			return // die without answering
@@ -40,6 +61,48 @@ func deadAfterWorker(t *testing.T, fam *core.ImageFamily, addr string, src core.
 		if err := c.send(&envelope{Kind: kindResult, Result: res}); err != nil {
 			return
 		}
+		served++
+	}
+}
+
+// slowWorker answers every assignment correctly but only after a fixed
+// delay, standing in for a hard straggler (or, with a small delay, a worker
+// whose rounds take long enough for tests to interleave events).
+func slowWorker(t *testing.T, fam *core.ImageFamily, addr string, src core.Source, id string, delay time.Duration) {
+	t.Helper()
+	c, err := dial(addr, newBackoff(0, 0, 2), 5)
+	if err != nil {
+		t.Errorf("slow worker dial: %v", err)
+		return
+	}
+	defer c.close()
+	if err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: id, ID: id}}); err != nil {
+		t.Errorf("slow hello: %v", err)
+		return
+	}
+	for {
+		e, err := c.recv(30 * time.Second)
+		if err != nil || e.Kind == kindShutdown {
+			return
+		}
+		switch e.Kind {
+		case kindPing:
+			if c.send(&envelope{Kind: kindPong}) != nil {
+				return
+			}
+		case kindAssign:
+			time.Sleep(delay)
+			res, err := trainAssignment(fam, src, e.Assign, WorkerConfig{LR: 0.05, Momentum: 0.9})
+			if err != nil {
+				t.Errorf("slow train: %v", err)
+				return
+			}
+			if c.send(&envelope{Kind: kindResult, Result: res}) != nil {
+				return
+			}
+		default:
+			return
+		}
 	}
 }
 
@@ -48,12 +111,7 @@ func deadAfterWorker(t *testing.T, fam *core.ImageFamily, addr string, src core.
 // remaining two.
 func TestServerSurvivesWorkerDeath(t *testing.T) {
 	fam := testFamily()
-	probe, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := probe.Addr().String()
-	probe.Close()
+	addr := reservePort(t)
 
 	const rounds = 5
 	part := data.PartitionIID(fam.DS, 3, rand.New(rand.NewSource(1)))
@@ -64,13 +122,14 @@ func TestServerSurvivesWorkerDeath(t *testing.T) {
 		}(src)
 	}
 	flakySrc := data.NewLoader(fam.DS, part[2], 4, rand.New(rand.NewSource(60)))
-	go deadAfterWorker(t, fam, addr, flakySrc, 2)
+	go deadAfterWorker(t, fam, addr, flakySrc, "", 2)
 
 	res, err := Serve(fam, ServerConfig{
-		Addr:         addr,
-		Workers:      3,
-		Rounds:       rounds,
-		RoundTimeout: 10 * time.Second,
+		Addr:           addr,
+		Workers:        3,
+		Rounds:         rounds,
+		RoundTimeout:   10 * time.Second,
+		StragglerGrace: 500 * time.Millisecond,
 		Core: core.Config{
 			Strategy:   core.StrategySynFL,
 			Rounds:     rounds,
@@ -85,5 +144,212 @@ func TestServerSurvivesWorkerDeath(t *testing.T) {
 	}
 	if res.Rounds != rounds {
 		t.Errorf("completed %d rounds, want %d", res.Rounds, rounds)
+	}
+}
+
+// TestWorkerRejoinAfterKill kills a worker mid-training, restarts it with
+// the same stable identity, and verifies the server completes every round
+// with the worker re-contributing after its rejoin (no permanent eviction).
+func TestWorkerRejoinAfterKill(t *testing.T) {
+	fam := testFamily()
+	addr := reservePort(t)
+
+	const rounds = 7
+	part := data.PartitionIID(fam.DS, 2, rand.New(rand.NewSource(2)))
+	// The steady worker paces rounds at ~100ms so the kill/rejoin below
+	// interleaves with training instead of racing a millisecond schedule.
+	steadySrc := data.NewLoader(fam.DS, part[0], 4, rand.New(rand.NewSource(70)))
+	go slowWorker(t, fam, addr, steadySrc, "steady", 100*time.Millisecond)
+
+	// First incarnation: serves two rounds, then its connection dies; the
+	// restart presents the same identity and must re-enter its old slot.
+	flakySrc := data.NewLoader(fam.DS, part[1], 4, rand.New(rand.NewSource(71)))
+	go func() {
+		deadAfterWorker(t, fam, addr, flakySrc, "phoenix", 2)
+		_ = RunWorker(fam, flakySrc, WorkerConfig{Addr: addr, Name: "phoenix", ID: "phoenix"})
+	}()
+
+	res, err := Serve(fam, ServerConfig{
+		Addr:           addr,
+		Workers:        2,
+		Rounds:         rounds,
+		RoundTimeout:   10 * time.Second,
+		Quorum:         1,
+		StragglerGrace: time.Second,
+		Core: core.Config{
+			Strategy:   core.StrategySynFL,
+			Rounds:     rounds,
+			LocalIters: 1,
+			BatchSize:  4,
+			EvalLimit:  40,
+			Seed:       6,
+		},
+	})
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if res.Rounds != rounds {
+		t.Fatalf("completed %d rounds, want %d", res.Rounds, rounds)
+	}
+	var sawLoss, sawRecovery bool
+	for _, st := range res.Stats {
+		if st.Participants < 2 {
+			sawLoss = true
+		}
+		if sawLoss && st.Participants == 2 {
+			sawRecovery = true
+		}
+	}
+	if !sawLoss {
+		t.Error("kill never cost a round any participant")
+	}
+	if !sawRecovery {
+		t.Error("killed worker never re-contributed after rejoin")
+	}
+}
+
+// TestQuorumRoundFinishesBeforeSlowest verifies quorum-based completion: a
+// hard straggler still in flight must not hold the round open past the
+// grace period, and must be skipped (suspect) — not evicted — afterwards.
+func TestQuorumRoundFinishesBeforeSlowest(t *testing.T) {
+	fam := testFamily()
+	addr := reservePort(t)
+
+	const rounds = 3
+	const slowDelay = 2 * time.Second
+	part := data.PartitionIID(fam.DS, 3, rand.New(rand.NewSource(3)))
+	for i := 0; i < 2; i++ {
+		src := data.NewLoader(fam.DS, part[i], 4, rand.New(rand.NewSource(int64(i)+80)))
+		go func(i int, src core.Source) {
+			_ = RunWorker(fam, src, WorkerConfig{Addr: addr, Name: "fast"})
+		}(i, src)
+	}
+	slowSrc := data.NewLoader(fam.DS, part[2], 4, rand.New(rand.NewSource(90)))
+	go slowWorker(t, fam, addr, slowSrc, "slow", slowDelay)
+
+	start := time.Now()
+	res, err := Serve(fam, ServerConfig{
+		Addr:           addr,
+		Workers:        3,
+		Rounds:         rounds,
+		RoundTimeout:   15 * time.Second,
+		Quorum:         2,
+		StragglerGrace: 250 * time.Millisecond,
+		Core: core.Config{
+			Strategy:   core.StrategySynFL,
+			Rounds:     rounds,
+			LocalIters: 1,
+			BatchSize:  4,
+			EvalLimit:  40,
+			Seed:       8,
+		},
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if res.Rounds != rounds {
+		t.Errorf("completed %d rounds, want %d", res.Rounds, rounds)
+	}
+	// Waiting out the straggler every round would take ≥ rounds×slowDelay.
+	if elapsed >= rounds*slowDelay {
+		t.Errorf("rounds took %v; quorum should finish before the slowest worker (%v per round)", elapsed, slowDelay)
+	}
+	var droppedTotal int
+	for _, st := range res.Stats {
+		if st.Participants < 2 {
+			t.Errorf("round %d aggregated only %d results, quorum is 2", st.Round, st.Participants)
+		}
+		droppedTotal += st.Dropped
+	}
+	if droppedTotal == 0 {
+		t.Error("straggler was never recorded as dropped")
+	}
+}
+
+// TestSilentClientDoesNotStallStartup connects a client that never sends a
+// hello; the real worker arriving later must still be admitted and training
+// must complete.
+func TestSilentClientDoesNotStallStartup(t *testing.T) {
+	fam := testFamily()
+	addr := reservePort(t)
+
+	resCh := make(chan *core.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := Serve(fam, ServerConfig{
+			Addr: addr, Workers: 1, Rounds: 1,
+			RoundTimeout:  20 * time.Second,
+			HelloTimeout:  400 * time.Millisecond,
+			AcceptTimeout: 15 * time.Second,
+			Core:          core.Config{Strategy: core.StrategySynFL, Rounds: 1, LocalIters: 1, BatchSize: 2, EvalLimit: 40, Seed: 2},
+		})
+		resCh <- res
+		errCh <- err
+	}()
+
+	// The silent client connects first and just sits there.
+	time.Sleep(100 * time.Millisecond)
+	silent, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+
+	src := data.NewLoader(fam.DS, []int{0, 1, 2, 3, 4, 5}, 2, rand.New(rand.NewSource(3)))
+	go func() {
+		_ = RunWorker(fam, src, WorkerConfig{Addr: addr, Name: "legit"})
+	}()
+	res := <-resCh
+	if err := <-errCh; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Rounds)
+	}
+}
+
+// TestAcceptTimeoutBoundsStartup verifies the server gives up promptly when
+// too few workers ever join.
+func TestAcceptTimeoutBoundsStartup(t *testing.T) {
+	fam := testFamily()
+	addr := reservePort(t)
+	start := time.Now()
+	_, err := Serve(fam, ServerConfig{
+		Addr: addr, Workers: 2, Rounds: 1,
+		AcceptTimeout: 300 * time.Millisecond,
+		Core:          core.Config{Strategy: core.StrategySynFL, Rounds: 1, LocalIters: 1, BatchSize: 2, EvalLimit: 40, Seed: 2},
+	})
+	if err == nil {
+		t.Fatal("server started without its workers")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("accept phase took %v despite a 300ms accept timeout", elapsed)
+	}
+}
+
+// TestBackoffBounds pins the jittered delay inside [raw/2, 3·raw/2) and the
+// raw schedule to capped exponential doubling.
+func TestBackoffBounds(t *testing.T) {
+	b := newBackoff(100*time.Millisecond, time.Second, 42)
+	wantRaw := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second, time.Second,
+	}
+	for attempt, raw := range wantRaw {
+		if got := b.raw(attempt); got != raw {
+			t.Errorf("raw(%d) = %v, want %v", attempt, got, raw)
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := b.delay(attempt)
+			if d < raw/2 || d >= raw*3/2 {
+				t.Fatalf("delay(%d) = %v outside [%v, %v)", attempt, d, raw/2, raw*3/2)
+			}
+		}
+	}
+	// Defaults kick in for zero parameters.
+	d := newBackoff(0, 0, 1)
+	if d.base != defaultBackoffBase || d.max != defaultBackoffMax {
+		t.Errorf("zero-config backoff got base %v max %v", d.base, d.max)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"sync"
 	"time"
 
 	"fedmp/internal/core"
@@ -19,9 +20,25 @@ type ServerConfig struct {
 	Workers int
 	// Rounds is the number of global rounds to run.
 	Rounds int
-	// RoundTimeout bounds how long the server waits for one worker's
-	// result each round; a worker exceeding it is dropped for the round.
+	// RoundTimeout bounds one round's collection phase; workers that have
+	// not reported by then are marked suspect (skipped, not evicted) and
+	// their assignments count as dropped.
 	RoundTimeout time.Duration
+	// Quorum is the number of results that completes a round early: once
+	// this many workers have reported, the server waits at most
+	// StragglerGrace longer for the rest before aggregating. Zero means
+	// wait for every assigned worker (subject to RoundTimeout).
+	Quorum int
+	// StragglerGrace is how long the server keeps collecting after the
+	// quorum is reached (default RoundTimeout/4).
+	StragglerGrace time.Duration
+	// HelloTimeout bounds how long an accepted connection may take to send
+	// its hello before being rejected (default 10s); it keeps a silent
+	// client from stalling startup.
+	HelloTimeout time.Duration
+	// AcceptTimeout bounds the initial wait for Workers workers to join
+	// (default 2 minutes).
+	AcceptTimeout time.Duration
 	// Core carries the strategy and hyper-parameters; its Workers field is
 	// overwritten by this config's.
 	Core core.Config
@@ -29,30 +46,319 @@ type ServerConfig struct {
 	Logf func(format string, args ...any)
 }
 
-// Serve runs the parameter server end to end: it accepts the configured
-// number of workers, runs the rounds and shuts the workers down, returning
-// the evaluation trajectory. It reuses the simulation's strategies verbatim;
-// only the time source differs (wall clock instead of the cluster model).
-func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
+// withDefaults validates the config and fills defaults.
+func (cfg ServerConfig) withDefaults() (ServerConfig, error) {
 	if cfg.Workers < 1 {
-		return nil, fmt.Errorf("transport: server needs at least one worker")
+		return cfg, fmt.Errorf("transport: server needs at least one worker")
 	}
 	if cfg.Rounds < 1 {
-		return nil, fmt.Errorf("transport: server needs at least one round")
+		return cfg, fmt.Errorf("transport: server needs at least one round")
 	}
 	if cfg.RoundTimeout == 0 {
 		cfg.RoundTimeout = 2 * time.Minute
 	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	if cfg.Quorum < 0 || cfg.Quorum > cfg.Workers {
+		return cfg, fmt.Errorf("transport: quorum %d with %d workers", cfg.Quorum, cfg.Workers)
 	}
+	if cfg.Quorum == 0 {
+		cfg.Quorum = cfg.Workers
+	}
+	if cfg.StragglerGrace == 0 {
+		cfg.StragglerGrace = cfg.RoundTimeout / 4
+	}
+	if cfg.HelloTimeout == 0 {
+		cfg.HelloTimeout = 10 * time.Second
+	}
+	if cfg.AcceptTimeout == 0 {
+		cfg.AcceptTimeout = 2 * time.Minute
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return cfg, nil
+}
+
+// Worker session states.
+const (
+	stateDown    = iota // no live connection
+	stateActive         // connected and answering
+	stateSuspect        // connected but missed a round; skipped until it answers
+)
+
+// event is what per-connection readers deliver to the round loop. A nil env
+// signals a disconnect.
+type event struct {
+	worker int
+	env    *envelope
+}
+
+// idleTimeout is the reader goroutines' per-receive deadline; it only needs
+// to bound how long a dead-but-undetected connection can linger.
+const idleTimeout = 24 * time.Hour
+
+// registry owns the worker sessions: slot assignment by stable identity,
+// per-slot connections with generation counters (a rejoin bumps the
+// generation so the replaced reader's exit cannot tear down the new
+// session), and the event stream the round loop consumes.
+type registry struct {
+	logf func(string, ...any)
+	n    int
+
+	mu    sync.Mutex
+	slots map[string]int // stable identity -> slot
+	names []string
+	conns []*conn
+	gens  []int
+	state []int
+	next  int // next unassigned slot
+
+	events chan event
+	joined chan struct{} // one token per successful (re)join
+	done   chan struct{} // closed on server shutdown
+}
+
+func newRegistry(n int, logf func(string, ...any)) *registry {
+	return &registry{
+		logf:   logf,
+		n:      n,
+		slots:  make(map[string]int),
+		names:  make([]string, n),
+		conns:  make([]*conn, n),
+		gens:   make([]int, n),
+		state:  make([]int, n),
+		events: make(chan event, 8*n+16),
+		joined: make(chan struct{}, 4*n+16),
+		done:   make(chan struct{}),
+	}
+}
+
+// admit places a hello'd connection into a slot: a known identity re-enters
+// its old slot (rejoin), a new identity takes the next free slot, and a
+// stranger arriving at a full server is turned away.
+func (r *registry) admit(c *conn, hello *helloMsg) {
+	r.mu.Lock()
+	slot := -1
+	if hello.ID != "" {
+		if s, ok := r.slots[hello.ID]; ok {
+			slot = s
+		}
+	}
+	rejoin := slot >= 0
+	if slot < 0 {
+		if r.next >= r.n {
+			r.mu.Unlock()
+			_ = c.send(&envelope{Kind: kindShutdown, Shutdown: &shutdownMsg{Reason: "server full"}})
+			_ = c.close()
+			r.logf("rejecting %q: all %d slots taken", hello.Name, r.n)
+			return
+		}
+		slot = r.next
+		r.next++
+		if hello.ID != "" {
+			r.slots[hello.ID] = slot
+		}
+	}
+	if old := r.conns[slot]; old != nil {
+		_ = old.close()
+	}
+	r.names[slot] = hello.Name
+	r.conns[slot] = c
+	r.gens[slot]++
+	gen := r.gens[slot]
+	r.state[slot] = stateActive
+	r.mu.Unlock()
+
+	if rejoin {
+		r.logf("worker %d (%s) rejoined", slot, hello.Name)
+	} else {
+		r.logf("worker %d joined: %s", slot, hello.Name)
+	}
+	go r.read(slot, gen, c)
+	select {
+	case r.joined <- struct{}{}:
+	default:
+	}
+}
+
+// read pumps one connection's envelopes into the event stream until the
+// connection dies or is replaced by a rejoin.
+func (r *registry) read(slot, gen int, c *conn) {
+	for {
+		e, err := c.recv(idleTimeout)
+		if err != nil {
+			if r.drop(slot, gen) {
+				r.push(event{worker: slot, env: nil})
+			}
+			return
+		}
+		r.push(event{worker: slot, env: e})
+	}
+}
+
+// push delivers an event unless the server is shutting down.
+func (r *registry) push(ev event) {
+	select {
+	case r.events <- ev:
+	case <-r.done:
+	}
+}
+
+// drop tears down a slot's session if the generation still matches (a rejoin
+// bumps it first, making the old reader's teardown a no-op). Reports whether
+// it acted.
+func (r *registry) drop(slot, gen int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gens[slot] != gen || r.conns[slot] == nil {
+		return false
+	}
+	_ = r.conns[slot].close()
+	r.conns[slot] = nil
+	r.state[slot] = stateDown
+	return true
+}
+
+// send transmits to a slot's current connection.
+func (r *registry) send(slot int, e *envelope) error {
+	r.mu.Lock()
+	c := r.conns[slot]
+	r.mu.Unlock()
+	if c == nil {
+		return fmt.Errorf("transport: worker %d disconnected", slot)
+	}
+	return c.send(e)
+}
+
+// markSuspect demotes a connected worker that missed a round.
+func (r *registry) markSuspect(slot int) {
+	r.mu.Lock()
+	if r.conns[slot] != nil {
+		r.state[slot] = stateSuspect
+	}
+	r.mu.Unlock()
+}
+
+// restore promotes a suspect worker that answered back to active.
+func (r *registry) restore(slot int) {
+	r.mu.Lock()
+	if r.conns[slot] != nil && r.state[slot] == stateSuspect {
+		r.state[slot] = stateActive
+		r.mu.Unlock()
+		r.logf("worker %d answered again, restoring", slot)
+		return
+	}
+	r.mu.Unlock()
+}
+
+// active lists slots that are connected and not suspect.
+func (r *registry) active() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []int
+	for i := 0; i < r.n; i++ {
+		if r.conns[i] != nil && r.state[i] == stateActive {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// suspects lists connected suspect slots.
+func (r *registry) suspects() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []int
+	for i := 0; i < r.n; i++ {
+		if r.conns[i] != nil && r.state[i] == stateSuspect {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// connected counts slots with a live connection.
+func (r *registry) connected() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cnt := 0
+	for _, c := range r.conns {
+		if c != nil {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// shutdown closes every live connection after sending a shutdown frame.
+func (r *registry) shutdown(reason string) {
+	close(r.done)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, c := range r.conns {
+		if c == nil {
+			continue
+		}
+		_ = c.send(&envelope{Kind: kindShutdown, Shutdown: &shutdownMsg{Reason: reason}})
+		_ = c.close()
+		r.conns[i] = nil
+		r.state[i] = stateDown
+	}
+}
+
+// pingSuspects sends a heartbeat to every connected suspect worker; a pong
+// (or any other frame) restores it to the live set.
+func (r *registry) pingSuspects() {
+	for _, slot := range r.suspects() {
+		if err := r.send(slot, &envelope{Kind: kindPing}); err != nil {
+			r.logf("heartbeat to worker %d failed: %v", slot, err)
+		}
+	}
+}
+
+// roundState tracks one round's in-flight collection.
+type roundState struct {
+	round   int
+	pending map[int]core.Assignment // worker -> assignment awaiting a result
+	sentAt  map[int]time.Time
+	outs    []core.Output
+	dropped []core.Assignment
+}
+
+// server bundles the round loop's fixed parts.
+type server struct {
+	cfg  ServerConfig
+	reg  *registry
+	logf func(string, ...any)
+}
+
+// maxBarrenRounds bounds how many consecutive rounds may complete with zero
+// results before the server gives up (every such round is retried, so this
+// is a liveness backstop, not a scheduling parameter).
+const maxBarrenRounds = 5
+
+// Serve runs the parameter server end to end: it accepts the configured
+// number of workers, runs the rounds and shuts the workers down, returning
+// the evaluation trajectory. It reuses the simulation's strategies verbatim;
+// only the time source differs (wall clock instead of the cluster model).
+//
+// The round engine is fault tolerant: sends and receives fan out per worker
+// under a single round deadline, a round aggregates as soon as Quorum
+// results are in (plus a straggler grace period), workers that miss a round
+// are marked suspect and skipped — not evicted — and are restored as soon as
+// they answer again (late result, heartbeat pong, or a fresh connection
+// presenting the same stable worker identity).
+func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	logf := cfg.Logf
 	coreCfg := cfg.Core
 	coreCfg.Workers = cfg.Workers
 	if coreCfg.Rounds == 0 {
 		coreCfg.Rounds = cfg.Rounds
 	}
-	coreCfg, err := core.Normalize(coreCfg)
+	coreCfg, err = core.Normalize(coreCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -68,27 +374,20 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 	defer ln.Close()
 	logf("parameter server listening on %s, waiting for %d workers", ln.Addr(), cfg.Workers)
 
-	conns := make([]*conn, 0, cfg.Workers)
-	defer func() {
-		for _, c := range conns {
-			_ = c.send(&envelope{Kind: kindShutdown, Shutdown: &shutdownMsg{Reason: "done"}})
-			_ = c.close()
+	reg := newRegistry(cfg.Workers, logf)
+	defer reg.shutdown("done")
+	go acceptLoop(ln, reg, cfg.HelloTimeout, logf)
+
+	// Startup: wait (boundedly) until every slot has joined once.
+	acceptDeadline := time.NewTimer(cfg.AcceptTimeout)
+	defer acceptDeadline.Stop()
+	for reg.connected() < cfg.Workers {
+		select {
+		case <-reg.joined:
+		case <-acceptDeadline.C:
+			return nil, fmt.Errorf("transport: only %d of %d workers joined within %v",
+				reg.connected(), cfg.Workers, cfg.AcceptTimeout)
 		}
-	}()
-	for len(conns) < cfg.Workers {
-		raw, err := ln.Accept()
-		if err != nil {
-			return nil, err
-		}
-		c := newConn(raw)
-		e, err := c.recv(ioTimeout)
-		if err != nil || e.Kind != kindHello {
-			_ = c.close()
-			logf("rejecting connection %v: bad hello", raw.RemoteAddr())
-			continue
-		}
-		logf("worker %d joined: %s (%v)", len(conns), e.Hello.Name, raw.RemoteAddr())
-		conns = append(conns, c)
 	}
 
 	global := fam.InitWeights(coreCfg.Seed)
@@ -118,23 +417,13 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 	}
 	evaluate(0)
 
-	alive := make([]bool, cfg.Workers)
-	for i := range alive {
-		alive[i] = true
-	}
-	liveWorkers := func() []int {
-		var out []int
-		for i, ok := range alive {
-			if ok {
-				out = append(out, i)
-			}
-		}
-		return out
-	}
+	s := &server{cfg: cfg, reg: reg, logf: logf}
+	barren := 0
 	for round := 1; round <= coreCfg.Rounds; round++ {
-		workerIDs := liveWorkers()
-		if len(workerIDs) == 0 {
-			return nil, fmt.Errorf("transport: every worker has disconnected")
+		reg.pingSuspects()
+		workerIDs, err := s.awaitLiveWorkers(round)
+		if err != nil {
+			return nil, err
 		}
 		mean := 0.0
 		if round > 1 {
@@ -152,10 +441,134 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sentAt := make([]time.Time, len(assignments))
-		var dropped []core.Assignment
-		sent := make([]bool, len(assignments))
-		for i, a := range assignments {
+		roundStart := time.Now()
+		rs := s.runRound(round, assignments)
+		if len(rs.outs) == 0 {
+			barren++
+			if barren >= maxBarrenRounds {
+				return nil, fmt.Errorf("transport: %d consecutive rounds with no results", barren)
+			}
+			logf("round %d: no results; retrying with the restored worker set", round)
+			round--
+			continue
+		}
+		barren = 0
+
+		for i := range rs.outs {
+			o := &rs.outs[i]
+			prevTimes[o.Worker] = o.Total
+			prevComm[o.Worker] = o.CommTime
+		}
+		global, err = strategy.Aggregate(info, rs.outs, rs.dropped)
+		if err != nil {
+			return nil, err
+		}
+		roundTime := time.Since(roundStart).Seconds()
+		roundSum += roundTime
+		res.Rounds = round
+		var losses float64
+		for _, o := range rs.outs {
+			losses += o.TrainLoss
+		}
+		prevLoss = losses / float64(len(rs.outs))
+
+		stat := core.RoundStat{
+			Round:        round,
+			Time:         roundTime,
+			Participants: len(rs.outs),
+			Dropped:      len(rs.dropped),
+			Suspect:      len(reg.suspects()),
+			Ratios:       make([]float64, cfg.Workers),
+		}
+		for _, o := range rs.outs {
+			stat.CompTime += o.CompTime
+			stat.CommTime += o.CommTime
+			stat.DownBytes += o.DownBytes
+			stat.UpBytes += o.UpBytes
+			stat.Ratios[o.Worker] = o.Ratio
+		}
+		stat.CompTime /= float64(len(rs.outs))
+		stat.CommTime /= float64(len(rs.outs))
+		res.Stats = append(res.Stats, stat)
+
+		if round%coreCfg.EvalEvery == 0 {
+			p := evaluate(round)
+			logf("round %d: loss %.4f acc %.3f (%d/%d workers, %d dropped, %.2fs)",
+				round, p.Loss, p.Acc, len(rs.outs), cfg.Workers, len(rs.dropped), roundTime)
+		}
+	}
+	if len(res.Points) > 0 {
+		last := res.Points[len(res.Points)-1]
+		res.FinalAcc, res.FinalLoss = last.Acc, last.Loss
+	}
+	res.Time = time.Since(start).Seconds()
+	return res, nil
+}
+
+// acceptLoop admits connections for the server's whole lifetime so workers
+// can rejoin mid-training; each hello is handled concurrently under its own
+// deadline so a silent client cannot stall anyone else.
+func acceptLoop(ln net.Listener, reg *registry, helloTimeout time.Duration, logf func(string, ...any)) {
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			return // listener closed on shutdown
+		}
+		go func(raw net.Conn) {
+			c := newConn(raw)
+			e, err := c.recv(helloTimeout)
+			if err != nil || e.Kind != kindHello {
+				_ = c.close()
+				logf("rejecting connection %v: bad or missing hello", raw.RemoteAddr())
+				return
+			}
+			reg.admit(c, e.Hello)
+		}(raw)
+	}
+}
+
+// awaitLiveWorkers returns the current active worker set, waiting up to the
+// round timeout for a suspect to answer or a rejoin when the set is empty.
+func (s *server) awaitLiveWorkers(round int) ([]int, error) {
+	live := s.reg.active()
+	if len(live) > 0 {
+		return live, nil
+	}
+	s.logf("round %d: no live workers, waiting for a rejoin", round)
+	deadline := time.NewTimer(s.cfg.RoundTimeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case ev := <-s.reg.events:
+			s.handleEvent(ev, nil)
+		case <-s.reg.joined:
+		case <-deadline.C:
+			return nil, fmt.Errorf("transport: every worker has disconnected")
+		}
+		if live = s.reg.active(); len(live) > 0 {
+			return live, nil
+		}
+	}
+}
+
+// runRound fans the assignments out to their workers and collects results
+// until everyone answered, the quorum-plus-grace closes the round, or the
+// round deadline expires. Workers that do not deliver are marked suspect and
+// their assignments reported as dropped.
+func (s *server) runRound(round int, assignments []core.Assignment) *roundState {
+	rs := &roundState{
+		round:   round,
+		pending: make(map[int]core.Assignment, len(assignments)),
+		sentAt:  make(map[int]time.Time, len(assignments)),
+	}
+
+	// Fan out sends; each is bounded by the connection write deadline.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, a := range assignments {
+		wg.Add(1)
+		go func(a core.Assignment) {
+			defer wg.Done()
 			msg := &assignMsg{
 				Round:   round,
 				Desc:    a.Desc,
@@ -165,77 +578,121 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 				UploadK: a.UploadK,
 				Ratio:   a.Ratio,
 			}
-			sentAt[i] = time.Now()
-			if err := conns[a.Worker].send(&envelope{Kind: kindAssign, Assign: msg}); err != nil {
-				logf("round %d: worker %d unreachable, removing (%v)", round, a.Worker, err)
-				alive[a.Worker] = false
-				dropped = append(dropped, a)
-				continue
+			sent := time.Now()
+			err := s.reg.send(a.Worker, &envelope{Kind: kindAssign, Assign: msg})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				s.logf("round %d: send to worker %d failed (%v)", round, a.Worker, err)
+				rs.dropped = append(rs.dropped, a)
+				s.reg.markSuspect(a.Worker)
+				return
 			}
-			sent[i] = true
-		}
-		outs := make([]core.Output, 0, len(assignments))
-		roundStart := time.Now()
-		for i, a := range assignments {
-			if !sent[i] {
-				continue
-			}
-			e, err := conns[a.Worker].recv(cfg.RoundTimeout)
-			if err != nil || e.Kind != kindResult || e.Result.Round != round {
-				logf("round %d: dropping worker %d (%v)", round, a.Worker, err)
-				alive[a.Worker] = false
-				dropped = append(dropped, a)
-				continue
-			}
-			total := time.Since(sentAt[i]).Seconds()
-			comm := total - e.Result.CompSeconds
-			if comm < 0 {
-				comm = 0
-			}
-			o := core.Output{
-				Assignment: a,
-				NewWeights: e.Result.Weights,
-				Update:     e.Result.Update,
-				TrainLoss:  e.Result.TrainLoss,
-				CompTime:   e.Result.CompSeconds,
-				CommTime:   comm,
-				Total:      total,
-				DownBytes:  nn.WeightsBytes(a.Weights),
-			}
-			if o.NewWeights != nil {
-				o.UpBytes = nn.WeightsBytes(o.NewWeights)
-			}
-			outs = append(outs, o)
-			prevTimes[a.Worker] = total
-			prevComm[a.Worker] = comm
-		}
-		if len(outs) == 0 {
-			return nil, fmt.Errorf("transport: round %d lost every worker", round)
-		}
+			rs.pending[a.Worker] = a
+			rs.sentAt[a.Worker] = sent
+		}(a)
+	}
+	wg.Wait()
 
-		global, err = strategy.Aggregate(info, outs, dropped)
-		if err != nil {
-			return nil, err
+	needed := s.cfg.Quorum
+	if needed > len(rs.pending) {
+		needed = len(rs.pending)
+	}
+	deadline := time.NewTimer(s.cfg.RoundTimeout)
+	defer deadline.Stop()
+	var grace *time.Timer
+	var graceC <-chan time.Time
+	defer func() {
+		if grace != nil {
+			grace.Stop()
 		}
-		roundTime := time.Since(roundStart).Seconds()
-		roundSum += roundTime
-		res.Rounds = round
-		var losses float64
-		for _, o := range outs {
-			losses += o.TrainLoss
+	}()
+collect:
+	for len(rs.pending) > 0 {
+		if len(rs.outs) >= needed && graceC == nil {
+			grace = time.NewTimer(s.cfg.StragglerGrace)
+			graceC = grace.C
 		}
-		prevLoss = losses / float64(len(outs))
-
-		if round%coreCfg.EvalEvery == 0 {
-			p := evaluate(round)
-			logf("round %d: loss %.4f acc %.3f (%d/%d workers, %.2fs)",
-				round, p.Loss, p.Acc, len(outs), cfg.Workers, roundTime)
+		select {
+		case ev := <-s.reg.events:
+			s.handleEvent(ev, rs)
+		case <-graceC:
+			s.logf("round %d: quorum %d reached, grace expired with %d still in flight",
+				round, needed, len(rs.pending))
+			break collect
+		case <-deadline.C:
+			s.logf("round %d: deadline expired with %d still in flight", round, len(rs.pending))
+			break collect
 		}
 	}
-	if len(res.Points) > 0 {
-		last := res.Points[len(res.Points)-1]
-		res.FinalAcc, res.FinalLoss = last.Acc, last.Loss
+	// Whoever is still pending missed the round: suspect, not evicted.
+	for w, a := range rs.pending {
+		s.logf("round %d: worker %d missed the round, marking suspect", round, w)
+		s.reg.markSuspect(w)
+		rs.dropped = append(rs.dropped, a)
 	}
-	res.Time = time.Since(start).Seconds()
-	return res, nil
+	return rs
+}
+
+// handleEvent folds one session event into the round state. rs may be nil
+// (between rounds); results for other rounds are drained and discarded, and
+// any frame from a suspect worker restores it.
+func (s *server) handleEvent(ev event, rs *roundState) {
+	if ev.env == nil {
+		// Disconnect: a pending assignment on that session is lost.
+		s.logf("worker %d disconnected", ev.worker)
+		if rs != nil {
+			if a, ok := rs.pending[ev.worker]; ok {
+				delete(rs.pending, ev.worker)
+				delete(rs.sentAt, ev.worker)
+				rs.dropped = append(rs.dropped, a)
+			}
+		}
+		return
+	}
+	switch ev.env.Kind {
+	case kindResult:
+		r := ev.env.Result
+		if rs == nil || r.Round != rs.round {
+			s.logf("discarding stale result from worker %d (round %d)", ev.worker, r.Round)
+			s.reg.restore(ev.worker)
+			return
+		}
+		a, ok := rs.pending[ev.worker]
+		if !ok {
+			s.logf("discarding duplicate result from worker %d", ev.worker)
+			return
+		}
+		total := time.Since(rs.sentAt[ev.worker]).Seconds()
+		comm := total - r.CompSeconds
+		if comm < 0 {
+			comm = 0
+		}
+		o := core.Output{
+			Assignment: a,
+			NewWeights: r.Weights,
+			Update:     r.Update,
+			TrainLoss:  r.TrainLoss,
+			CompTime:   r.CompSeconds,
+			CommTime:   comm,
+			Total:      total,
+			DownBytes:  nn.WeightsBytes(a.Weights),
+		}
+		if o.NewWeights != nil {
+			o.UpBytes = nn.WeightsBytes(o.NewWeights)
+		} else if o.Update != nil {
+			o.UpBytes = sparseBytes(o.Update)
+		}
+		delete(rs.pending, ev.worker)
+		delete(rs.sentAt, ev.worker)
+		rs.outs = append(rs.outs, o)
+	case kindPong:
+		s.reg.restore(ev.worker)
+	case kindHello:
+		// A second hello on an established session is a protocol error;
+		// ignore it rather than killing the worker.
+		s.logf("ignoring redundant hello from worker %d", ev.worker)
+	default:
+		s.logf("ignoring unexpected frame kind %d from worker %d", ev.env.Kind, ev.worker)
+	}
 }

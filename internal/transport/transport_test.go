@@ -128,7 +128,7 @@ func TestWorkerDialFailure(t *testing.T) {
 	src := data.NewLoader(fam.DS, []int{0, 1, 2, 3}, 2, rand.New(rand.NewSource(1)))
 	done := make(chan error, 1)
 	go func() {
-		done <- RunWorker(fam, src, WorkerConfig{Addr: "127.0.0.1:1", Name: "w"})
+		done <- RunWorker(fam, src, WorkerConfig{Addr: "127.0.0.1:1", Name: "w", MaxDialAttempts: 4})
 	}()
 	select {
 	case err := <-done:

@@ -33,10 +33,12 @@ const (
 	kindAssign
 	kindResult
 	kindShutdown
+	kindPing
+	kindPong
 )
 
 // envelope is the single wire frame; exactly one payload field matching
-// Kind is set.
+// Kind is set (Ping/Pong carry no payload).
 type envelope struct {
 	Kind     msgKind
 	Hello    *helloMsg
@@ -49,6 +51,10 @@ type envelope struct {
 type helloMsg struct {
 	// Name is a human-readable worker label.
 	Name string
+	// ID is a stable worker identity: a reconnecting worker presenting an
+	// ID the server has seen before re-enters its old slot mid-training
+	// instead of being treated as a stranger. Empty IDs never match.
+	ID string
 }
 
 // assignMsg is a per-round work order. It deliberately omits the R2SP

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -16,16 +17,36 @@ type WorkerConfig struct {
 	Addr string
 	// Name is a human-readable label sent at registration.
 	Name string
+	// ID is the worker's stable identity. A worker that reconnects with
+	// the same ID re-enters its old slot on the server mid-training.
+	// Empty selects a random per-process identity (rejoin still works
+	// across reconnects, just not across process restarts).
+	ID string
 	// LR and Momentum configure the local optimiser.
 	LR, Momentum float32
+	// MaxDialAttempts bounds the backoff-with-jitter retry loop each time
+	// the worker (re)connects (default 12, spanning ~30s).
+	MaxDialAttempts int
+	// MaxReconnects bounds how many times a lost session is re-established
+	// before giving up (default 5; negative disables reconnecting).
+	MaxReconnects int
 	// Logf receives progress lines (nil silences logging).
 	Logf func(format string, args ...any)
 }
 
+// errShutdown distinguishes an orderly server shutdown from a broken
+// session inside the worker loop.
+var errShutdown = errors.New("transport: server shutdown")
+
 // RunWorker connects to the parameter server and serves training rounds
-// until the server sends a shutdown (or the connection drops). fam builds
-// networks for incoming model descriptions; src supplies this worker's
-// local data.
+// until the server sends a shutdown. fam builds networks for incoming model
+// descriptions; src supplies this worker's local data.
+//
+// The worker is fault tolerant: a dropped connection is re-established with
+// exponential backoff and jitter, the hello carries a stable identity so the
+// server restores the worker into its old slot, and assignments for rounds
+// the worker already served (or missed while away) are discarded instead of
+// trained.
 func RunWorker(fam core.Family, src core.Source, cfg WorkerConfig) error {
 	if cfg.LR == 0 {
 		cfg.LR = 0.05
@@ -33,34 +54,72 @@ func RunWorker(fam core.Family, src core.Source, cfg WorkerConfig) error {
 	if cfg.Momentum == 0 {
 		cfg.Momentum = 0.9
 	}
+	if cfg.MaxDialAttempts == 0 {
+		cfg.MaxDialAttempts = defaultDialAttempts
+	}
+	if cfg.MaxReconnects == 0 {
+		cfg.MaxReconnects = 5
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	c, err := dial(cfg.Addr)
-	if err != nil {
-		return err
+	bo := newBackoff(0, 0, time.Now().UnixNano())
+	if cfg.ID == "" {
+		cfg.ID = fmt.Sprintf("%s-%d", cfg.Name, time.Now().UnixNano())
 	}
-	defer c.close()
-	if err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: cfg.Name}}); err != nil {
-		return fmt.Errorf("transport: hello: %w", err)
-	}
-	logf("connected to %s", cfg.Addr)
 
+	lastRound := 0
+	for session := 0; ; session++ {
+		c, err := dial(cfg.Addr, bo, cfg.MaxDialAttempts)
+		if err != nil {
+			return err
+		}
+		if err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: cfg.Name, ID: cfg.ID}}); err != nil {
+			_ = c.close()
+			return fmt.Errorf("transport: hello: %w", err)
+		}
+		logf("connected to %s (session %d)", cfg.Addr, session)
+		err = serveConn(c, fam, src, cfg, &lastRound, logf)
+		_ = c.close()
+		if errors.Is(err, errShutdown) {
+			return nil
+		}
+		if session >= cfg.MaxReconnects || cfg.MaxReconnects < 0 {
+			return fmt.Errorf("transport: session lost and reconnect budget exhausted: %w", err)
+		}
+		logf("session lost (%v), reconnecting", err)
+	}
+}
+
+// serveConn runs one session: it answers heartbeats and trains assignments
+// until the connection breaks or the server shuts the worker down.
+// lastRound persists across sessions so stale assignments — work orders for
+// rounds the worker already served before a reconnect — are discarded.
+func serveConn(c *conn, fam core.Family, src core.Source, cfg WorkerConfig, lastRound *int, logf func(string, ...any)) error {
 	for {
-		e, err := c.recv(24 * time.Hour)
+		e, err := c.recv(idleTimeout)
 		if err != nil {
 			return fmt.Errorf("transport: receiving assignment: %w", err)
 		}
 		switch e.Kind {
 		case kindShutdown:
 			logf("shutdown: %s", e.Shutdown.Reason)
-			return nil
+			return errShutdown
+		case kindPing:
+			if err := c.send(&envelope{Kind: kindPong}); err != nil {
+				return fmt.Errorf("transport: answering heartbeat: %w", err)
+			}
 		case kindAssign:
+			if e.Assign.Round <= *lastRound {
+				logf("discarding stale assignment for round %d (already at %d)", e.Assign.Round, *lastRound)
+				continue
+			}
 			res, err := trainAssignment(fam, src, e.Assign, cfg)
 			if err != nil {
 				return err
 			}
+			*lastRound = e.Assign.Round
 			if err := c.send(&envelope{Kind: kindResult, Result: res}); err != nil {
 				return fmt.Errorf("transport: sending result: %w", err)
 			}
@@ -110,22 +169,25 @@ func trainAssignment(fam core.Family, src core.Source, a *assignMsg, cfg WorkerC
 	return res, nil
 }
 
-// dial connects to the server with a bounded number of retries so workers
-// can start before the server finishes binding.
-func dial(addr string) (*conn, error) {
+// dial connects to the server, retrying on the shared backoff-with-jitter
+// schedule so workers can start before the server finishes binding (and can
+// ride out brief server restarts when reconnecting).
+func dial(addr string, bo *backoff, attempts int) (*conn, error) {
 	var lastErr error
-	for attempt := 0; attempt < 20; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		raw, err := net.DialTimeout("tcp", addr, ioTimeout)
 		if err == nil {
 			return newConn(raw), nil
 		}
 		lastErr = err
-		time.Sleep(100 * time.Millisecond)
+		time.Sleep(bo.delay(attempt))
 	}
 	return nil, fmt.Errorf("transport: dialing %s: %w", addr, lastErr)
 }
 
-// sparseBytes is exported for tests: the wire size of a sparse update.
+// sparseBytes is the wire size of a sparse top-K update (4-byte value plus
+// 4-byte index per nonzero); the server charges it as UpBytes for FlexCom
+// results.
 func sparseBytes(update []*tensor.Tensor) int64 {
 	var nnz int64
 	for _, u := range update {
