@@ -1,6 +1,6 @@
 # Developer entry points. The Go toolchain is the only dependency.
 
-.PHONY: build test vet race check
+.PHONY: build test vet race check bench
 
 build:
 	go build ./...
@@ -12,8 +12,14 @@ vet:
 	go vet ./...
 
 # race exercises the concurrent round loop (quorum collection, worker
-# rejoin, fault-injected engines) under the race detector.
+# rejoin, fault-injected engines) under the race detector, plus the
+# row-sharded GEMM path and the buffer-reusing nn layers.
 race:
-	go test -race ./internal/transport/... ./internal/core/...
+	go test -race ./internal/transport/... ./internal/core/... ./internal/tensor ./internal/nn
+
+# bench regenerates BENCH_kernels.json: kernel micro-benchmarks with
+# speedups over the seed kernels (see EXPERIMENTS.md).
+bench:
+	go run ./cmd/fedmp-bench -bench-json BENCH_kernels.json
 
 check: vet build test race

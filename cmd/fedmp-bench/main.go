@@ -7,6 +7,7 @@
 //	fedmp-bench -exp all            # every artefact, full scale
 //	fedmp-bench -exp fig6 -quick    # one artefact, reduced scale
 //	fedmp-bench -exp table3 -csv out/
+//	fedmp-bench -bench-json BENCH_kernels.json   # kernel micro-benchmarks
 package main
 
 import (
@@ -27,7 +28,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	csvDir := flag.String("csv", "", "directory to write per-table CSVs into (optional)")
 	verbose := flag.Bool("v", false, "log each simulation as it starts")
+	benchJSON := flag.String("bench-json", "", "run the kernel micro-benchmarks and write results (with speedups vs the seed kernels) to this JSON file ('-' for stdout), then exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeKernelBench(*benchJSON); err != nil {
+			log.Fatalf("bench-json: %v", err)
+		}
+		return
+	}
 
 	opts := fedmp.ExperimentOptions{Quick: *quick, Seed: *seed}
 	if *verbose {

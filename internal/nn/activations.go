@@ -8,9 +8,10 @@ import (
 
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
-	name string
-	mask []bool // true where the input was positive
-	size float64
+	name  string
+	mask  []bool // true where the input was positive
+	size  float64
+	y, dx *tensor.Tensor // reused output buffers
 }
 
 // NewReLU constructs a ReLU layer.
@@ -29,13 +30,15 @@ func (r *ReLU) FLOPs() float64 { return r.size }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
+	y := ensure(r.y, x.Shape...)
+	r.y = y
 	if len(r.mask) != len(y.Data) {
 		r.mask = make([]bool, len(y.Data))
 	}
-	for i, v := range y.Data {
+	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
+			y.Data[i] = v
 		} else {
 			r.mask[i] = false
 			y.Data[i] = 0
@@ -49,9 +52,12 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := dy.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
+	dx := ensure(r.dx, dy.Shape...)
+	r.dx = dx
+	for i, v := range dy.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		} else {
 			dx.Data[i] = 0
 		}
 	}
@@ -67,6 +73,7 @@ type MaxPool2D struct {
 	C, InH, InW int
 	argmax      []int32 // flat input index of each output's max
 	inShape     []int
+	y, dx       *tensor.Tensor // reused output buffers
 }
 
 // NewMaxPool2D constructs a pooling layer for inputs of [C, inH, inW].
@@ -99,7 +106,8 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n := x.Shape[0]
 	outH, outW := m.InH/m.Window, m.InW/m.Window
-	y := tensor.New(n, m.C, outH, outW)
+	y := ensure(m.y, n, m.C, outH, outW)
+	m.y = y
 	if len(m.argmax) != len(y.Data) {
 		m.argmax = make([]int32, len(y.Data))
 	}
@@ -135,7 +143,9 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(m.inShape...)
+	dx := ensure(m.dx, m.inShape...)
+	m.dx = dx
+	dx.Zero() // scatter-add below
 	for oi, v := range dy.Data {
 		dx.Data[m.argmax[oi]] += v
 	}
@@ -148,6 +158,7 @@ type GlobalAvgPool struct {
 	name    string
 	C, H, W int
 	n       int
+	y, dx   *tensor.Tensor // reused output buffers
 }
 
 // NewGlobalAvgPool constructs a global average pooling layer for inputs of
@@ -175,7 +186,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	g.n = x.Shape[0]
 	plane := g.H * g.W
-	y := tensor.New(g.n, g.C)
+	y := ensure(g.y, g.n, g.C)
+	g.y = y
 	inv := 1 / float32(plane)
 	for i := 0; i < g.n; i++ {
 		for c := 0; c < g.C; c++ {
@@ -193,7 +205,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (g *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	plane := g.H * g.W
-	dx := tensor.New(g.n, g.C, g.H, g.W)
+	dx := ensure(g.dx, g.n, g.C, g.H, g.W)
+	g.dx = dx
 	inv := 1 / float32(plane)
 	for i := 0; i < g.n; i++ {
 		for c := 0; c < g.C; c++ {
@@ -214,6 +227,7 @@ type Flatten struct {
 	name    string
 	D       int
 	inShape []int
+	y, dx   *tensor.Tensor // reused view headers (share Data with x / dy)
 }
 
 // NewFlatten constructs a flatten layer whose per-sample input has d
@@ -241,10 +255,12 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Flatten %q got input %v, want %d per sample", f.name, x.Shape, f.D))
 	}
 	f.inShape = x.Shape
-	return x.Reshape(n, f.D)
+	f.y = view(f.y, x.Data, n, f.D)
+	return f.y
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	return dy.Reshape(f.inShape...)
+	f.dx = view(f.dx, dy.Data, f.inShape...)
+	return f.dx
 }

@@ -29,11 +29,12 @@ type BatchNorm2D struct {
 	Gamma, Beta *Param
 	Mean, Var   *Param // frozen running statistics
 
-	// cached state for backward
+	// cached state for backward and reused output buffers
 	x      *tensor.Tensor
 	xhat   []float32
 	mean   []float32
 	invStd []float32
+	y, dx  *tensor.Tensor
 }
 
 // NewBatchNorm2D constructs a batch-normalisation layer over c channels with
@@ -92,7 +93,8 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	plane := h * w
 	cnt := n * plane
-	y := tensor.New(x.Shape...)
+	y := ensure(b.y, x.Shape...)
+	b.y = y
 	b.x = x
 	if len(b.xhat) != len(x.Data) {
 		b.xhat = make([]float32, len(x.Data))
@@ -151,7 +153,8 @@ func (b *BatchNorm2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, h, w := b.x.Shape[0], b.x.Shape[2], b.x.Shape[3]
 	plane := h * w
 	m := float32(n * plane)
-	dx := tensor.New(b.x.Shape...)
+	dx := ensure(b.dx, b.x.Shape...)
+	b.dx = dx
 	for c := 0; c < b.C; c++ {
 		var sumDy, sumDyXhat float64
 		for i := 0; i < n; i++ {

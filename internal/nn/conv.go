@@ -19,6 +19,13 @@ type Conv2D struct {
 
 	x    *tensor.Tensor // cached input batch
 	cols []float32      // cached im2col buffers, one block per sample
+
+	// reused buffers and view headers; rebuilt only when geometry changes
+	y, dx       *tensor.Tensor // cached output / input gradient
+	dcols       *tensor.Tensor // [rows, outArea] column-gradient scratch
+	wmat, dwMat *tensor.Tensor // [outC, rows] views of W / W.Grad
+	outV, dyV   *tensor.Tensor // per-sample [outC, outArea] views
+	colV        *tensor.Tensor // per-sample [rows, outArea] view
 }
 
 // NewConv2D constructs a convolution layer with He-initialised kernels and
@@ -69,14 +76,17 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(c.cols) != n*rows*outArea {
 		c.cols = make([]float32, n*rows*outArea)
 	}
-	y := tensor.New(n, g.OutC, g.OutH(), g.OutW())
-	wmat := c.W.W.Reshape(g.OutC, rows)
+	y := ensure(c.y, n, g.OutC, g.OutH(), g.OutW())
+	c.y = y
+	c.wmat = view(c.wmat, c.W.W.Data, g.OutC, rows)
 	inSize := g.InC * g.InH * g.InW
 	for i := 0; i < n; i++ {
 		cb := c.cols[i*rows*outArea : (i+1)*rows*outArea]
 		tensor.Im2Col(x.Data[i*inSize:(i+1)*inSize], g, cb)
-		out := tensor.FromSlice(y.Data[i*g.OutC*outArea:(i+1)*g.OutC*outArea], g.OutC, outArea)
-		tensor.MatMulInto(out, wmat, tensor.FromSlice(cb, rows, outArea), false)
+		out := view(c.outV, y.Data[i*g.OutC*outArea:(i+1)*g.OutC*outArea], g.OutC, outArea)
+		c.outV = out
+		c.colV = view(c.colV, cb, rows, outArea)
+		tensor.MatMulInto(out, c.wmat, c.colV, false)
 		for oc := 0; oc < g.OutC; oc++ {
 			bias := c.B.W.Data[oc]
 			if bias == 0 {
@@ -98,13 +108,20 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	rows := g.InC * g.KH * g.KW
 	outArea := g.OutH() * g.OutW()
 	inSize := g.InC * g.InH * g.InW
-	dx := tensor.New(n, g.InC, g.InH, g.InW)
-	dwMat := c.W.Grad.Reshape(g.OutC, rows)
+	dx := ensure(c.dx, n, g.InC, g.InH, g.InW)
+	c.dx = dx
+	dx.Zero() // Col2Im accumulates
+	c.dwMat = view(c.dwMat, c.W.Grad.Data, g.OutC, rows)
+	c.wmat = view(c.wmat, c.W.W.Data, g.OutC, rows)
+	dcols := ensure(c.dcols, rows, outArea)
+	c.dcols = dcols
 	for i := 0; i < n; i++ {
-		dyi := tensor.FromSlice(dy.Data[i*g.OutC*outArea:(i+1)*g.OutC*outArea], g.OutC, outArea)
-		cb := tensor.FromSlice(c.cols[i*rows*outArea:(i+1)*rows*outArea], rows, outArea)
+		dyi := view(c.dyV, dy.Data[i*g.OutC*outArea:(i+1)*g.OutC*outArea], g.OutC, outArea)
+		c.dyV = dyi
+		cb := view(c.colV, c.cols[i*rows*outArea:(i+1)*rows*outArea], rows, outArea)
+		c.colV = cb
 		// dW += dy_i · colsᵀ
-		dwMat.Add(tensor.MatMulTB(dyi, cb))
+		tensor.MatMulTBInto(c.dwMat, dyi, cb, true)
 		// db += per-channel sums of dy_i.
 		for oc := 0; oc < g.OutC; oc++ {
 			plane := dyi.Data[oc*outArea : (oc+1)*outArea]
@@ -115,7 +132,7 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 			c.B.Grad.Data[oc] += s
 		}
 		// dcols = Wᵀ · dy_i, scattered back through col2im.
-		dcols := tensor.MatMulTA(c.W.W.Reshape(g.OutC, rows), dyi)
+		tensor.MatMulTAInto(dcols, c.wmat, dyi, false)
 		tensor.Col2Im(dcols.Data, g, dx.Data[i*inSize:(i+1)*inSize])
 	}
 	return dx

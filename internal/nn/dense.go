@@ -17,7 +17,15 @@ type Dense struct {
 	In, Out int
 	W, B    *Param
 
-	x *tensor.Tensor // cached input for backward
+	// SparseWeights routes the forward pass through the sparsity-aware
+	// kernel that skips all-zero weight rows. The dense kernels are
+	// branch-free, so this is opt-in: set it (e.g. via MarkSparseWeights)
+	// only on models whose weights carry structured pruning-mask zeros.
+	SparseWeights bool
+
+	x  *tensor.Tensor // cached input for backward
+	y  *tensor.Tensor // cached output, reused across steps
+	dx *tensor.Tensor // cached input gradient, reused across steps
 }
 
 // NewDense constructs a dense layer with He-initialised weights and zero
@@ -48,8 +56,14 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense %q got input %v, want [N %d]", d.name, x.Shape, d.In))
 	}
 	d.x = x
-	y := tensor.MatMulTB(x, d.W.W) // [N, out]
 	n := x.Shape[0]
+	y := ensure(d.y, n, d.Out)
+	d.y = y
+	if d.SparseWeights {
+		tensor.MatMulTBSparseInto(y, x, d.W.W, false)
+	} else {
+		tensor.MatMulTBInto(y, x, d.W.W, false)
+	}
 	for i := 0; i < n; i++ {
 		row := y.Data[i*d.Out : (i+1)*d.Out]
 		for j, bv := range d.B.W.Data {
@@ -63,8 +77,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n := dy.Shape[0]
 	// dW[out,in] += dyᵀ[out,N]·x[N,in]
-	dw := tensor.MatMulTA(dy, d.x) // [out, in]
-	d.W.Grad.Add(dw)
+	tensor.MatMulTAInto(d.W.Grad, dy, d.x, true)
 	// db += column sums of dy.
 	for i := 0; i < n; i++ {
 		row := dy.Data[i*d.Out : (i+1)*d.Out]
@@ -73,5 +86,8 @@ func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dx[N,in] = dy[N,out]·W[out,in]
-	return tensor.MatMul(dy, d.W.W)
+	dx := ensure(d.dx, n, d.In)
+	d.dx = dx
+	tensor.MatMulInto(dx, dy, d.W.W, false)
+	return dx
 }

@@ -15,8 +15,9 @@ import (
 type Dropout struct {
 	name string
 	Rate float32
-	rng  *rand.Rand
-	mask []float32
+	rng   *rand.Rand
+	mask  []float32
+	y, dx *tensor.Tensor // reused output buffers
 }
 
 // NewDropout constructs a dropout layer with the given drop probability in
@@ -47,14 +48,15 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.mask = make([]float32, len(x.Data))
 	}
 	scale := 1 / (1 - d.Rate)
-	y := x.Clone()
-	for i := range y.Data {
+	y := ensure(d.y, x.Shape...)
+	d.y = y
+	for i, v := range x.Data {
 		if d.rng.Float32() < d.Rate {
 			d.mask[i] = 0
 			y.Data[i] = 0
 		} else {
 			d.mask[i] = scale
-			y.Data[i] *= scale
+			y.Data[i] = v * scale
 		}
 	}
 	return y
@@ -65,9 +67,10 @@ func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
 		return dy
 	}
-	dx := dy.Clone()
-	for i := range dx.Data {
-		dx.Data[i] *= d.mask[i]
+	dx := ensure(d.dx, dy.Shape...)
+	d.dx = dx
+	for i, v := range dy.Data {
+		dx.Data[i] = v * d.mask[i]
 	}
 	return dx
 }
@@ -79,6 +82,7 @@ type AvgPool2D struct {
 	Window      int
 	C, InH, InW int
 	n           int
+	y, dx       *tensor.Tensor // reused output buffers
 }
 
 // NewAvgPool2D constructs an average-pooling layer for inputs of
@@ -106,7 +110,8 @@ func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	a.n = x.Shape[0]
 	outH, outW := a.InH/a.Window, a.InW/a.Window
-	y := tensor.New(a.n, a.C, outH, outW)
+	y := ensure(a.y, a.n, a.C, outH, outW)
+	a.y = y
 	inv := 1 / float32(a.Window*a.Window)
 	planeIn := a.InH * a.InW
 	planeOut := outH * outW
@@ -134,7 +139,8 @@ func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (a *AvgPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	outH, outW := a.InH/a.Window, a.InW/a.Window
-	dx := tensor.New(a.n, a.C, a.InH, a.InW)
+	dx := ensure(a.dx, a.n, a.C, a.InH, a.InW)
+	a.dx = dx
 	inv := 1 / float32(a.Window*a.Window)
 	planeIn := a.InH * a.InW
 	planeOut := outH * outW

@@ -7,24 +7,31 @@ import (
 	"fedmp/internal/tensor"
 )
 
-// SoftmaxCE is a softmax cross-entropy head over class logits. It is
-// stateless; both classifiers and the per-timestep language-model loss use
-// it.
-type SoftmaxCE struct{}
+// SoftmaxCE is a softmax cross-entropy head over class logits. Both
+// classifiers and the per-timestep language-model loss use it. The gradient
+// buffer is cached on the head and reused across steps, so LossAndGrad does
+// not allocate once batch geometry is stable; the returned gradient is valid
+// until the next LossAndGrad call.
+type SoftmaxCE struct {
+	grad *tensor.Tensor
+}
 
 // Loss computes the mean cross-entropy loss of logits [N, K] against integer
 // labels, plus the number of argmax-correct predictions.
-func (SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (loss float64, correct int) {
-	loss, correct, _ = softmaxCE(logits, labels, false)
+func (s *SoftmaxCE) Loss(logits *tensor.Tensor, labels []int) (loss float64, correct int) {
+	loss, correct, _ = softmaxCE(logits, labels, nil)
 	return loss, correct
 }
 
 // LossAndGrad additionally returns ∂loss/∂logits (already divided by N).
-func (SoftmaxCE) LossAndGrad(logits *tensor.Tensor, labels []int) (loss float64, correct int, grad *tensor.Tensor) {
-	return softmaxCE(logits, labels, true)
+func (s *SoftmaxCE) LossAndGrad(logits *tensor.Tensor, labels []int) (loss float64, correct int, grad *tensor.Tensor) {
+	if len(logits.Shape) == 2 { // otherwise let softmaxCE report the misuse
+		s.grad = ensure(s.grad, logits.Shape[0], logits.Shape[1])
+	}
+	return softmaxCE(logits, labels, s.grad)
 }
 
-func softmaxCE(logits *tensor.Tensor, labels []int, wantGrad bool) (float64, int, *tensor.Tensor) {
+func softmaxCE(logits *tensor.Tensor, labels []int, grad *tensor.Tensor) (float64, int, *tensor.Tensor) {
 	if len(logits.Shape) != 2 {
 		panic(fmt.Sprintf("nn: softmax expects [N K] logits, got %v", logits.Shape))
 	}
@@ -32,10 +39,7 @@ func softmaxCE(logits *tensor.Tensor, labels []int, wantGrad bool) (float64, int
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d labels for %d logits rows", len(labels), n))
 	}
-	var grad *tensor.Tensor
-	if wantGrad {
-		grad = tensor.New(n, k)
-	}
+	wantGrad := grad != nil
 	var totalLoss float64
 	correct := 0
 	invN := 1 / float32(n)

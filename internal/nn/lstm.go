@@ -16,6 +16,7 @@ type Embedding struct {
 	W    *Param
 
 	tokens [][]int
+	out    *tensor.Tensor // cached lookup output
 }
 
 // NewEmbedding constructs an embedding table with Xavier-uniform rows.
@@ -43,7 +44,8 @@ func (e *Embedding) Lookup(tokens [][]int) *tensor.Tensor {
 		panic("nn: Embedding.Lookup with empty batch")
 	}
 	t := len(tokens[0])
-	out := tensor.New(n, t, e.E)
+	out := ensure(e.out, n, t, e.E)
+	e.out = out
 	for i, seq := range tokens {
 		if len(seq) != t {
 			panic(fmt.Sprintf("nn: Embedding %q ragged batch: %d vs %d", e.name, len(seq), t))
@@ -88,7 +90,8 @@ type LSTM struct {
 	B    *Param
 
 	// cached forward state: per-timestep inputs, gate activations and cell
-	// states, flattened as [T] slices of [N,·] tensors.
+	// states, flattened as [T] slices of [N,·] tensors. All buffers are
+	// reused across steps and reallocated only when (N, T) changes.
 	x         *tensor.Tensor
 	gates     []*tensor.Tensor // [T] of [N,4H], post-nonlinearity
 	cells     []*tensor.Tensor // [T] of [N,H]
@@ -96,6 +99,19 @@ type LSTM struct {
 	tanhCells []*tensor.Tensor // [T] of [N,H]
 	timeSteps int
 	batchSize int
+
+	// reused workspaces. h0/c0 are the zero initial states (never written
+	// after allocation); xt is the per-timestep input gather buffer shared
+	// by forward and backward.
+	out    *tensor.Tensor // [N,T,H] forward output
+	h0, c0 *tensor.Tensor // [N,H] zeros
+	xt     *tensor.Tensor // [N,D]
+
+	dx       *tensor.Tensor // [N,T,D] input gradient
+	dh, dz   *tensor.Tensor // [N,H], [N,4H]
+	dcA, dcB *tensor.Tensor // [N,H] cell-gradient double buffer
+	dhNext   *tensor.Tensor // [N,H]
+	dxT      *tensor.Tensor // [N,D]
 }
 
 // NewLSTM constructs an LSTM layer. The forget-gate bias is initialised to 1,
@@ -144,26 +160,35 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 	n, t := x.Shape[0], x.Shape[1]
 	l.x = x
 	l.timeSteps, l.batchSize = t, n
-	l.gates = make([]*tensor.Tensor, t)
-	l.cells = make([]*tensor.Tensor, t)
-	l.hiddens = make([]*tensor.Tensor, t)
-	l.tanhCells = make([]*tensor.Tensor, t)
-	out := tensor.New(n, t, l.H)
-	hPrev := tensor.New(n, l.H)
-	cPrev := tensor.New(n, l.H)
+	if len(l.gates) != t {
+		l.gates = make([]*tensor.Tensor, t)
+		l.cells = make([]*tensor.Tensor, t)
+		l.hiddens = make([]*tensor.Tensor, t)
+		l.tanhCells = make([]*tensor.Tensor, t)
+	}
+	out := ensure(l.out, n, t, l.H)
+	l.out = out
+	l.h0 = ensure(l.h0, n, l.H)
+	l.c0 = ensure(l.c0, n, l.H)
+	l.xt = ensure(l.xt, n, l.D)
+	hPrev, cPrev := l.h0, l.c0
 	for step := 0; step < t; step++ {
-		xt := l.timeSlice(x, step) // [N, D]
-		z := tensor.MatMulTB(xt, l.Wx.W)
-		z.Add(tensor.MatMulTB(hPrev, l.Wh.W))
+		xt := l.xt
+		l.timeSlice(xt, x, step) // [N, D]
+		z := ensure(l.gates[step], n, 4*l.H)
+		l.gates[step] = z
+		tensor.MatMulTBInto(z, xt, l.Wx.W, false)
+		tensor.MatMulTBInto(z, hPrev, l.Wh.W, true)
 		for i := 0; i < n; i++ {
 			row := z.Data[i*4*l.H : (i+1)*4*l.H]
 			for j, bv := range l.B.W.Data {
 				row[j] += bv
 			}
 		}
-		c := tensor.New(n, l.H)
-		h := tensor.New(n, l.H)
-		tc := tensor.New(n, l.H)
+		c := ensure(l.cells[step], n, l.H)
+		h := ensure(l.hiddens[step], n, l.H)
+		tc := ensure(l.tanhCells[step], n, l.H)
+		l.cells[step], l.hiddens[step], l.tanhCells[step] = c, h, tc
 		for i := 0; i < n; i++ {
 			zr := z.Data[i*4*l.H : (i+1)*4*l.H]
 			cr := c.Data[i*l.H : (i+1)*l.H]
@@ -183,10 +208,6 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 				hr[k] = og * tv
 			}
 		}
-		l.gates[step] = z
-		l.cells[step] = c
-		l.hiddens[step] = h
-		l.tanhCells[step] = tc
 		for i := 0; i < n; i++ {
 			copy(out.Data[(i*t+step)*l.H:(i*t+step+1)*l.H], h.Data[i*l.H:(i+1)*l.H])
 		}
@@ -195,26 +216,36 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// timeSlice extracts timestep `step` of x [N, T, D] as a fresh [N, D] tensor.
-func (l *LSTM) timeSlice(x *tensor.Tensor, step int) *tensor.Tensor {
+// timeSlice gathers timestep `step` of x [N, T, D] into dst [N, D].
+func (l *LSTM) timeSlice(dst, x *tensor.Tensor, step int) {
 	n, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
-	out := tensor.New(n, d)
 	for i := 0; i < n; i++ {
-		copy(out.Data[i*d:(i+1)*d], x.Data[(i*t+step)*d:(i*t+step+1)*d])
+		copy(dst.Data[i*d:(i+1)*d], x.Data[(i*t+step)*d:(i*t+step+1)*d])
 	}
-	return out
 }
 
 // Backward consumes dOut [N, T, H] and returns dX [N, T, D], accumulating
 // parameter gradients.
 func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, t := l.batchSize, l.timeSteps
-	dx := tensor.New(n, t, l.D)
-	dhNext := tensor.New(n, l.H)
-	dcNext := tensor.New(n, l.H)
+	dx := ensure(l.dx, n, t, l.D)
+	l.dx = dx
+	dhNext := ensure(l.dhNext, n, l.H)
+	l.dhNext = dhNext
+	dhNext.Zero()
+	dcNext := ensure(l.dcA, n, l.H)
+	l.dcA = dcNext
+	dcNext.Zero()
+	dcPrev := ensure(l.dcB, n, l.H)
+	l.dcB = dcPrev
+	dh := ensure(l.dh, n, l.H)
+	l.dh = dh
+	dz := ensure(l.dz, n, 4*l.H)
+	l.dz = dz
+	dxT := ensure(l.dxT, n, l.D)
+	l.dxT = dxT
 	for step := t - 1; step >= 0; step-- {
 		// dh = dOut_t + dhNext
-		dh := tensor.New(n, l.H)
 		for i := 0; i < n; i++ {
 			src := dout.Data[(i*t+step)*l.H : (i*t+step+1)*l.H]
 			dst := dh.Data[i*l.H : (i+1)*l.H]
@@ -224,14 +255,10 @@ func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
 
 		gates := l.gates[step]
 		tc := l.tanhCells[step]
-		var cPrev *tensor.Tensor
+		cPrev := l.c0
 		if step > 0 {
 			cPrev = l.cells[step-1]
-		} else {
-			cPrev = tensor.New(n, l.H)
 		}
-		dz := tensor.New(n, 4*l.H)
-		dcPrev := tensor.New(n, l.H)
 		for i := 0; i < n; i++ {
 			zr := gates.Data[i*4*l.H : (i+1)*4*l.H]
 			dhr := dh.Data[i*l.H : (i+1)*l.H]
@@ -251,27 +278,26 @@ func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
 				dcp[k] = dc * fg
 			}
 		}
-		xt := l.timeSlice(l.x, step)
-		var hPrev *tensor.Tensor
+		xt := l.xt
+		l.timeSlice(xt, l.x, step)
+		hPrev := l.h0
 		if step > 0 {
 			hPrev = l.hiddens[step-1]
-		} else {
-			hPrev = tensor.New(n, l.H)
 		}
-		l.Wx.Grad.Add(tensor.MatMulTA(dz, xt))
-		l.Wh.Grad.Add(tensor.MatMulTA(dz, hPrev))
+		tensor.MatMulTAInto(l.Wx.Grad, dz, xt, true)
+		tensor.MatMulTAInto(l.Wh.Grad, dz, hPrev, true)
 		for i := 0; i < n; i++ {
 			row := dz.Data[i*4*l.H : (i+1)*4*l.H]
 			for j, v := range row {
 				l.B.Grad.Data[j] += v
 			}
 		}
-		dxT := tensor.MatMul(dz, l.Wx.W) // [N, D]
+		tensor.MatMulInto(dxT, dz, l.Wx.W, false) // [N, D]
 		for i := 0; i < n; i++ {
 			copy(dx.Data[(i*t+step)*l.D:(i*t+step+1)*l.D], dxT.Data[i*l.D:(i+1)*l.D])
 		}
-		dhNext = tensor.MatMul(dz, l.Wh.W) // [N, H]
-		dcNext = dcPrev
+		tensor.MatMulInto(dhNext, dz, l.Wh.W, false) // [N, H]
+		dcNext, dcPrev = dcPrev, dcNext
 	}
 	return dx
 }
@@ -287,6 +313,11 @@ type LSTMLM struct {
 
 	loss   SoftmaxCE
 	params []*Param
+
+	// reused per-step buffers
+	inputs      [][]int
+	targets     []int
+	flatV, dh2V *tensor.Tensor
 }
 
 // NewLSTMLM builds the language model. seqLen is the BPTT window (sequences
@@ -316,9 +347,14 @@ func (m *LSTMLM) ForwardFLOPs() float64 {
 	return t * (m.L1.StepFLOPs() + m.L2.StepFLOPs() + 2*float64(m.Out.In)*float64(m.Out.Out))
 }
 
-// splitSeqs separates input tokens from shifted targets.
+// splitSeqs separates input tokens from shifted targets. The returned slices
+// are reused across calls.
 func (m *LSTMLM) splitSeqs(b *Batch) (inputs [][]int, targets []int) {
-	inputs = make([][]int, len(b.Seq))
+	if cap(m.inputs) < len(b.Seq) {
+		m.inputs = make([][]int, len(b.Seq))
+	}
+	inputs = m.inputs[:len(b.Seq)]
+	targets = m.targets[:0]
 	for i, seq := range b.Seq {
 		if len(seq) != m.SeqLen+1 {
 			panic(fmt.Sprintf("nn: LSTMLM wants sequences of %d tokens, got %d", m.SeqLen+1, len(seq)))
@@ -326,6 +362,7 @@ func (m *LSTMLM) splitSeqs(b *Batch) (inputs [][]int, targets []int) {
 		inputs[i] = seq[:m.SeqLen]
 		targets = append(targets, seq[1:]...)
 	}
+	m.targets = targets
 	return inputs, targets
 }
 
@@ -335,8 +372,8 @@ func (m *LSTMLM) forward(b *Batch) (logits *tensor.Tensor, targets []int) {
 	h1 := m.L1.Forward(e)
 	h2 := m.L2.Forward(h1)
 	n := len(inputs)
-	flat := h2.Reshape(n*m.SeqLen, m.L2.H)
-	return m.Out.Forward(flat, true), targets
+	m.flatV = view(m.flatV, h2.Data, n*m.SeqLen, m.L2.H)
+	return m.Out.Forward(m.flatV, true), targets
 }
 
 // gradClip bounds language-model gradients; BPTT through two stacked LSTMs
@@ -352,7 +389,8 @@ func (m *LSTMLM) TrainStep(b *Batch) (float64, int) {
 	loss, correct, dlogits := m.loss.LossAndGrad(logits, targets)
 	dflat := m.Out.Backward(dlogits)
 	n := len(b.Seq)
-	dh2 := dflat.Reshape(n, m.SeqLen, m.L2.H)
+	m.dh2V = view(m.dh2V, dflat.Data, n, m.SeqLen, m.L2.H)
+	dh2 := m.dh2V
 	dh1 := m.L2.Backward(dh2)
 	de := m.L1.Backward(dh1)
 	m.Embed.BackwardLookup(de)

@@ -59,7 +59,9 @@ func TestLSTMForwardShapesAndDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	l := NewLSTM("l", 4, 6, rng)
 	x := tensor.RandN(rand.New(rand.NewSource(4)), 3, 5, 4)
-	h1 := l.Forward(x)
+	// Clone: Forward reuses its output buffer, so the second call would
+	// otherwise overwrite (and alias) the first result.
+	h1 := l.Forward(x).Clone()
 	if h1.Shape[0] != 3 || h1.Shape[1] != 5 || h1.Shape[2] != 6 {
 		t.Fatalf("hidden shape %v", h1.Shape)
 	}

@@ -17,6 +17,51 @@ import (
 	"fedmp/internal/tensor"
 )
 
+// ensure returns t when it already has exactly the given shape; otherwise it
+// allocates a fresh zero tensor. Layers use it to recycle their output and
+// workspace buffers across steps: after the first batch of a given geometry,
+// steady-state training reuses every buffer and performs no heap allocation.
+//
+// Returned buffers are owned by the layer that ensured them: a layer's
+// Forward output is valid until its next Forward call (callers that need the
+// values longer must Clone), which is exactly the lifetime the train/eval
+// loops rely on.
+func ensure(t *tensor.Tensor, shape ...int) *tensor.Tensor {
+	if t != nil && len(t.Shape) == len(shape) {
+		match := true
+		for i, d := range shape {
+			if t.Shape[i] != d {
+				match = false
+				break
+			}
+		}
+		if match {
+			return t
+		}
+	}
+	return tensor.New(shape...)
+}
+
+// view re-points a cached header tensor at data with the given shape,
+// allocating a fresh header only when the shape changes. Hot loops use it to
+// slice per-sample sub-matrices out of batch tensors without allocating.
+func view(t *tensor.Tensor, data []float32, shape ...int) *tensor.Tensor {
+	remake := t == nil || len(t.Shape) != len(shape)
+	if !remake {
+		for i, d := range shape {
+			if t.Shape[i] != d {
+				remake = true
+				break
+			}
+		}
+	}
+	if remake {
+		t = &tensor.Tensor{Shape: append([]int(nil), shape...)}
+	}
+	t.Data = data
+	return t
+}
+
 // Param is one learnable parameter tensor with its gradient accumulator.
 // Layers expose their parameters through Params so optimisers, the pruning
 // machinery and the parameter server can treat every model uniformly.

@@ -17,6 +17,7 @@ type Residual struct {
 	Body []Layer
 
 	params []*Param
+	y, dx  *tensor.Tensor // reused output buffers
 }
 
 // NewResidual constructs a residual block around body.
@@ -56,8 +57,11 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Residual %q body maps %v to %v; skip requires equal shapes",
 			r.name, x.Shape, y.Shape))
 	}
-	out := y.Clone()
-	out.Add(x)
+	out := ensure(r.y, y.Shape...)
+	r.y = out
+	for i, v := range y.Data {
+		out.Data[i] = v + x.Data[i]
+	}
 	return out
 }
 
@@ -67,7 +71,10 @@ func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	for i := len(r.Body) - 1; i >= 0; i-- {
 		dx = r.Body[i].Backward(dx)
 	}
-	out := dx.Clone()
-	out.Add(dy)
+	out := ensure(r.dx, dx.Shape...)
+	r.dx = out
+	for i, v := range dx.Data {
+		out.Data[i] = v + dy.Data[i]
+	}
 	return out
 }

@@ -1,0 +1,58 @@
+package nn
+
+// MarkSparseWeights inspects every dense layer of net and enables the
+// sparsity-aware forward kernel (tensor.MatMulTBSparseInto) on those whose
+// weight matrix contains all-zero rows — the signature of a structured
+// pruning mask, which zeroes each pruned neuron's whole [out,in] weight row.
+// It returns the number of layers switched.
+//
+// The dense kernels are deliberately branch-free, so zero skipping is never
+// applied implicitly; call this after masking a model (e.g. for the paper's
+// "masked full model" ablations) to recover pruning-proportional speedups.
+func MarkSparseWeights(net Network) int {
+	count := 0
+	switch m := net.(type) {
+	case *Sequential:
+		for _, l := range m.layers {
+			count += markSparse(l)
+		}
+	case *LSTMLM:
+		count += markSparse(m.Out)
+	}
+	return count
+}
+
+func markSparse(l Layer) int {
+	switch d := l.(type) {
+	case *Dense:
+		if hasZeroRow(d.W.W.Data, d.Out, d.In) {
+			d.SparseWeights = true
+			return 1
+		}
+	case *Residual:
+		count := 0
+		for _, b := range d.Body {
+			count += markSparse(b)
+		}
+		return count
+	}
+	return 0
+}
+
+// hasZeroRow reports whether any of the rows×cols matrix's rows is entirely
+// zero.
+func hasZeroRow(data []float32, rows, cols int) bool {
+	for r := 0; r < rows; r++ {
+		zero := true
+		for _, v := range data[r*cols : (r+1)*cols] {
+			if v != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedmp/internal/tensor"
+)
+
+func zeroWeightRow(d *Dense, row int) {
+	for j := 0; j < d.In; j++ {
+		d.W.W.Data[row*d.In+j] = 0
+	}
+}
+
+// TestMarkSparseWeights checks the detector: only layers with at least one
+// all-zero weight row (the structured-pruning mask signature) flip to the
+// sparse kernel, and the flipped layers still compute the same function.
+func TestMarkSparseWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	masked := NewDense("fc1", 12, 10, rng)
+	zeroWeightRow(masked, 3)
+	zeroWeightRow(masked, 7)
+	denseOnly := NewDense("fc2", 10, 6, rng)
+	res := NewResidual("res", NewDense("rfc", 6, 6, rng))
+	zeroWeightRow(res.Body[0].(*Dense), 0)
+	net := NewSequential(masked, NewReLU("relu"), denseOnly, res)
+
+	x := tensor.RandN(rng, 4, 12)
+	before := net.Forward(x, false).Clone()
+
+	if got := MarkSparseWeights(net); got != 2 {
+		t.Fatalf("MarkSparseWeights = %d, want 2 (masked layer + residual body)", got)
+	}
+	if !masked.SparseWeights {
+		t.Error("masked layer not flagged sparse")
+	}
+	if denseOnly.SparseWeights {
+		t.Error("fully dense layer wrongly flagged sparse")
+	}
+	if !res.Body[0].(*Dense).SparseWeights {
+		t.Error("masked residual-body layer not flagged sparse")
+	}
+
+	after := net.Forward(x, false)
+	if !tensor.AllClose(before, after, 1e-5) {
+		t.Error("sparse kernel changed the network function")
+	}
+}
+
+func TestMarkSparseWeightsLSTMLM(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewLSTMLM(16, 8, 12, 4, rng)
+	if got := MarkSparseWeights(m); got != 0 {
+		t.Fatalf("unmasked LSTMLM: MarkSparseWeights = %d, want 0", got)
+	}
+	zeroWeightRow(m.Out, 5)
+	if got := MarkSparseWeights(m); got != 1 {
+		t.Fatalf("masked LSTMLM output layer: MarkSparseWeights = %d, want 1", got)
+	}
+	if !m.Out.SparseWeights {
+		t.Error("LSTMLM output layer not flagged sparse")
+	}
+}

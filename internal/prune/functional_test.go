@@ -17,6 +17,7 @@ import (
 // catch (e.g. a transposed channel mapping that happens to be a bijection)
 // fail this test.
 func TestSubModelFunctionallyEqualsSparseModel(t *testing.T) {
+	sparseLayers := 0
 	for _, id := range zoo.ImageModelIDs {
 		for _, ratio := range []float64{0.25, 0.6} {
 			spec, err := zoo.SpecFor(id)
@@ -51,6 +52,10 @@ func TestSubModelFunctionallyEqualsSparseModel(t *testing.T) {
 				t.Fatal(err)
 			}
 			nn.SetWeights(fullNet, sparse)
+			// Route masked dense layers through the sparsity-aware kernel so
+			// this comparison also proves the skip path computes the same
+			// function as the branch-free dense kernels.
+			sparseLayers += nn.MarkSparseWeights(fullNet)
 
 			x := tensor.RandN(rand.New(rand.NewSource(4)), 3, spec.InC, spec.InH, spec.InW)
 			for _, train := range []bool{false, true} {
@@ -62,5 +67,8 @@ func TestSubModelFunctionallyEqualsSparseModel(t *testing.T) {
 				}
 			}
 		}
+	}
+	if sparseLayers == 0 {
+		t.Error("no masked model enabled the sparse dense kernel; structured pruning should leave zero weight rows")
 	}
 }

@@ -1,0 +1,451 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// This file is the matrix-multiplication engine behind MatMul, MatMulTA,
+// MatMulTB and MatVec. All four variants funnel into one cache-blocked GEMM
+// (gemm below) that packs panels of A and B into contiguous tile buffers and
+// runs a register-blocked 4×8 micro-kernel over them, so the transposed
+// variants pay no stride penalty: transposition is absorbed by the packing
+// routines.
+//
+// Blocking parameters (see DESIGN.md, "Kernel layer"):
+//
+//	mr×nr = 4×8   micro-tile held in SIMD registers while streaming the K
+//	              dimension (SSE assembly on amd64, portable Go elsewhere and
+//	              on partial edge tiles)
+//	kc    = 256   depth of a packed panel pair (A micro-panel mr·kc ≈ 4 KiB, L1)
+//	mc    = 128   rows of A packed per panel (mc·kc ≈ 128 KiB, L2)
+//	nc    = 512   columns of B packed per panel (kc·nc ≈ 512 KiB, outer level)
+//
+// Products below smallGEMMFLOPs skip packing entirely and run direct loops —
+// for tiny operands the pack traffic costs more than it saves. Products at or
+// above parallelMinFLOPs are row-sharded across a persistent worker pool when
+// GOMAXPROCS permits (see parallel.go).
+//
+// The kernels are deliberately branch-free in the inner loops: the seed
+// implementation skipped zero A elements per-element, which pessimised dense
+// (non-pruned) models on every step. Sparsity-aware multiplication now lives
+// in sparse.go and is opt-in for models carrying zero-masked weights.
+//
+// C must not alias A or B in any *Into variant: the engine writes C while
+// panels of the operands are still unread.
+
+const (
+	mrGEMM = 4
+	nrGEMM = 8
+	kcGEMM = 256
+	mcGEMM = 128
+	ncGEMM = 512
+
+	// smallGEMMFLOPs is the 2·m·k·n product below which the direct
+	// (non-packing) kernels run; 32³ sits right at the break-even point
+	// measured on the bench harness.
+	smallGEMMFLOPs = 2 * 32 * 32 * 32
+)
+
+// MatMul computes C = A·B for A of shape [m,k] and B of shape [k,n],
+// returning a new [m,n] tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul("MatMul", a, b)
+	c := New(m, n)
+	gemm(c.Data, a.Data, b.Data, false, false, m, k, n, false)
+	return c
+}
+
+// MatMulInto computes C = A·B (or C += A·B when accumulate is true) into an
+// existing [m,n] tensor, avoiding the allocation in hot training loops.
+func MatMulInto(c, a, b *Tensor, accumulate bool) {
+	m, k, n := checkMatMul("MatMulInto", a, b)
+	checkOut("MatMulInto", c, m, n)
+	gemm(c.Data, a.Data, b.Data, false, false, m, k, n, accumulate)
+}
+
+// MatMulTA computes C = Aᵀ·B for A of shape [k,m] and B of shape [k,n],
+// returning [m,n]. Used for weight gradients (dW = Xᵀ·dY).
+func MatMulTA(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMulTA("MatMulTA", a, b)
+	c := New(m, n)
+	gemm(c.Data, a.Data, b.Data, true, false, m, k, n, false)
+	return c
+}
+
+// MatMulTAInto computes C = Aᵀ·B (or C += Aᵀ·B when accumulate is true) into
+// an existing [m,n] tensor. The accumulate form writes weight gradients
+// directly into their Grad tensors without a temporary.
+func MatMulTAInto(c, a, b *Tensor, accumulate bool) {
+	m, k, n := checkMatMulTA("MatMulTAInto", a, b)
+	checkOut("MatMulTAInto", c, m, n)
+	gemm(c.Data, a.Data, b.Data, true, false, m, k, n, accumulate)
+}
+
+// MatMulTB computes C = A·Bᵀ for A of shape [m,k] and B of shape [n,k],
+// returning [m,n]. Used for input gradients (dX = dY·Wᵀ when W is [out,in]).
+func MatMulTB(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMulTB("MatMulTB", a, b)
+	c := New(m, n)
+	gemm(c.Data, a.Data, b.Data, false, true, m, k, n, false)
+	return c
+}
+
+// MatMulTBInto computes C = A·Bᵀ (or C += A·Bᵀ when accumulate is true) into
+// an existing [m,n] tensor.
+func MatMulTBInto(c, a, b *Tensor, accumulate bool) {
+	m, k, n := checkMatMulTB("MatMulTBInto", a, b)
+	checkOut("MatMulTBInto", c, m, n)
+	gemm(c.Data, a.Data, b.Data, false, true, m, k, n, accumulate)
+}
+
+func checkMatMul(op string, a, b *Tensor) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires rank-2 operands, got %v and %v", op, a.Shape, b.Shape))
+	}
+	if a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: %s inner dimensions differ: %v vs %v", op, a.Shape, b.Shape))
+	}
+	return a.Shape[0], a.Shape[1], b.Shape[1]
+}
+
+func checkMatMulTA(op string, a, b *Tensor) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires rank-2 operands, got %v and %v", op, a.Shape, b.Shape))
+	}
+	if a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: %s leading dimensions differ: %v vs %v", op, a.Shape, b.Shape))
+	}
+	return a.Shape[1], a.Shape[0], b.Shape[1]
+}
+
+func checkMatMulTB(op string, a, b *Tensor) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires rank-2 operands, got %v and %v", op, a.Shape, b.Shape))
+	}
+	if a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: %s trailing dimensions differ: %v vs %v", op, a.Shape, b.Shape))
+	}
+	return a.Shape[0], a.Shape[1], b.Shape[0]
+}
+
+func checkOut(op string, c *Tensor, m, n int) {
+	if len(c.Shape) != 2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s output shape %v, want [%d %d]", op, c.Shape, m, n))
+	}
+}
+
+// gemm computes C = A·B (or C += A·B when accumulate is set) over logical
+// operands
+//
+//	A(i,p) = aT ? a[p*m+i] : a[i*k+p]   (i < m, p < k)
+//	B(p,j) = bT ? b[j*k+p] : b[p*n+j]   (j < n)
+//
+// writing the row-major m×n result into c.
+func gemm(c, a, b []float32, aT, bT bool, m, k, n int, accumulate bool) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		if !accumulate {
+			clear(c[:m*n])
+		}
+		return
+	}
+	flops := 2 * m * k * n
+	if flops < smallGEMMFLOPs {
+		gemmDirect(c, a, b, aT, bT, m, k, n, accumulate)
+		return
+	}
+	if flops >= parallelMinFLOPs && m >= 2*parallelMinRows && runtime.GOMAXPROCS(0) > 1 {
+		gemmParallel.run(m, func(lo, hi int) {
+			gemmBlocked(c, a, b, aT, bT, m, k, n, lo, hi, accumulate)
+		})
+		return
+	}
+	gemmBlocked(c, a, b, aT, bT, m, k, n, 0, m, accumulate)
+}
+
+// gemmBlocked runs the packed blocked kernel over C rows [rlo, rhi). Shards
+// of a parallel dispatch call it with disjoint row ranges; each call packs
+// its own panels from the shared read-only operands, so shards never share
+// mutable state.
+func gemmBlocked(c, a, b []float32, aT, bT bool, m, k, n, rlo, rhi int, accumulate bool) {
+	nc := ncGEMM
+	if nc > n {
+		nc = roundUp(n, nrGEMM)
+	}
+	bbuf := Scratch.Get(kcGEMM * nc)
+	abuf := Scratch.Get(mcGEMM * kcGEMM)
+	defer Scratch.Put(abuf)
+	defer Scratch.Put(bbuf)
+
+	for jc := 0; jc < n; jc += nc {
+		nb := min(nc, n-jc)
+		for pc := 0; pc < k; pc += kcGEMM {
+			kb := min(kcGEMM, k-pc)
+			packB(bbuf.Data, b, bT, k, n, pc, kb, jc, nb)
+			acc := accumulate || pc > 0
+			for ic := rlo; ic < rhi; ic += mcGEMM {
+				mb := min(mcGEMM, rhi-ic)
+				packA(abuf.Data, a, aT, m, k, ic, mb, pc, kb)
+				for jr := 0; jr < nb; jr += nrGEMM {
+					bp := bbuf.Data[(jr/nrGEMM)*kb*nrGEMM:]
+					jn := min(nrGEMM, nb-jr)
+					for ir := 0; ir < mb; ir += mrGEMM {
+						ap := abuf.Data[(ir/mrGEMM)*kb*mrGEMM:]
+						im := min(mrGEMM, mb-ir)
+						cc := c[(ic+ir)*n+jc+jr:]
+						if useAsmKernel && im == mrGEMM && jn == nrGEMM {
+							gemmKernel4x8(&cc[0], uintptr(n*4), &ap[0], &bp[0], uint64(kb), boolToUint64(acc))
+						} else {
+							microTileGo(cc, n, ap, bp, kb, acc, im, jn)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// packA copies the logical block A[rlo:rlo+mb, p0:p0+kb] into dst as
+// micro-panels of mr rows: panel t holds, for each p, the mr values of rows
+// rlo+t·mr .. rlo+t·mr+mr−1 at column p, zero-padded when mb is not a
+// multiple of mr. The micro-kernel then streams each panel sequentially.
+func packA(dst, a []float32, aT bool, m, k, rlo, mb, p0, kb int) {
+	for t := 0; t*mrGEMM < mb; t++ {
+		panel := dst[t*kb*mrGEMM : (t+1)*kb*mrGEMM]
+		rows := min(mrGEMM, mb-t*mrGEMM)
+		base := rlo + t*mrGEMM
+		if aT {
+			// A stored [k,m]: column p of the block is contiguous.
+			for p := 0; p < kb; p++ {
+				src := a[(p0+p)*m+base : (p0+p)*m+base+rows]
+				d := panel[p*mrGEMM : p*mrGEMM+mrGEMM]
+				copy(d, src)
+				for r := rows; r < mrGEMM; r++ {
+					d[r] = 0
+				}
+			}
+		} else {
+			for r := 0; r < mrGEMM; r++ {
+				if r >= rows {
+					for p := 0; p < kb; p++ {
+						panel[p*mrGEMM+r] = 0
+					}
+					continue
+				}
+				src := a[(base+r)*k+p0 : (base+r)*k+p0+kb]
+				for p, v := range src {
+					panel[p*mrGEMM+r] = v
+				}
+			}
+		}
+	}
+}
+
+// packB copies the logical block B[p0:p0+kb, jlo:jlo+nb] into dst as
+// micro-panels of nr columns: panel u holds, for each p, the nr values of
+// columns jlo+u·nr .. jlo+u·nr+nr−1 at row p, zero-padded on the right edge.
+func packB(dst, b []float32, bT bool, k, n, p0, kb, jlo, nb int) {
+	for u := 0; u*nrGEMM < nb; u++ {
+		panel := dst[u*kb*nrGEMM : (u+1)*kb*nrGEMM]
+		cols := min(nrGEMM, nb-u*nrGEMM)
+		base := jlo + u*nrGEMM
+		if bT {
+			// B stored [n,k]: row j of storage is logical column j.
+			for j := 0; j < nrGEMM; j++ {
+				if j >= cols {
+					for p := 0; p < kb; p++ {
+						panel[p*nrGEMM+j] = 0
+					}
+					continue
+				}
+				src := b[(base+j)*k+p0 : (base+j)*k+p0+kb]
+				for p, v := range src {
+					panel[p*nrGEMM+j] = v
+				}
+			}
+		} else {
+			for p := 0; p < kb; p++ {
+				src := b[(p0+p)*n+base : (p0+p)*n+base+cols]
+				d := panel[p*nrGEMM : p*nrGEMM+nrGEMM]
+				copy(d, src)
+				for j := cols; j < nrGEMM; j++ {
+					d[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// microTileGo accumulates an mb×nb (≤ 4×8) tile of C from packed panels ap
+// (mr·kb) and bp (nr·kb). It is the portable micro-kernel: architectures
+// without the assembly kernel run every tile through it, and amd64 uses it
+// for partial edge tiles only. Panels are zero-padded, so the full 4×8 tile
+// is always computed and the invalid fringe merely discarded on write-back.
+func microTileGo(c []float32, ldc int, ap, bp []float32, kb int, acc bool, mb, nb int) {
+	var tile [mrGEMM][nrGEMM]float32
+	ap = ap[: kb*mrGEMM : kb*mrGEMM]
+	bp = bp[: kb*nrGEMM : kb*nrGEMM]
+	for p := 0; p < kb; p++ {
+		av := ap[p*mrGEMM : p*mrGEMM+mrGEMM : p*mrGEMM+mrGEMM]
+		bv := bp[p*nrGEMM : p*nrGEMM+nrGEMM : p*nrGEMM+nrGEMM]
+		for r := 0; r < mrGEMM; r++ {
+			ar := av[r]
+			for j := 0; j < nrGEMM; j++ {
+				tile[r][j] += ar * bv[j]
+			}
+		}
+	}
+	for i := 0; i < mb; i++ {
+		row := c[i*ldc : i*ldc+nb]
+		if acc {
+			for j := 0; j < nb; j++ {
+				row[j] += tile[i][j]
+			}
+		} else {
+			for j := 0; j < nb; j++ {
+				row[j] = tile[i][j]
+			}
+		}
+	}
+}
+
+func boolToUint64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// gemmDirect handles products too small to amortise packing: plain loops in
+// the best order for each storage combination, with no per-element branches.
+func gemmDirect(c, a, b []float32, aT, bT bool, m, k, n int, accumulate bool) {
+	switch {
+	case !aT && !bT:
+		if !accumulate {
+			clear(c[:m*n])
+		}
+		for i := 0; i < m; i++ {
+			ci := c[i*n : i*n+n]
+			ai := a[i*k : i*k+k]
+			for p, aip := range ai {
+				bp := b[p*n : p*n+n]
+				for j, bv := range bp {
+					ci[j] += aip * bv
+				}
+			}
+		}
+	case aT && !bT:
+		if !accumulate {
+			clear(c[:m*n])
+		}
+		for p := 0; p < k; p++ {
+			ap := a[p*m : p*m+m]
+			bp := b[p*n : p*n+n]
+			for i, av := range ap {
+				ci := c[i*n : i*n+n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	case !aT && bT:
+		for i := 0; i < m; i++ {
+			ai := a[i*k : i*k+k]
+			ci := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : j*k+k]
+				var s float32
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				if accumulate {
+					ci[j] += s
+				} else {
+					ci[j] = s
+				}
+			}
+		}
+	default: // aT && bT — not reachable from the public API, kept for safety.
+		for i := 0; i < m; i++ {
+			ci := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : j*k+k]
+				var s float32
+				for p := 0; p < k; p++ {
+					s += a[p*m+i] * bj[p]
+				}
+				if accumulate {
+					ci[j] += s
+				} else {
+					ci[j] = s
+				}
+			}
+		}
+	}
+}
+
+// MatVec computes y = A·x for A of shape [m,n] and x of length n.
+func MatVec(a *Tensor, x []float32) []float32 {
+	if len(a.Shape) != 2 || a.Shape[1] != len(x) {
+		panic(fmt.Sprintf("tensor: MatVec shape %v with vector length %d", a.Shape, len(x)))
+	}
+	y := make([]float32, a.Shape[0])
+	matVec(y, a.Data, x, a.Shape[0], a.Shape[1], false)
+	return y
+}
+
+// MatVecInto computes y = A·x (or y += A·x when accumulate is true) into an
+// existing length-m slice.
+func MatVecInto(y []float32, a *Tensor, x []float32, accumulate bool) {
+	if len(a.Shape) != 2 || a.Shape[1] != len(x) {
+		panic(fmt.Sprintf("tensor: MatVecInto shape %v with vector length %d", a.Shape, len(x)))
+	}
+	if len(y) != a.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatVecInto output length %d, want %d", len(y), a.Shape[0]))
+	}
+	matVec(y, a.Data, x, a.Shape[0], a.Shape[1], accumulate)
+}
+
+// matVec processes four rows of A per pass so each x element is loaded once
+// per four multiply-adds.
+func matVec(y, a, x []float32, m, n int, accumulate bool) {
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		r0 := a[(i+0)*n : (i+0)*n+n]
+		r1 := a[(i+1)*n : (i+1)*n+n]
+		r2 := a[(i+2)*n : (i+2)*n+n]
+		r3 := a[(i+3)*n : (i+3)*n+n]
+		var s0, s1, s2, s3 float32
+		for j, xv := range x {
+			s0 += r0[j] * xv
+			s1 += r1[j] * xv
+			s2 += r2[j] * xv
+			s3 += r3[j] * xv
+		}
+		if accumulate {
+			y[i] += s0
+			y[i+1] += s1
+			y[i+2] += s2
+			y[i+3] += s3
+		} else {
+			y[i], y[i+1], y[i+2], y[i+3] = s0, s1, s2, s3
+		}
+	}
+	for ; i < m; i++ {
+		row := a[i*n : i*n+n]
+		var s float32
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		if accumulate {
+			y[i] += s
+		} else {
+			y[i] = s
+		}
+	}
+}
+
+func roundUp(v, to int) int { return (v + to - 1) / to * to }

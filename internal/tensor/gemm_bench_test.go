@@ -1,0 +1,96 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel micro-benchmarks. `make bench` (cmd/fedmp-bench -bench-json) runs
+// the same shapes programmatically and writes BENCH_kernels.json with the
+// speedups over the seed kernels; see EXPERIMENTS.md for regenerating the
+// table.
+
+func benchGEMM(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandN(rng, m, k)
+	y := RandN(rng, k, n)
+	out := New(m, n)
+	b.SetBytes(int64(2 * m * k * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, x, y, false)
+	}
+}
+
+func BenchmarkGEMM32(b *testing.B)  { benchGEMM(b, 32, 32, 32) }
+func BenchmarkGEMM64(b *testing.B)  { benchGEMM(b, 64, 64, 64) }
+func BenchmarkGEMM128(b *testing.B) { benchGEMM(b, 128, 128, 128) }
+func BenchmarkGEMM256(b *testing.B) { benchGEMM(b, 256, 256, 256) }
+func BenchmarkGEMM512(b *testing.B) { benchGEMM(b, 512, 512, 512) }
+
+func BenchmarkGEMMTA128(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := RandN(rng, 128, 128)
+	y := RandN(rng, 128, 128)
+	out := New(128, 128)
+	b.SetBytes(2 * 128 * 128 * 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTAInto(out, x, y, false)
+	}
+}
+
+func BenchmarkGEMMTB128(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := RandN(rng, 128, 128)
+	y := RandN(rng, 128, 128)
+	out := New(128, 128)
+	b.SetBytes(2 * 128 * 128 * 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTBInto(out, x, y, false)
+	}
+}
+
+func BenchmarkGEMMAccumulate128(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := RandN(rng, 128, 128)
+	y := RandN(rng, 128, 128)
+	out := New(128, 128)
+	b.SetBytes(2 * 128 * 128 * 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, x, y, true)
+	}
+}
+
+func BenchmarkMatVec256(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := RandN(rng, 256, 256)
+	x := RandN(rng, 256)
+	y := make([]float32, 256)
+	b.SetBytes(2 * 256 * 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVecInto(y, a, x.Data, false)
+	}
+}
+
+// BenchmarkGEMMSparseTB128 measures the pruning-mask path with half the
+// weight rows zeroed; ideally ~2× the dense TB time per remaining row.
+func BenchmarkGEMMSparseTB128(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := RandN(rng, 128, 128)
+	w := RandN(rng, 128, 128)
+	for r := 0; r < 128; r += 2 {
+		for j := 0; j < 128; j++ {
+			w.Data[r*128+j] = 0
+		}
+	}
+	out := New(128, 128)
+	b.SetBytes(2 * 128 * 128 * 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTBSparseInto(out, x, w, false)
+	}
+}

@@ -1,0 +1,21 @@
+//go:build amd64
+
+package tensor
+
+// useAsmKernel selects the SSE micro-kernel for full 4×8 tiles. amd64's
+// floating-point baseline is SSE2, so no runtime feature detection is needed.
+const useAsmKernel = true
+
+// gemmKernel4x8 computes the full 4×8 micro-tile update
+//
+//	C[0:4, 0:8] (+)= Aᵖ·Bᵖ
+//
+// from packed panels: ap holds kb groups of 4 A values (one per C row), bp
+// holds kb groups of 8 B values (one per C column). ldcBytes is the C row
+// stride in bytes. acc selects accumulate (1) or overwrite (0).
+//
+// The 32 partial sums live in SSE registers X0–X7 for the whole K loop;
+// see gemm_kernel_amd64.s.
+//
+//go:noescape
+func gemmKernel4x8(c *float32, ldcBytes uintptr, ap, bp *float32, kb, acc uint64)

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package tensor
+
+// useAsmKernel is false on architectures without an assembly micro-kernel;
+// every tile then runs through the portable microTileGo path.
+const useAsmKernel = false
+
+// gemmKernel4x8 is unreachable when useAsmKernel is false; the stub keeps the
+// package compiling on non-amd64 targets.
+func gemmKernel4x8(c *float32, ldcBytes uintptr, ap, bp *float32, kb, acc uint64) {
+	panic("tensor: gemmKernel4x8 is amd64-only")
+}

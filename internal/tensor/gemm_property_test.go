@@ -1,0 +1,215 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests pinning every GEMM variant against a straightforward
+// reference implementation across a shape grid that crosses all the engine's
+// internal thresholds: the direct small-product path, the packed blocked
+// path, full 4×8 assembly tiles and partial Go edge tiles (dimensions one
+// past a tile or block boundary, like 65).
+
+// refGEMM is the O(mkn) reference: C (+)= op(A)·op(B) with the same logical
+// indexing as the engine.
+func refGEMM(c, a, b []float32, aT, bT bool, m, k, n int, accumulate bool) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				var av, bv float32
+				if aT {
+					av = a[p*m+i]
+				} else {
+					av = a[i*k+p]
+				}
+				if bT {
+					bv = b[j*k+p]
+				} else {
+					bv = b[p*n+j]
+				}
+				s += float64(av) * float64(bv)
+			}
+			if accumulate {
+				c[i*n+j] += float32(s)
+			} else {
+				c[i*n+j] = float32(s)
+			}
+		}
+	}
+}
+
+// propShapes crosses tile (4, 8), block (64) and threshold boundaries.
+var propShapes = []int{1, 3, 7, 17, 64, 65}
+
+func maxAbsDiff(a, b []float32) float64 {
+	var worst float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func testVariantAgainstReference(t *testing.T, aT, bT bool,
+	mul func(c, a, b *Tensor, accumulate bool)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	const tol = 1e-4
+	for _, m := range propShapes {
+		for _, k := range propShapes {
+			for _, n := range propShapes {
+				for _, accumulate := range []bool{false, true} {
+					var a, b *Tensor
+					if aT {
+						a = RandN(rng, k, m)
+					} else {
+						a = RandN(rng, m, k)
+					}
+					if bT {
+						b = RandN(rng, n, k)
+					} else {
+						b = RandN(rng, k, n)
+					}
+					got := RandN(rng, m, n) // non-zero initial C exercises accumulate
+					want := got.Clone()
+					if !accumulate {
+						want.Zero()
+					}
+					refGEMM(want.Data, a.Data, b.Data, aT, bT, m, k, n, accumulate)
+					mul(got, a, b, accumulate)
+					if d := maxAbsDiff(got.Data, want.Data); d > tol {
+						t.Errorf("m=%d k=%d n=%d accumulate=%v: max |diff| %g > %g",
+							m, k, n, accumulate, d, tol)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulIntoMatchesReference(t *testing.T) {
+	testVariantAgainstReference(t, false, false, MatMulInto)
+}
+
+func TestMatMulTAIntoMatchesReference(t *testing.T) {
+	testVariantAgainstReference(t, true, false, MatMulTAInto)
+}
+
+func TestMatMulTBIntoMatchesReference(t *testing.T) {
+	testVariantAgainstReference(t, false, true, MatMulTBInto)
+}
+
+func TestMatVecIntoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const tol = 1e-4
+	for _, m := range propShapes {
+		for _, n := range propShapes {
+			for _, accumulate := range []bool{false, true} {
+				a := RandN(rng, m, n)
+				x := RandN(rng, n)
+				got := RandN(rng, m)
+				want := got.Clone()
+				if !accumulate {
+					want.Zero()
+				}
+				refGEMM(want.Data, a.Data, x.Data, false, false, m, n, 1, accumulate)
+				MatVecInto(got.Data, a, x.Data, accumulate)
+				if d := maxAbsDiff(got.Data, want.Data); d > tol {
+					t.Errorf("m=%d n=%d accumulate=%v: max |diff| %g > %g", m, n, accumulate, d, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestAllocatingVariantsMatchInto pins the allocating wrappers to their Into
+// forms on a couple of non-trivial shapes.
+func TestAllocatingVariantsMatchInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := RandN(rng, 33, 65)
+	b := RandN(rng, 65, 17)
+	want := New(33, 17)
+	MatMulInto(want, a, b, false)
+	if got := MatMul(a, b); !Equal(got, want) {
+		t.Error("MatMul disagrees with MatMulInto")
+	}
+	at := RandN(rng, 65, 33)
+	wantTA := New(33, 17)
+	MatMulTAInto(wantTA, at, b, false)
+	if got := MatMulTA(at, b); !Equal(got, wantTA) {
+		t.Error("MatMulTA disagrees with MatMulTAInto")
+	}
+	bt := RandN(rng, 17, 65)
+	wantTB := New(33, 17)
+	MatMulTBInto(wantTB, a, bt, false)
+	if got := MatMulTB(a, bt); !Equal(got, wantTB) {
+		t.Error("MatMulTB disagrees with MatMulTBInto")
+	}
+}
+
+// TestGEMMLargeBlockedAgainstReference runs one product big enough to span
+// several kc/mc/nc blocks, where packing bookkeeping bugs would surface.
+func TestGEMMLargeBlockedAgainstReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large blocked product")
+	}
+	rng := rand.New(rand.NewSource(14))
+	const m, k, n = 150, 300, 530 // > mc, > kc, > nc
+	a := RandN(rng, m, k)
+	b := RandN(rng, k, n)
+	want := make([]float32, m*n)
+	refGEMM(want, a.Data, b.Data, false, false, m, k, n, false)
+	got := New(m, n)
+	MatMulInto(got, a, b, false)
+	// |dot| over k=300 random N(0,1) terms is O(√k); scale the tolerance.
+	if d := maxAbsDiff(got.Data, want); d > 1e-3 {
+		t.Errorf("max |diff| %g > 1e-3", d)
+	}
+}
+
+func TestGEMMZeroDims(t *testing.T) {
+	// k=0 must clear (or preserve, when accumulating) C without touching
+	// the operands.
+	c := Full(7, 2, 3)
+	MatMulInto(c, New(2, 0), New(0, 3), false)
+	for i, v := range c.Data {
+		if v != 0 {
+			t.Fatalf("c[%d] = %v after k=0 overwrite, want 0", i, v)
+		}
+	}
+	c = Full(7, 2, 3)
+	MatMulInto(c, New(2, 0), New(0, 3), true)
+	for i, v := range c.Data {
+		if v != 7 {
+			t.Fatalf("c[%d] = %v after k=0 accumulate, want 7", i, v)
+		}
+	}
+}
+
+func TestGEMMShapePanicMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"MatMulInto-out", func() { MatMulInto(New(2, 2), New(2, 3), New(3, 4), false) }},
+		{"MatMulTAInto-out", func() { MatMulTAInto(New(2, 2), New(3, 2), New(3, 4), false) }},
+		{"MatMulTBInto-out", func() { MatMulTBInto(New(2, 2), New(2, 3), New(4, 3), false) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on bad output shape", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}

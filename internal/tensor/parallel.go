@@ -1,0 +1,83 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel GEMM dispatch: large products are sharded by C rows across a
+// persistent worker pool. Each shard runs the serial blocked kernel over a
+// disjoint row range of C with its own pack buffers, so the only shared state
+// is the read-only operands — the path is race-clean by construction.
+//
+// The pool is started lazily on the first qualifying product and amortised
+// across all subsequent calls. Dispatch falls back to the serial kernel when
+// GOMAXPROCS is 1, when the product is below parallelMinFLOPs, or when C has
+// too few rows to give every shard at least parallelMinRows rows.
+
+const (
+	// parallelMinFLOPs is the 2·m·k·n product at which row-sharding starts
+	// to pay for its synchronisation: ~4.2 MFLOPs, i.e. a 128³ GEMM.
+	parallelMinFLOPs = 1 << 22
+	// parallelMinRows is the minimum C rows per shard; finer shards spend
+	// more time packing B redundantly than computing.
+	parallelMinRows = 32
+)
+
+type gemmTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+type gemmWorkerPool struct {
+	once  sync.Once
+	tasks chan gemmTask
+}
+
+var gemmParallel gemmWorkerPool
+
+func (p *gemmWorkerPool) start() {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		// Keep two workers even on a single-CPU host so that raising
+		// GOMAXPROCS (tests, containers resized at runtime) immediately
+		// enables the parallel path.
+		workers = 2
+	}
+	p.tasks = make(chan gemmTask, 4*workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range p.tasks {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// run executes fn over [0, m) split into row shards. The calling goroutine
+// always executes the final shard itself, so a saturated pool degrades to
+// serial execution instead of blocking. Safe for concurrent use by multiple
+// callers; tasks never spawn sub-tasks, so the pool cannot deadlock.
+func (p *gemmWorkerPool) run(m int, fn func(lo, hi int)) {
+	shards := m / parallelMinRows
+	if procs := runtime.GOMAXPROCS(0); shards > procs {
+		shards = procs
+	}
+	if shards < 2 {
+		fn(0, m)
+		return
+	}
+	p.once.Do(p.start)
+	chunk := (m + shards - 1) / shards
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+chunk < m {
+		wg.Add(1)
+		p.tasks <- gemmTask{fn: fn, lo: lo, hi: lo + chunk, wg: &wg}
+		lo += chunk
+	}
+	fn(lo, m)
+	wg.Wait()
+}

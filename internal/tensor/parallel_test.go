@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestGEMMParallelMatchesSerial raises GOMAXPROCS so the row-sharded parallel
+// path engages (the gate requires GOMAXPROCS > 1, ≥ 2·parallelMinRows rows
+// and ≥ parallelMinFLOPs work) and checks it against the serial reference.
+// Under `go test -race` this doubles as the data-race proof for the worker
+// pool.
+func TestGEMMParallelMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(21))
+	const m, k, n = 192, 160, 160 // 2·m·k·n ≈ 9.8 MFLOPs ≥ parallelMinFLOPs
+	if 2*m*k*n < parallelMinFLOPs || m < 2*parallelMinRows {
+		t.Fatalf("test shape no longer crosses the parallel gate; fix the test")
+	}
+	for _, accumulate := range []bool{false, true} {
+		a := RandN(rng, m, k)
+		b := RandN(rng, k, n)
+		got := RandN(rng, m, n)
+		want := got.Clone()
+		gemmBlocked(want.Data, a.Data, b.Data, false, false, m, k, n, 0, m, accumulate)
+		MatMulInto(got, a, b, accumulate)
+		if d := maxAbsDiff(got.Data, want.Data); d > 1e-4 {
+			t.Errorf("accumulate=%v: parallel vs serial max |diff| %g", accumulate, d)
+		}
+	}
+}
+
+// TestGEMMParallelTransposedVariants pushes the transposed kernels through
+// the sharded path too; the packing routines absorb the strides, so shard
+// boundaries interact with both storage layouts.
+func TestGEMMParallelTransposedVariants(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(22))
+	const m, k, n = 192, 160, 160
+	at := RandN(rng, k, m)
+	bt := RandN(rng, n, k)
+	a := RandN(rng, m, k)
+	b := RandN(rng, k, n)
+
+	gotTA := New(m, n)
+	MatMulTAInto(gotTA, at, b, false)
+	wantTA := New(m, n)
+	gemmBlocked(wantTA.Data, at.Data, b.Data, true, false, m, k, n, 0, m, false)
+	if d := maxAbsDiff(gotTA.Data, wantTA.Data); d > 1e-4 {
+		t.Errorf("TA: parallel vs serial max |diff| %g", d)
+	}
+
+	gotTB := New(m, n)
+	MatMulTBInto(gotTB, a, bt, false)
+	wantTB := New(m, n)
+	gemmBlocked(wantTB.Data, a.Data, bt.Data, false, true, m, k, n, 0, m, false)
+	if d := maxAbsDiff(gotTB.Data, wantTB.Data); d > 1e-4 {
+		t.Errorf("TB: parallel vs serial max |diff| %g", d)
+	}
+}
+
+// TestGEMMConcurrentCallers hammers the engine from several goroutines at
+// once — the scratch pool and worker pool are shared process-wide, so this is
+// the contention case the federated simulator (one model per worker
+// goroutine) produces.
+func TestGEMMConcurrentCallers(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(30 + w)))
+			const m, k, n = 96, 96, 96
+			a := RandN(rng, m, k)
+			b := RandN(rng, k, n)
+			want := make([]float32, m*n)
+			refGEMM(want, a.Data, b.Data, false, false, m, k, n, false)
+			got := New(m, n)
+			for iter := 0; iter < 8; iter++ {
+				MatMulInto(got, a, b, false)
+				if d := maxAbsDiff(got.Data, want); d > errs[w] {
+					errs[w] = d
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, d := range errs {
+		if d > 1e-4 {
+			t.Errorf("worker %d: max |diff| %g", w, d)
+		}
+	}
+}
+
+func TestPoolRecyclesBuffers(t *testing.T) {
+	var p Pool
+	b := p.Get(1000)
+	if len(b.Data) != 1000 {
+		t.Fatalf("Get(1000) returned length %d", len(b.Data))
+	}
+	if cap(b.Data) != 1024 {
+		t.Fatalf("Get(1000) backing capacity %d, want size class 1024", cap(b.Data))
+	}
+	p.Put(b)
+	// Same class, different length: must come back resliced.
+	b2 := p.Get(600)
+	if len(b2.Data) != 600 {
+		t.Fatalf("Get(600) returned length %d", len(b2.Data))
+	}
+	p.Put(b2)
+}
+
+func TestPoolOversizeNotRecycled(t *testing.T) {
+	var p Pool
+	huge := 1 << (poolMinShift + poolClasses) // one class past the largest
+	b := p.Get(huge)
+	if len(b.Data) != huge {
+		t.Fatalf("oversize Get returned length %d", len(b.Data))
+	}
+	if b.class != -1 {
+		t.Fatalf("oversize buffer class %d, want -1", b.class)
+	}
+	p.Put(b)   // must be a no-op, not a panic
+	p.Put(nil) // nil is also a no-op
+}
+
+func TestPoolClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {256, 0}, {257, 1}, {512, 1}, {513, 2},
+		{1 << (poolMinShift + poolClasses - 1), poolClasses - 1},
+		{1<<(poolMinShift+poolClasses-1) + 1, -1},
+	}
+	for _, tc := range cases {
+		if got := classFor(tc.n); got != tc.class {
+			t.Errorf("classFor(%d) = %d, want %d", tc.n, got, tc.class)
+		}
+	}
+}
+
+func TestPoolSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		// The race detector makes sync.Pool drop items at random, so the
+		// zero-alloc property does not hold under -race.
+		t.Skip("sync.Pool reuse is randomised under the race detector")
+	}
+	var p Pool
+	// Warm the class.
+	p.Put(p.Get(4096))
+	got := testing.AllocsPerRun(100, func() {
+		b := p.Get(4096)
+		p.Put(b)
+	})
+	if got > 0 {
+		t.Errorf("steady-state Get/Put allocates %.1f objects, want 0", got)
+	}
+}

@@ -1,0 +1,74 @@
+package tensor
+
+import "sync"
+
+// Pool is a size-classed scratch arena for float32 buffers, backed by
+// sync.Pool. The GEMM engine draws its pack buffers from it, the layers in
+// internal/nn use it for transient workspaces (im2col gradient columns, LSTM
+// gate scratch), and callers may share it freely across goroutines: every
+// method is safe for concurrent use.
+//
+// Buffers are handed out inside a *Buffer wrapper so that steady-state
+// Get/Put cycles allocate nothing: the wrapper object itself is recycled
+// through the sync.Pool alongside its backing array.
+type Pool struct {
+	classes [poolClasses]sync.Pool
+}
+
+// Buffer is a pooled float32 scratch buffer. Data has exactly the requested
+// length; its backing array is rounded up to the size class. Callers must not
+// retain Data after returning the buffer with Pool.Put.
+type Buffer struct {
+	Data  []float32
+	class int
+}
+
+// poolClasses covers power-of-two size classes from 2^poolMinShift up to
+// 2^(poolMinShift+poolClasses-1) elements (256 .. 64Mi floats). Requests
+// above the largest class are allocated directly and not recycled.
+const (
+	poolMinShift = 8
+	poolClasses  = 19
+)
+
+// classFor returns the smallest size class holding n elements, or -1 when n
+// exceeds the largest class.
+func classFor(n int) int {
+	size := 1 << poolMinShift
+	for c := 0; c < poolClasses; c++ {
+		if n <= size {
+			return c
+		}
+		size <<= 1
+	}
+	return -1
+}
+
+// Get returns a scratch buffer whose Data slice has length n. The contents
+// are unspecified (buffers are not cleared on reuse); callers that need zeros
+// must clear explicitly.
+func (p *Pool) Get(n int) *Buffer {
+	c := classFor(n)
+	if c < 0 {
+		return &Buffer{Data: make([]float32, n), class: -1}
+	}
+	if v := p.classes[c].Get(); v != nil {
+		b := v.(*Buffer)
+		b.Data = b.Data[:n]
+		return b
+	}
+	return &Buffer{Data: make([]float32, n, 1<<(poolMinShift+c)), class: c}
+}
+
+// Put returns a buffer obtained from Get to the pool. Put of a nil buffer is
+// a no-op. The buffer must not be used afterwards.
+func (p *Pool) Put(b *Buffer) {
+	if b == nil || b.class < 0 {
+		return
+	}
+	p.classes[b.class].Put(b)
+}
+
+// Scratch is the package-level scratch pool shared by the GEMM engine and
+// any caller that wants pooled workspaces without owning a Pool.
+var Scratch = &Pool{}

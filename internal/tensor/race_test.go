@@ -1,0 +1,8 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports whether the race detector instruments this test build;
+// tests use it to skip assertions (allocation counts, sync.Pool reuse) the
+// detector deliberately perturbs.
+const raceEnabled = true

@@ -1,0 +1,85 @@
+package tensor
+
+// Sparsity-aware multiplication. The dense kernels in gemm.go are
+// deliberately branch-free; the variants here re-introduce zero skipping for
+// operands that are *known* to carry pruning-mask zeros (the paper's "sparse
+// model": global-shaped weights with whole filters/neurons zeroed). Callers
+// opt in explicitly — see nn.Dense.SparseWeights — so dense training never
+// pays for the checks.
+
+// MatMulTBSparse computes C = A·Bᵀ for A [m,k] and B [n,k], skipping rows of
+// B that are entirely zero. With the [out,in] weight layout used by dense
+// layers, a structured-pruning mask zeroes whole B rows, so the work drops
+// roughly in proportion to the pruning ratio.
+func MatMulTBSparse(a, b *Tensor) *Tensor {
+	m, _, n := checkMatMulTB("MatMulTBSparse", a, b)
+	c := New(m, n)
+	matMulTBSparse(c, a, b, false)
+	return c
+}
+
+// MatMulTBSparseInto is the in-place form of MatMulTBSparse. When accumulate
+// is false, columns of C corresponding to zero rows of B are cleared.
+func MatMulTBSparseInto(c, a, b *Tensor, accumulate bool) {
+	m, _, n := checkMatMulTB("MatMulTBSparseInto", a, b)
+	checkOut("MatMulTBSparseInto", c, m, n)
+	matMulTBSparse(c, a, b, accumulate)
+}
+
+func matMulTBSparse(c, a, b *Tensor, accumulate bool) {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	for j := 0; j < n; j++ {
+		bj := b.Data[j*k : j*k+k]
+		nonzero := false
+		for _, v := range bj {
+			if v != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			if !accumulate {
+				for i := 0; i < m; i++ {
+					c.Data[i*n+j] = 0
+				}
+			}
+			continue
+		}
+		for i := 0; i < m; i++ {
+			ai := a.Data[i*k : i*k+k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			if accumulate {
+				c.Data[i*n+j] += s
+			} else {
+				c.Data[i*n+j] = s
+			}
+		}
+	}
+}
+
+// MatMulSparseInto computes C = A·B (or C += A·B) skipping zero elements of
+// A — the seed kernel's behaviour, retained for operands with fine-grained
+// (unstructured) masking where whole-row skipping does not apply.
+func MatMulSparseInto(c, a, b *Tensor, accumulate bool) {
+	m, k, n := checkMatMul("MatMulSparseInto", a, b)
+	checkOut("MatMulSparseInto", c, m, n)
+	if !accumulate {
+		clear(c.Data[:m*n])
+	}
+	for i := 0; i < m; i++ {
+		ci := c.Data[i*n : i*n+n]
+		ai := a.Data[i*k : i*k+k]
+		for p, aip := range ai {
+			if aip == 0 {
+				continue
+			}
+			bp := b.Data[p*n : p*n+n]
+			for j, bv := range bp {
+				ci[j] += aip * bv
+			}
+		}
+	}
+}

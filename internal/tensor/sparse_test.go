@@ -1,0 +1,94 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// maskRows zeroes whole rows of the [rows, cols] matrix t, the shape of a
+// structured-pruning mask on an [out,in] dense weight.
+func maskRows(t *Tensor, rows []int) {
+	cols := t.Shape[1]
+	for _, r := range rows {
+		for j := 0; j < cols; j++ {
+			t.Data[r*cols+j] = 0
+		}
+	}
+}
+
+func TestMatMulTBSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, shape := range []struct{ m, k, n int }{
+		{1, 5, 9}, {8, 32, 16}, {17, 65, 33},
+	} {
+		a := RandN(rng, shape.m, shape.k)
+		b := RandN(rng, shape.n, shape.k)
+		maskRows(b, []int{0, shape.n / 2, shape.n - 1})
+		want := MatMulTB(a, b)
+		got := MatMulTBSparse(a, b)
+		if d := maxAbsDiff(got.Data, want.Data); d > 1e-4 {
+			t.Errorf("m=%d k=%d n=%d: sparse vs dense max |diff| %g", shape.m, shape.k, shape.n, d)
+		}
+	}
+}
+
+func TestMatMulTBSparseIntoClearsMaskedColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := RandN(rng, 4, 8)
+	b := RandN(rng, 6, 8)
+	maskRows(b, []int{1, 4})
+	c := Full(3, 4, 6) // stale values everywhere
+	MatMulTBSparseInto(c, a, b, false)
+	for i := 0; i < 4; i++ {
+		for _, j := range []int{1, 4} {
+			if c.Data[i*6+j] != 0 {
+				t.Errorf("c[%d,%d] = %v, want 0 (masked column must be cleared)", i, j, c.Data[i*6+j])
+			}
+		}
+	}
+	want := MatMulTB(a, b)
+	if d := maxAbsDiff(c.Data, want.Data); d > 1e-4 {
+		t.Errorf("overwrite result max |diff| %g", d)
+	}
+}
+
+func TestMatMulTBSparseIntoAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := RandN(rng, 4, 8)
+	b := RandN(rng, 6, 8)
+	maskRows(b, []int{2})
+	c := RandN(rng, 4, 6)
+	want := c.Clone()
+	denseTerm := MatMulTB(a, b)
+	want.Add(denseTerm)
+	MatMulTBSparseInto(c, a, b, true)
+	if d := maxAbsDiff(c.Data, want.Data); d > 1e-4 {
+		t.Errorf("accumulate result max |diff| %g", d)
+	}
+}
+
+func TestMatMulSparseIntoMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := RandN(rng, 9, 17)
+	// Unstructured fine-grained zeros in A.
+	for i := range a.Data {
+		if rng.Float32() < 0.5 {
+			a.Data[i] = 0
+		}
+	}
+	b := RandN(rng, 17, 13)
+	want := New(9, 13)
+	MatMulInto(want, a, b, false)
+	got := New(9, 13)
+	MatMulSparseInto(got, a, b, false)
+	if d := maxAbsDiff(got.Data, want.Data); d > 1e-4 {
+		t.Errorf("overwrite: sparse vs dense max |diff| %g", d)
+	}
+	gotAcc := RandN(rng, 9, 13)
+	wantAcc := gotAcc.Clone()
+	MatMulInto(wantAcc, a, b, true)
+	MatMulSparseInto(gotAcc, a, b, true)
+	if d := maxAbsDiff(gotAcc.Data, wantAcc.Data); d > 1e-4 {
+		t.Errorf("accumulate: sparse vs dense max |diff| %g", d)
+	}
+}

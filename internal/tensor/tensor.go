@@ -38,13 +38,19 @@ func Prod(dims []int) int {
 }
 
 // New returns a zero-filled tensor with the given shape.
+//
+// The shape argument is copied immediately and never retained or passed on,
+// so escape analysis can keep callers' variadic shape literals on the stack —
+// hot loops that probe buffer caches (see nn's ensure helper) rely on this to
+// stay allocation-free on the cache-hit path.
 func New(shape ...int) *Tensor {
-	for _, d := range shape {
+	s := append([]int(nil), shape...)
+	for _, d := range s {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", s))
 		}
 	}
-	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, Prod(shape))}
+	return &Tensor{Shape: s, Data: make([]float32, Prod(s))}
 }
 
 // Zeros is an alias for New, provided for readability at call sites that
@@ -63,11 +69,12 @@ func Full(v float32, shape ...int) *Tensor {
 // FromSlice wraps data in a tensor of the given shape. The slice is used
 // directly (not copied); the caller must not alias it unexpectedly.
 func FromSlice(data []float32, shape ...int) *Tensor {
-	if len(data) != Prod(shape) {
+	s := append([]int(nil), shape...)
+	if len(data) != Prod(s) {
 		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (size %d)",
-			len(data), shape, Prod(shape)))
+			len(data), s, Prod(s)))
 	}
-	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+	return &Tensor{Shape: s, Data: data}
 }
 
 // Size returns the total number of elements.
@@ -97,11 +104,12 @@ func (t *Tensor) CopyFrom(src *Tensor) {
 // Reshape returns a view of t with a new shape of the same total size. The
 // returned tensor shares Data with t.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
-	if Prod(shape) != len(t.Data) {
+	s := append([]int(nil), shape...)
+	if Prod(s) != len(t.Data) {
 		panic(fmt.Sprintf("tensor: cannot reshape %v (size %d) to %v (size %d)",
-			t.Shape, len(t.Data), shape, Prod(shape)))
+			t.Shape, len(t.Data), s, Prod(s)))
 	}
-	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+	return &Tensor{Shape: s, Data: t.Data}
 }
 
 // Zero sets every element of t to zero.

@@ -39,8 +39,10 @@ func TestDropoutSpecBuildsAndTrains(t *testing.T) {
 	if loss <= 0 {
 		t.Errorf("train loss %v", loss)
 	}
-	// Eval mode must be deterministic (dropout disabled).
-	a := net.Forward(x, false)
+	// Eval mode must be deterministic (dropout disabled). Clone the first
+	// result: layers reuse their output buffers, so the second forward
+	// overwrites the tensor the first one returned.
+	a := net.Forward(x, false).Clone()
 	b := net.Forward(x, false)
 	if !tensor.Equal(a, b) {
 		t.Error("eval-mode forward with dropout is not deterministic")
