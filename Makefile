@@ -1,6 +1,6 @@
 # Developer entry points. The Go toolchain is the only dependency.
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet lint lint-fix-hints race check bench
 
 build:
 	go build ./...
@@ -11,15 +11,26 @@ test:
 vet:
 	go vet ./...
 
-# race exercises the concurrent round loop (quorum collection, worker
-# rejoin, fault-injected engines) under the race detector, plus the
-# row-sharded GEMM path and the buffer-reusing nn layers.
+# lint runs the repo's own static-analysis suite (internal/lint): randsource,
+# wallclock, floateq, synccopy and allocfree — the reproducibility and
+# hot-path invariants DESIGN.md's "Static analysis" section describes.
+lint:
+	go run ./cmd/fedmp-lint ./...
+
+# lint-fix-hints prints each finding with its suggested rewrite.
+lint-fix-hints:
+	go run ./cmd/fedmp-lint -hints ./...
+
+# race runs the whole suite under the race detector; the concurrent round
+# loop (quorum collection, worker rejoin, fault-injected engines), the
+# row-sharded GEMM path and the buffer-reusing nn layers are the sensitive
+# paths.
 race:
-	go test -race ./internal/transport/... ./internal/core/... ./internal/tensor ./internal/nn
+	go test -race ./...
 
 # bench regenerates BENCH_kernels.json: kernel micro-benchmarks with
 # speedups over the seed kernels (see EXPERIMENTS.md).
 bench:
 	go run ./cmd/fedmp-bench -bench-json BENCH_kernels.json
 
-check: vet build test race
+check: vet lint build test race

@@ -1,0 +1,65 @@
+// Command fedmp-lint runs the repo's static-analysis suite (internal/lint):
+// randsource, wallclock, floateq, synccopy and allocfree. It loads every
+// package matched by the given go-list patterns (default ./...), type-checks
+// them against compiler export data, and prints findings as
+//
+//	file:line: [rule] message
+//
+// exiting 1 when anything is found. With -hints each finding is followed by
+// the suggested rewrite, the `make lint-fix-hints` mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fedmp/internal/lint"
+)
+
+func main() {
+	hints := flag.Bool("hints", false, "print a suggested rewrite under each finding")
+	rules := flag.Bool("rules", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *rules {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(root, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Run(pkgs, lint.DefaultOptions())
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && len(rel) < len(d.Pos.Filename) {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+		if *hints && d.Hint != "" {
+			fmt.Printf("\thint: %s\n", d.Hint)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fedmp-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedmp-lint:", err)
+	os.Exit(2)
+}

@@ -75,12 +75,12 @@ func (s *upFL) Assign(info *RoundInfo, workers []int) ([]Assignment, error) {
 	ratio := 0.0
 	warmup := info.Round <= s.cfg.WarmupRounds || info.Round == 0
 	if !warmup {
-		decide := stopwatch()
+		decide := s.cfg.Clock.Stopwatch()
 		ratio = s.agent.Select()
 		info.DecisionSeconds += decide()
 	}
 
-	shrink := stopwatch()
+	shrink := s.cfg.Clock.Stopwatch()
 	plan, desc, subW, err := s.fam.MakePlan(info.Global, ratio, s.cfg.PlanJitter, s.planRng)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 
 	"fedmp/internal/bandit"
 	"fedmp/internal/cluster"
+	"fedmp/internal/simclock"
 )
 
 // DefaultWeightDecay is the worker optimiser's default L2 coefficient.
@@ -136,6 +137,12 @@ type Config struct {
 	EvalLimit int
 	// Seed drives every random choice in the run.
 	Seed int64
+	// Clock measures the decision/pruning overheads reported in RoundStat
+	// (Fig. 11). The engine itself never reads the wall clock — this is the
+	// only time source the deterministic layers see. Nil selects
+	// simclock.Wall (real measurements); use simclock.Fixed for runs whose
+	// statistics must be bit-reproducible.
+	Clock simclock.Clock
 }
 
 // Normalize fills unset fields with the paper's defaults and validates the
@@ -254,6 +261,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Clock == nil {
+		c.Clock = simclock.Wall{}
 	}
 	return c, nil
 }

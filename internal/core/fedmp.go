@@ -76,12 +76,12 @@ func (s *fedMP) Assign(info *RoundInfo, workers []int) ([]Assignment, error) {
 	for _, w := range workers {
 		ratio := 0.0
 		if !warmup {
-			decide := stopwatch()
+			decide := s.cfg.Clock.Stopwatch()
 			ratio = s.agents[w].Select()
 			info.DecisionSeconds += decide()
 		}
 
-		shrink := stopwatch()
+		shrink := s.cfg.Clock.Stopwatch()
 		plan, desc, subW, err := s.fam.MakePlan(info.Global, ratio, s.cfg.PlanJitter, s.planRng)
 		if err != nil {
 			return nil, fmt.Errorf("core: pruning for worker %d: %w", w, err)

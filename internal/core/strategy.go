@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"time"
 
 	"fedmp/internal/tensor"
 )
@@ -182,11 +181,4 @@ func meanWeights(sets [][]*tensor.Tensor) []*tensor.Tensor {
 		out[i] = acc
 	}
 	return out
-}
-
-// stopwatch measures real elapsed seconds for the Fig. 11 overhead
-// accounting.
-func stopwatch() func() float64 {
-	t0 := time.Now()
-	return func() float64 { return time.Since(t0).Seconds() }
 }

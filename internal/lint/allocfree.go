@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// allocFreeDirective marks a function as a zero-allocation hot path. The
+// analyzer then bans every statically recognisable allocation site in its
+// body — the compile-time complement of the AllocsPerRun regression tests,
+// which only catch paths a benchmark happens to exercise.
+const allocFreeDirective = "//fedmp:allocfree"
+
+var analyzerAllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc: "for functions annotated " + allocFreeDirective + ", forbids " +
+		"allocation sites: make/new/append, slice and map composite " +
+		"literals, &T{} literals, closures, go statements, fmt calls and " +
+		"implicit interface conversions (boxing). panic arguments are " +
+		"exempt (failure paths may allocate). Also enforces that every " +
+		"pinned hot path still carries the annotation, so deleting one " +
+		"fails the gate.",
+	Run: runAllocFree,
+}
+
+func runAllocFree(pass *Pass) {
+	annotated := make(map[string]bool)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn != nil {
+				annotated[funcKey(fn)] = hasDirective(fd.Doc, allocFreeDirective)
+			}
+			if hasDirective(fd.Doc, allocFreeDirective) && fd.Body != nil {
+				checkAllocFreeBody(pass, fd)
+			}
+		}
+	}
+	// Inventory check: the pinned hot paths must still be annotated.
+	for _, key := range pass.Opts.RequiredAllocFree {
+		if keyPkg(key) != pass.Pkg.Path {
+			continue
+		}
+		isAnnotated, exists := annotated[key]
+		switch {
+		case !exists:
+			pass.Report(pass.Pkg.Files[0].Package,
+				"pinned hot path %s no longer exists; update the RequiredAllocFree inventory or restore the function", key)
+		case !isAnnotated:
+			pass.Report(pass.Pkg.Files[0].Package,
+				"pinned hot path %s lost its %s annotation", key, allocFreeDirective)
+		}
+	}
+}
+
+// keyPkg returns the package path of a RequiredAllocFree key
+// ("pkgpath.Func" or "pkgpath.Recv.Method").
+func keyPkg(key string) string {
+	// The package path is everything before the first '.' that follows the
+	// last '/'. ("fedmp/internal/nn.Dense.Forward" → "fedmp/internal/nn")
+	slash := -1
+	for i, c := range key {
+		if c == '/' {
+			slash = i
+		}
+	}
+	for i := slash + 1; i < len(key); i++ {
+		if key[i] == '.' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// checkAllocFreeBody reports every statically recognisable allocation site
+// in an annotated function body.
+func checkAllocFreeBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Report(n.Pos(), "%s: go statement allocates a goroutine in %s", allocFreeDirective, fd.Name.Name)
+
+		case *ast.FuncLit:
+			pass.Report(n.Pos(), "%s: closure allocates in %s", allocFreeDirective, fd.Name.Name)
+			return false // its body is the closure's problem, not this function's
+
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Report(n.Pos(), "%s: slice literal allocates in %s; reuse a buffer", allocFreeDirective, fd.Name.Name)
+			case *types.Map:
+				pass.Report(n.Pos(), "%s: map literal allocates in %s; hoist to construction time", allocFreeDirective, fd.Name.Name)
+			}
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Report(n.Pos(), "%s: &T{} literal allocates in %s; reuse a struct or hoist it", allocFreeDirective, fd.Name.Name)
+				}
+			}
+
+		case *ast.CallExpr:
+			return checkAllocFreeCall(pass, fd, n, walk)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkAllocFreeCall handles the call-shaped allocation sites. It returns
+// false when the walker must not descend (panic arguments are exempt).
+func checkAllocFreeCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, walk func(ast.Node) bool) bool {
+	info := pass.Pkg.Info
+	switch builtinName(info, call) {
+	case "panic":
+		// Failure paths are cold: a panic message may allocate freely.
+		return false
+	case "make":
+		pass.Report(call.Pos(), "%s: make allocates in %s; reuse a pooled or cached buffer", allocFreeDirective, fd.Name.Name)
+		return true
+	case "new":
+		pass.Report(call.Pos(), "%s: new allocates in %s", allocFreeDirective, fd.Name.Name)
+		return true
+	case "append":
+		pass.Report(call.Pos(), "%s: append may grow its backing array in %s; size the buffer up front", allocFreeDirective, fd.Name.Name)
+		return true
+	case "":
+	default:
+		return true // len/cap/copy/clear/min/max... never allocate
+	}
+
+	if name := pkgSel(info, ast.Unparen(call.Fun), "fmt"); name != "" {
+		pass.Report(call.Pos(), "%s: fmt.%s allocates in %s; format outside the hot path", allocFreeDirective, name, fd.Name.Name)
+		return true
+	}
+
+	sig := calleeSignature(info, call)
+	if sig == nil {
+		// Type conversion: converting a concrete value to an interface boxes.
+		if len(call.Args) == 1 && isInterface(info.TypeOf(call.Fun)) && !isInterface(info.TypeOf(call.Args[0])) {
+			pass.Report(call.Pos(), "%s: conversion to interface boxes its operand in %s", allocFreeDirective, fd.Name.Name)
+		}
+		return true
+	}
+
+	// Implicit interface conversions at the call boundary box their
+	// arguments. (Bare variadic calls are deliberately not flagged: a
+	// non-escaping variadic slice is stack-allocated, and the hot paths'
+	// ensure(t, dims...) calls rely on that — AllocsPerRun pins them at 0.)
+	params := sig.Params()
+	n := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= n-1:
+			if call.Ellipsis.IsValid() {
+				continue // spread of an existing slice: no new backing array
+			}
+			pt = params.At(n - 1).Type().(*types.Slice).Elem()
+		case i < n:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := info.TypeOf(arg)
+		if isInterface(pt) && at != nil && !isInterface(at) && !isUntypedNil(info, arg) {
+			pass.Report(arg.Pos(), "%s: argument boxes %s into %s in %s", allocFreeDirective,
+				types.TypeString(at, func(p *types.Package) string { return p.Name() }),
+				types.TypeString(pt, func(p *types.Package) string { return p.Name() }),
+				fd.Name.Name)
+		}
+	}
+	return true
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var analyzerFloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flags == and != between two computed floating-point operands. " +
+		"Accumulated rounding differs across kernels (blocked vs direct GEMM, " +
+		"serial vs sharded), so exact equality silently flips between " +
+		"machines. Comparisons against a constant (sentinels like 0 or an " +
+		"exact initial value) are allowed; everything else should use a " +
+		"tolerance helper.",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(info, bin.X) || !isFloatOperand(info, bin.Y) {
+				return true
+			}
+			// A constant operand is an exact sentinel (0, an initial value,
+			// math.MaxFloat64...): comparing against it is deliberate and
+			// well-defined. Only computed-vs-computed equality is fragile.
+			if isConstExpr(info, bin.X) || isConstExpr(info, bin.Y) {
+				return true
+			}
+			pass.ReportHint(bin.Pos(), "compare with a tolerance: math.Abs(a-b) <= eps, or restructure to avoid exact equality",
+				"exact floating-point %s between computed values is rounding-sensitive", bin.Op)
+			return true
+		})
+	}
+}
+
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

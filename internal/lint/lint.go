@@ -1,0 +1,193 @@
+// Package lint is fedmp's from-scratch static-analysis framework. It loads
+// every package of the module with go/parser and go/types (resolving imports
+// from compiler export data — no external dependencies) and runs a pipeline
+// of repo-specific analyzers that enforce the invariants the paper's
+// reproducibility story rests on:
+//
+//	randsource — all randomness flows from an explicitly seeded *rand.Rand
+//	wallclock  — the deterministic simulation layers never read the wall clock
+//	floateq    — no exact equality between computed floating-point values
+//	synccopy   — sync primitives and pooled scratch state never copied by value
+//	allocfree  — annotated hot-path functions contain no allocation sites
+//
+// Findings are reported as "file:line: [rule] message"; cmd/fedmp-lint exits
+// nonzero on any finding, and `make check` runs it between vet and build.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Rule names the analyzer that produced it.
+	Rule string
+	// Message states the violation.
+	Message string
+	// Hint, when non-empty, suggests the rewrite (-hints mode).
+	Hint string
+}
+
+// String renders the canonical "file:line: [rule] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Options configures a lint run.
+type Options struct {
+	// WallclockDeny lists the import-path prefixes in which the wallclock
+	// analyzer bans time.Now/time.Since/time.Sleep — the deterministic
+	// simulation layers. Packages outside every prefix (notably
+	// internal/transport, which owns real deadlines and heartbeats) are
+	// exempt.
+	WallclockDeny []string
+	// RequiredAllocFree lists functions that must carry the
+	// //fedmp:allocfree annotation, in funcKey form: "pkgpath.Func" or
+	// "pkgpath.Recv.Method" (pointer receivers without the star). It pins
+	// the PR 2 hot paths: deleting an annotation fails the build gate
+	// instead of silently dropping the check.
+	RequiredAllocFree []string
+}
+
+// DefaultOptions returns the repo's production configuration.
+func DefaultOptions() *Options {
+	return &Options{
+		WallclockDeny: []string{
+			"fedmp/internal/core",
+			"fedmp/internal/cluster",
+			"fedmp/internal/bandit",
+			"fedmp/internal/experiment",
+		},
+		RequiredAllocFree: []string{
+			"fedmp/internal/tensor.packA",
+			"fedmp/internal/tensor.packB",
+			"fedmp/internal/tensor.microTileGo",
+			"fedmp/internal/tensor.gemmDirect",
+			"fedmp/internal/tensor.gemmBlocked",
+			"fedmp/internal/tensor.matVec",
+			"fedmp/internal/nn.Dense.Forward",
+			"fedmp/internal/nn.Dense.Backward",
+			"fedmp/internal/nn.ReLU.Backward",
+			"fedmp/internal/nn.MaxPool2D.Backward",
+			"fedmp/internal/nn.GlobalAvgPool.Backward",
+			"fedmp/internal/nn.AddProximal",
+		},
+	}
+}
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	// Name tags diagnostics ([name]).
+	Name string
+	// Doc is the one-paragraph rule description (DESIGN.md holds the long
+	// form).
+	Doc string
+	// Run inspects one package and reports through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Opts is the run configuration.
+	Opts *Options
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.ReportHint(pos, "", format, args...)
+}
+
+// ReportHint records a finding with a suggested rewrite.
+func (p *Pass) ReportHint(pos token.Pos, hint, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+		Hint:    hint,
+	})
+}
+
+// Analyzers returns the full rule pipeline in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerRandSource,
+		analyzerWallClock,
+		analyzerFloatEq,
+		analyzerSyncCopy,
+		analyzerAllocFree,
+	}
+}
+
+// Run executes every analyzer over every package and returns the findings
+// sorted by position then rule.
+func Run(pkgs []*Package, opts *Options) []Diagnostic {
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			a.Run(&Pass{Pkg: pkg, Opts: opts, analyzer: a, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// directiveLines returns the lines of f on which the given //fedmp:...
+// directive comment appears. A diagnostic is suppressed when the directive
+// sits on the finding's own line (trailing comment) or the line above.
+func directiveLines(fset *token.FileSet, f *ast.File, directive string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, directive) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// suppressed reports whether a finding at pos is covered by a directive line
+// set from directiveLines.
+func suppressed(fset *token.FileSet, lines map[int]bool, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	return lines[line] || lines[line-1]
+}
+
+// hasDirective reports whether the doc comment group carries the directive.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}

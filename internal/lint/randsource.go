@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randBannedFuncs are the package-level math/rand (and math/rand/v2)
+// functions that draw from the process-global source. Using them makes a
+// run's stochastic choices depend on whatever else touched the global
+// source, so E-UCB arms, cluster jitter, non-IID partitions and dropout
+// masks stop being a function of the configured seed.
+var randBannedFuncs = map[string]bool{
+	// math/rand
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+	// math/rand/v2 additions
+	"IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+	"N": true,
+}
+
+const randHint = "thread a seeded *rand.Rand (rand.New(rand.NewSource(cfg.Seed))) from the caller and call the method on it"
+
+var analyzerRandSource = &Analyzer{
+	Name: "randsource",
+	Doc: "bans the global math/rand source: package-level rand functions and " +
+		"wall-clock-seeded rand.New/rand.NewSource outside _test.go files; " +
+		"every stochastic choice must flow from a threaded, explicitly " +
+		"seeded *rand.Rand",
+	Run: runRandSource,
+}
+
+func runRandSource(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := pkgSel(info, sel, "math/rand")
+			if name == "" {
+				name = pkgSel(info, sel, "math/rand/v2")
+			}
+			switch {
+			case randBannedFuncs[name]:
+				pass.ReportHint(sel.Pos(), randHint,
+					"global math/rand source: rand.%s draws from process state, not the run seed", name)
+			case name == "New" || name == "NewSource":
+				// Seeding from the wall clock defeats the explicit seed just
+				// as thoroughly as the global source does.
+				if parent, ok := findEnclosingCall(f, sel); ok && callSeedsFromClock(info, parent) {
+					pass.ReportHint(sel.Pos(), "derive the seed from cfg.Seed (offset per consumer) instead of time.Now",
+						"rand.%s seeded from the wall clock: the run is no longer a function of its seed", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// findEnclosingCall returns the innermost call expression whose callee is
+// the given selector.
+func findEnclosingCall(f *ast.File, sel *ast.SelectorExpr) (*ast.CallExpr, bool) {
+	var found *ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found, found != nil
+}
+
+// callSeedsFromClock reports whether any argument of the call mentions
+// time.Now (the classic rand.NewSource(time.Now().UnixNano()) pattern).
+func callSeedsFromClock(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		clock := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && pkgSel(info, sel, "time") == "Now" {
+				clock = true
+				return false
+			}
+			return true
+		})
+		if clock {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestRepoLintsClean is the acceptance gate: the module itself must carry
+// zero findings under the production options. It is the same check `make
+// lint` runs, kept in-process so `go test ./...` alone already enforces the
+// invariants.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages; loader is dropping module packages", len(pkgs))
+	}
+	diags := Run(pkgs, DefaultOptions())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestDefaultOptionsPinHotPaths guards the inventory itself: the PR 2 GEMM
+// and nn hot paths must stay pinned, so weakening the configuration (rather
+// than the annotations) is also caught.
+func TestDefaultOptionsPinHotPaths(t *testing.T) {
+	opts := DefaultOptions()
+	for _, key := range []string{
+		"fedmp/internal/tensor.gemmBlocked",
+		"fedmp/internal/tensor.microTileGo",
+		"fedmp/internal/nn.Dense.Forward",
+		"fedmp/internal/nn.Dense.Backward",
+	} {
+		found := false
+		for _, k := range opts.RequiredAllocFree {
+			if k == key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("RequiredAllocFree no longer pins %s", key)
+		}
+	}
+	if len(opts.WallclockDeny) < 4 {
+		t.Errorf("WallclockDeny shrank to %v", opts.WallclockDeny)
+	}
+}

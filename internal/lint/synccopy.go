@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// syncNoCopy are the sync primitives that stop working when duplicated.
+// Structs and arrays embedding one (directly or transitively — notably
+// tensor.Pool, whose size classes are an array of sync.Pool, and therefore
+// the tensor.Scratch arena) are equally unsafe to copy.
+var syncNoCopy = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Pool": true, "Cond": true, "Map": true,
+}
+
+var analyzerSyncCopy = &Analyzer{
+	Name: "synccopy",
+	Doc: "flags sync.Mutex/RWMutex/WaitGroup (and anything transitively " +
+		"containing one, e.g. tensor.Pool behind tensor.Scratch) passed, " +
+		"assigned, ranged or returned by value: the copy and the original " +
+		"guard different state, which is a silent race",
+	Run: runSyncCopy,
+}
+
+func runSyncCopy(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(pass, n.Recv, "receiver")
+				if n.Type != nil {
+					checkFieldList(pass, n.Type.Params, "parameter")
+					checkFieldList(pass, n.Type.Results, "result")
+				}
+			case *ast.FuncLit:
+				checkFieldList(pass, n.Type.Params, "parameter")
+				checkFieldList(pass, n.Type.Results, "result")
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkValueCopy(pass, rhs, "assignment copies")
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkValueCopy(pass, v, "initialisation copies")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if name := lockIn(info.TypeOf(n.Value)); name != "" {
+						pass.Report(n.Value.Pos(),
+							"range value copies %s (contains %s); iterate by index or over pointers",
+							typeName(info, n.Value), name)
+					}
+				}
+			case *ast.CallExpr:
+				checkCallArgs(pass, n)
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkValueCopy(pass, r, "return copies")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList flags by-value lock-bearing types in a receiver, parameter
+// or result list.
+func checkFieldList(pass *Pass, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := pass.Pkg.Info.TypeOf(field.Type)
+		if name := lockIn(t); name != "" {
+			pass.Report(field.Type.Pos(),
+				"%s %s passed by value (contains %s); use a pointer", kind, types.TypeString(t, nil), name)
+		}
+	}
+}
+
+// checkValueCopy flags expressions that read an existing lock-bearing value
+// (identifier, field, dereference, element) into a copy. Composite literals
+// and calls are initialisations, not copies, and stay legal.
+func checkValueCopy(pass *Pass, e ast.Expr, what string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	if name := lockIn(pass.Pkg.Info.TypeOf(e)); name != "" {
+		pass.Report(e.Pos(), "%s %s by value (contains %s); use a pointer",
+			what, typeName(pass.Pkg.Info, e), name)
+	}
+}
+
+// checkCallArgs flags lock-bearing values passed by value to any callee —
+// including callees in other packages, whose signatures this pass never
+// visits.
+func checkCallArgs(pass *Pass, call *ast.CallExpr) {
+	if calleeSignature(pass.Pkg.Info, call) == nil {
+		return // conversion or builtin; conversions of lock types don't exist
+	}
+	for _, arg := range call.Args {
+		checkValueCopy(pass, arg, "call passes")
+	}
+}
+
+// lockIn returns the name of the sync primitive t transitively contains by
+// value, or "" when t is safe to copy.
+func lockIn(t types.Type) string {
+	return lockInSeen(t, make(map[types.Type]bool))
+}
+
+func lockInSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncNoCopy[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		return lockInSeen(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockInSeen(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockInSeen(u.Elem(), seen)
+	}
+	return ""
+}
+
+// typeName renders e's type for a message.
+func typeName(info *types.Info, e ast.Expr) string {
+	if t := info.TypeOf(e); t != nil {
+		return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+	}
+	return "value"
+}

@@ -1,0 +1,48 @@
+// Package allocfree is a deliberately-bad fixture for the allocfree
+// analyzer: hot is annotated and packed with every allocation site the rule
+// recognises; cold is identical but unannotated and must stay silent.
+package allocfree
+
+import "fmt"
+
+type point struct{ x, y int }
+
+// hot pretends to be a pinned zero-allocation kernel.
+//
+//fedmp:allocfree
+func hot(dst []int, n int) int {
+	s := make([]int, n) // want "make allocates"
+	s = append(s, 1) // want "append may grow its backing array"
+	lit := []int{1, 2} // want "slice literal allocates"
+	m := map[int]int{} // want "map literal allocates"
+	p := &point{x: 1} // want "literal allocates"
+	f := func() int { return n } // want "closure allocates"
+	msg := fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates"
+	sink(n) // want "argument boxes int into"
+	v := any(n) // want "conversion to interface boxes"
+	go helper() // want "go statement allocates a goroutine"
+	if n < 0 {
+		// Failure paths are cold and may allocate freely.
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	// Stack-friendly constructs stay legal: value struct literals, fixed
+	// arrays, slicing, spread variadic calls, non-allocating builtins.
+	q := point{x: 2}
+	var tile [4]int
+	window := dst[:min(len(dst), 4)]
+	_ = variadic(dst...)
+	_, _ = v, m
+	return len(s) + len(lit) + p.x + f() + len(msg) + q.x + tile[0] + len(window)
+}
+
+// cold allocates identically but is unannotated: no findings.
+func cold(n int) []int {
+	s := make([]int, n)
+	return append(s, 1)
+}
+
+func sink(v any) { _ = v }
+
+func helper() {}
+
+func variadic(xs ...int) int { return len(xs) }

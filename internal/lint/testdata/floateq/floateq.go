@@ -1,0 +1,27 @@
+// Package floateq is a deliberately-bad fixture for the floateq analyzer.
+package floateq
+
+type score float64
+
+func compare(a, b float64, c, d float32, i, j int) bool {
+	if a == b { // want "exact floating-point == between computed values"
+		return true
+	}
+	if c != d { // want "exact floating-point != between computed values"
+		return true
+	}
+	var s, t score
+	if s == t { // want "exact floating-point == between computed values"
+		return true
+	}
+	// Constant comparisons are exact sentinels and stay legal.
+	if a == 0 {
+		return true
+	}
+	const initial = 1.5
+	if b != initial {
+		return false
+	}
+	// Non-float comparisons are none of this analyzer's business.
+	return i == j
+}

@@ -1,0 +1,31 @@
+// Package randsource is a deliberately-bad fixture for the randsource
+// analyzer. Every `want` comment is a golden expectation checked by
+// internal/lint's golden tests.
+package randsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws(xs []int) int {
+	n := rand.Intn(10) // want "global math/rand source: rand.Intn"
+	f := rand.Float64() // want "global math/rand source: rand.Float64"
+	rand.Shuffle(len(xs), func(i, j int) { // want "global math/rand source: rand.Shuffle"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+	rand.Seed(7) // want "global math/rand source: rand.Seed"
+	return n + int(f)
+}
+
+func clockSeeded() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want "rand.NewSource seeded from the wall clock"
+	return rand.New(src)
+}
+
+// threaded shows the sanctioned pattern: an explicit seed, a threaded
+// *rand.Rand, method calls only. Nothing here may be flagged.
+func threaded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

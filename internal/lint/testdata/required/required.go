@@ -1,0 +1,13 @@
+// Package required exercises the allocfree inventory check: the golden test
+// pins hotPath in RequiredAllocFree, so its missing annotation must be
+// reported.
+package required
+
+// hotPath is pinned but deliberately unannotated.
+func hotPath(xs []float32) float32 {
+	var s float32
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+// Package synccopy is a deliberately-bad fixture for the synccopy analyzer.
+package synccopy
+
+import (
+	"sync"
+
+	"fedmp/internal/tensor"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockByValue(mu sync.Mutex) { // want "parameter sync.Mutex passed by value"
+	mu.Lock()
+}
+
+func waitByValue(wg sync.WaitGroup) { // want "parameter sync.WaitGroup passed by value"
+	wg.Wait()
+}
+
+func leakResult() sync.Mutex { // want "result sync.Mutex passed by value"
+	var mu sync.Mutex
+	return mu // want "return copies sync.Mutex by value"
+}
+
+func copies() int {
+	var g guarded
+	h := g // want "assignment copies synccopy.guarded by value (contains sync.Mutex)"
+	var wg sync.WaitGroup
+	waitByValue(wg) // want "call passes sync.WaitGroup by value"
+	pool := *tensor.Scratch // want "assignment copies tensor.Pool by value (contains sync.Pool)"
+	list := make([]guarded, 2)
+	total := 0
+	for _, item := range list { // want "range value copies synccopy.guarded"
+		total += item.n
+	}
+	return h.n + total + len(pool.Get(1).Data)
+}
+
+// clean shows the pointer forms that stay legal.
+func clean() int {
+	g := &guarded{n: 1}
+	pool := tensor.Scratch
+	use(g, pool)
+	return g.n
+}
+
+func use(g *guarded, p *tensor.Pool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p.Put(p.Get(8))
+}

@@ -1,0 +1,27 @@
+// Package wallclock is a deliberately-bad fixture for the wallclock
+// analyzer; the golden test adds this package's import path to the
+// deterministic-layer deny list.
+package wallclock
+
+import "time"
+
+func clocky() float64 {
+	t0 := time.Now() // want "wall clock in deterministic layer: time.Now"
+	d := time.Since(t0) // want "wall clock in deterministic layer: time.Since"
+	time.Sleep(time.Millisecond) // want "wall clock in deterministic layer: time.Sleep"
+	return d.Seconds()
+}
+
+// reviewed demonstrates the escape hatch: the directive on the preceding
+// line suppresses the finding.
+func reviewed() time.Time {
+	//fedmp:wallclock-ok — measuring real setup cost is the point here
+	return time.Now()
+}
+
+// durations shows that time.Duration arithmetic and constants stay legal;
+// only reading or waiting on the clock is banned.
+func durations() time.Duration {
+	const tick = 5 * time.Second
+	return 3 * tick
+}

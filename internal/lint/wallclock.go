@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclockBanned are the time package entry points that leak real time
+// into a computation. time.Duration arithmetic, formatting and constants
+// remain fine everywhere — only reading or waiting on the wall clock is a
+// determinism hazard.
+var wallclockBanned = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Sleep": true,
+}
+
+// wallclockOKDirective suppresses a finding on its own line or the line
+// below — the sanctioned escape hatch for a deliberate, reviewed exception.
+const wallclockOKDirective = "//fedmp:wallclock-ok"
+
+const wallclockHint = "thread a simclock.Clock (core.Config.Clock) for overhead accounting, or use the engine's virtual time (RoundInfo/Result fields)"
+
+var analyzerWallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "bans time.Now/time.Since/time.Sleep inside the deterministic " +
+		"simulation layers (internal/core, internal/cluster, internal/bandit, " +
+		"internal/experiment); simulated time must come from the engine's " +
+		"virtual clock or a threaded simclock.Clock. " +
+		wallclockOKDirective + " on the preceding or same line suppresses.",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) {
+	inScope := false
+	for _, prefix := range pass.Opts.WallclockDeny {
+		if hasPathPrefix(pass.Pkg.Path, prefix) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := pass.Pkg.Info
+	fset := pass.Pkg.Fset
+	for _, f := range pass.Pkg.Files {
+		ok := directiveLines(fset, f, wallclockOKDirective)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, isSel := n.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			name := pkgSel(info, sel, "time")
+			if !wallclockBanned[name] || suppressed(fset, ok, sel.Pos()) {
+				return true
+			}
+			pass.ReportHint(sel.Pos(), wallclockHint,
+				"wall clock in deterministic layer: time.%s mixes real time into the simulation", name)
+			return true
+		})
+	}
+}

@@ -137,10 +137,12 @@ func SeriesTable(title, xName string, series []Series, maxRows int) *Table {
 	if maxRows > 0 && len(xs) > maxRows {
 		step := float64(len(xs)) / float64(maxRows)
 		ds := make([]float64, 0, maxRows)
+		last := -1
 		for i := 0; i < maxRows; i++ {
-			ds = append(ds, xs[int(float64(i)*step)])
+			last = int(float64(i) * step)
+			ds = append(ds, xs[last])
 		}
-		if ds[len(ds)-1] != xs[len(xs)-1] {
+		if last != len(xs)-1 {
 			ds = append(ds, xs[len(xs)-1])
 		}
 		xs = ds

@@ -51,6 +51,8 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fedmp:allocfree
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	dx := ensure(r.dx, dy.Shape...)
 	r.dx = dx
@@ -142,6 +144,8 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fedmp:allocfree
 func (m *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	dx := ensure(m.dx, m.inShape...)
 	m.dx = dx
@@ -203,6 +207,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fedmp:allocfree
 func (g *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	plane := g.H * g.W
 	dx := ensure(g.dx, g.n, g.C, g.H, g.W)

@@ -51,6 +51,8 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 func (d *Dense) FLOPs() float64 { return 2 * float64(d.In) * float64(d.Out) }
 
 // Forward implements Layer.
+//
+//fedmp:allocfree
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 2 || x.Shape[1] != d.In {
 		panic(fmt.Sprintf("nn: Dense %q got input %v, want [N %d]", d.name, x.Shape, d.In))
@@ -74,6 +76,8 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//fedmp:allocfree
 func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n := dy.Shape[0]
 	// dW[out,in] += dyᵀ[out,N]·x[N,in]

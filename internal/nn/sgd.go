@@ -69,6 +69,8 @@ func (s *SGD) Reset() { s.velocity = make(map[*Param]*tensor.Tensor) }
 // AddProximal adds the FedProx proximal gradient μ·(w − w₀) to each
 // parameter's gradient, where w₀ is the round's reference weights in Params
 // order. Used by the FedProx baseline strategy.
+//
+//fedmp:allocfree
 func AddProximal(params []*Param, reference []*tensor.Tensor, mu float32) {
 	if len(params) != len(reference) {
 		panic(fmt.Sprintf("nn: AddProximal got %d reference tensors for %d params", len(reference), len(params)))

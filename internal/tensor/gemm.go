@@ -170,6 +170,8 @@ func gemm(c, a, b []float32, aT, bT bool, m, k, n int, accumulate bool) {
 // of a parallel dispatch call it with disjoint row ranges; each call packs
 // its own panels from the shared read-only operands, so shards never share
 // mutable state.
+//
+//fedmp:allocfree
 func gemmBlocked(c, a, b []float32, aT, bT bool, m, k, n, rlo, rhi int, accumulate bool) {
 	nc := ncGEMM
 	if nc > n {
@@ -212,6 +214,8 @@ func gemmBlocked(c, a, b []float32, aT, bT bool, m, k, n, rlo, rhi int, accumula
 // micro-panels of mr rows: panel t holds, for each p, the mr values of rows
 // rlo+t·mr .. rlo+t·mr+mr−1 at column p, zero-padded when mb is not a
 // multiple of mr. The micro-kernel then streams each panel sequentially.
+//
+//fedmp:allocfree
 func packA(dst, a []float32, aT bool, m, k, rlo, mb, p0, kb int) {
 	for t := 0; t*mrGEMM < mb; t++ {
 		panel := dst[t*kb*mrGEMM : (t+1)*kb*mrGEMM]
@@ -247,6 +251,8 @@ func packA(dst, a []float32, aT bool, m, k, rlo, mb, p0, kb int) {
 // packB copies the logical block B[p0:p0+kb, jlo:jlo+nb] into dst as
 // micro-panels of nr columns: panel u holds, for each p, the nr values of
 // columns jlo+u·nr .. jlo+u·nr+nr−1 at row p, zero-padded on the right edge.
+//
+//fedmp:allocfree
 func packB(dst, b []float32, bT bool, k, n, p0, kb, jlo, nb int) {
 	for u := 0; u*nrGEMM < nb; u++ {
 		panel := dst[u*kb*nrGEMM : (u+1)*kb*nrGEMM]
@@ -284,6 +290,8 @@ func packB(dst, b []float32, bT bool, k, n, p0, kb, jlo, nb int) {
 // without the assembly kernel run every tile through it, and amd64 uses it
 // for partial edge tiles only. Panels are zero-padded, so the full 4×8 tile
 // is always computed and the invalid fringe merely discarded on write-back.
+//
+//fedmp:allocfree
 func microTileGo(c []float32, ldc int, ap, bp []float32, kb int, acc bool, mb, nb int) {
 	var tile [mrGEMM][nrGEMM]float32
 	ap = ap[: kb*mrGEMM : kb*mrGEMM]
@@ -321,6 +329,8 @@ func boolToUint64(b bool) uint64 {
 
 // gemmDirect handles products too small to amortise packing: plain loops in
 // the best order for each storage combination, with no per-element branches.
+//
+//fedmp:allocfree
 func gemmDirect(c, a, b []float32, aT, bT bool, m, k, n int, accumulate bool) {
 	switch {
 	case !aT && !bT:
@@ -411,6 +421,8 @@ func MatVecInto(y []float32, a *Tensor, x []float32, accumulate bool) {
 
 // matVec processes four rows of A per pass so each x element is loaded once
 // per four multiply-adds.
+//
+//fedmp:allocfree
 func matVec(y, a, x []float32, m, n int, accumulate bool) {
 	i := 0
 	for ; i+4 <= m; i += 4 {

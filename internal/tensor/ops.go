@@ -157,13 +157,17 @@ func (t *Tensor) Clip(limit float32) {
 	}
 }
 
-// Equal reports whether a and b have the same shape and identical elements.
+// Equal reports whether a and b have the same shape and identical elements
+// in the raw-bit sense: the identity predicate for copy/recover round-trips.
+// Unlike float comparison, a NaN equals an identically encoded NaN and +0
+// differs from −0 — exactly what "these bytes were preserved" means. Use
+// AllClose for value comparisons of computed results.
 func Equal(a, b *Tensor) bool {
 	if !SameShape(a, b) {
 		return false
 	}
 	for i := range a.Data {
-		if a.Data[i] != b.Data[i] {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
 			return false
 		}
 	}
