@@ -1,6 +1,6 @@
 # Developer entry points. The Go toolchain is the only dependency.
 
-.PHONY: build test vet lint lint-fix-hints race check bench
+.PHONY: build test vet lint lint-fix-hints race check bench ci
 
 build:
 	go build ./...
@@ -11,9 +11,11 @@ test:
 vet:
 	go vet ./...
 
-# lint runs the repo's own static-analysis suite (internal/lint): randsource,
-# wallclock, floateq, synccopy and allocfree — the reproducibility and
-# hot-path invariants DESIGN.md's "Static analysis" section describes.
+# lint runs the repo's own static-analysis suite (internal/lint): the
+# syntactic rules randsource, wallclock, floateq, synccopy and allocfree plus
+# the flow-sensitive rules maporder, errdiscard, lockbalance and seedflow —
+# the reproducibility and hot-path invariants DESIGN.md's "Static analysis"
+# section describes.
 lint:
 	go run ./cmd/fedmp-lint ./...
 
@@ -34,3 +36,9 @@ bench:
 	go run ./cmd/fedmp-bench -bench-json BENCH_kernels.json
 
 check: vet lint build test race
+
+# ci is the offline continuous-integration entry point: the full check
+# pipeline followed by a bench smoke run (one static table plus one quick
+# sim-backed figure) proving the experiment CLI still runs end to end.
+ci: check
+	go run ./cmd/fedmp-bench -quick -exp table2,fig5

@@ -1,17 +1,23 @@
 // Command fedmp-lint runs the repo's static-analysis suite (internal/lint):
-// randsource, wallclock, floateq, synccopy and allocfree. It loads every
-// package matched by the given go-list patterns (default ./...), type-checks
-// them against compiler export data, and prints findings as
+// the syntactic rules randsource, wallclock, floateq, synccopy and allocfree,
+// and the flow-sensitive rules maporder, errdiscard, lockbalance and
+// seedflow. It loads every package matched by the given go-list patterns
+// (default ./...), type-checks them against compiler export data, and prints
+// deduplicated findings sorted by file/line/rule as
 //
 //	file:line: [rule] message
 //
 // exiting 1 when anything is found. With -hints each finding is followed by
-// the suggested rewrite, the `make lint-fix-hints` mode.
+// the suggested rewrite, the `make lint-fix-hints` mode; with -json each
+// finding is one JSON object per line ({"file","line","rule","message"})
+// for editors and CI to consume.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -20,6 +26,7 @@ import (
 
 func main() {
 	hints := flag.Bool("hints", false, "print a suggested rewrite under each finding")
+	jsonOut := flag.Bool("json", false, "print one JSON object per finding instead of text")
 	rules := flag.Bool("rules", false, "list the analyzers and exit")
 	flag.Parse()
 
@@ -43,20 +50,59 @@ func main() {
 		fatal(err)
 	}
 	diags := lint.Run(pkgs, lint.DefaultOptions())
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && len(rel) < len(d.Pos.Filename) {
-			d.Pos.Filename = rel
-		}
-		fmt.Println(d)
-		if *hints && d.Hint != "" {
-			fmt.Printf("\thint: %s\n", d.Hint)
-		}
+	cwd, err := os.Getwd()
+	if err != nil {
+		cwd = root
+	}
+	if err := render(os.Stdout, diags, cwd, *jsonOut, *hints); err != nil {
+		fatal(err)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "fedmp-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -json wire shape: one object per line.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Hint    string `json:"hint,omitempty"`
+}
+
+// render prints the findings (already deduplicated and sorted by lint.Run)
+// with cwd-relative paths, as text or JSON lines.
+func render(w io.Writer, diags []lint.Diagnostic, cwd string, jsonOut, hints bool) error {
+	for _, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && len(rel) < len(d.Pos.Filename) {
+			d.Pos.Filename = rel
+		}
+		if jsonOut {
+			f := jsonFinding{File: d.Pos.Filename, Line: d.Pos.Line, Rule: d.Rule, Message: d.Message}
+			if hints {
+				f.Hint = d.Hint
+			}
+			line, err := json.Marshal(f)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+		if hints && d.Hint != "" {
+			if _, err := fmt.Fprintf(w, "\thint: %s\n", d.Hint); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"fedmp/internal/lint"
+)
+
+func sampleDiags() []lint.Diagnostic {
+	mk := func(file string, line int, rule, msg, hint string) lint.Diagnostic {
+		return lint.Diagnostic{
+			Pos:     token.Position{Filename: file, Line: line},
+			Rule:    rule,
+			Message: msg,
+			Hint:    hint,
+		}
+	}
+	return []lint.Diagnostic{
+		mk("/repo/a.go", 3, "maporder", "map iteration order reaches ordered output (append); sort the keys first", "sort first"),
+		mk("/repo/b.go", 9, "errdiscard", "error result discarded with _", ""),
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := render(&buf, sampleDiags(), "/repo", false, false); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	if want := "a.go:3: [maporder] map iteration order reaches ordered output (append); sort the keys first"; lines[0] != want {
+		t.Errorf("line 0 = %q, want %q", lines[0], want)
+	}
+	if !strings.HasPrefix(lines[1], "b.go:9: [errdiscard]") {
+		t.Errorf("line 1 = %q, want b.go:9 errdiscard", lines[1])
+	}
+}
+
+func TestRenderTextHints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := render(&buf, sampleDiags(), "/repo", false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\thint: sort first\n") {
+		t.Errorf("hint line missing from %q", buf.String())
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := render(&buf, sampleDiags(), "/repo", true, false); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var got []jsonFinding
+	for sc.Scan() {
+		var f jsonFinding
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", sc.Text(), err)
+		}
+		got = append(got, f)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2", len(got))
+	}
+	if got[0].File != "a.go" || got[0].Line != 3 || got[0].Rule != "maporder" {
+		t.Errorf("finding 0 = %+v", got[0])
+	}
+	if got[1].File != "b.go" || got[1].Line != 9 || got[1].Rule != "errdiscard" || got[1].Message != "error result discarded with _" {
+		t.Errorf("finding 1 = %+v", got[1])
+	}
+	if got[0].Hint != "" {
+		t.Errorf("hint leaked into -json without -hints: %+v", got[0])
+	}
+}
+
+// TestRunDeduplicates pins the satellite guarantee: overlapping load
+// patterns feed duplicate packages into Run, and the findings still come out
+// once each, sorted by file/line/rule.
+func TestRunDeduplicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks a fixture package")
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := root + "/internal/lint/testdata/errdiscard"
+	once, err := lint.LoadDirs(root, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := lint.LoadDirs(root, dir, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lint.Run(once, lint.DefaultOptions())
+	b := lint.Run(twice, lint.DefaultOptions())
+	if len(a) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("duplicate package load changed finding count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("finding %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

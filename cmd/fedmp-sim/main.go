@@ -6,97 +6,156 @@
 //	fedmp-sim -model cnn -strategy fedmp -workers 10 -rounds 30
 //	fedmp-sim -model alexnet -strategy synfl -level high -rounds 40
 //	fedmp-sim -model lstm -strategy fedmp -rounds 40
+//
+// With -fixed-clock the real-time overhead columns (decision/pruning
+// milliseconds) are charged from simclock.Fixed instead of the wall clock,
+// making the entire output byte-reproducible for a given seed — the property
+// the maporder lint rule and the seed-determinism test guard.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"fedmp"
 	"fedmp/internal/cluster"
+	"fedmp/internal/simclock"
 )
 
+// simOptions mirrors the flag set; runSim consumes it so tests drive the
+// command in-process.
+type simOptions struct {
+	model, strategy, sync, level string
+	nonIIDKind                   string
+	nonIIDLevel                  int
+	workers, rounds              int
+	fixedRatio                   float64
+	async                        bool
+	asyncM                       int
+	target, budget               float64
+	evalEvery                    int
+	seed                         int64
+	crash                        float64
+	downRounds                   int
+	straggle, straggleFactor     float64
+	blackout                     float64
+	fixedClock                   bool
+}
+
+// defaultSimOptions returns the flag defaults; main overrides from the
+// command line, tests tweak fields directly.
+func defaultSimOptions() simOptions {
+	return simOptions{
+		model:          "cnn",
+		strategy:       "fedmp",
+		sync:           "r2sp",
+		workers:        10,
+		rounds:         30,
+		fixedRatio:     0.3,
+		evalEvery:      2,
+		seed:           1,
+		downRounds:     2,
+		straggleFactor: 3,
+	}
+}
+
 func main() {
-	model := flag.String("model", "cnn", "cnn | alexnet | vgg | resnet | lstm")
-	strategy := flag.String("strategy", "fedmp", "fedmp | synfl | upfl | fedprox | flexcom | fixed")
-	sync := flag.String("sync", "r2sp", "r2sp | bsp (pruning strategies)")
-	workers := flag.Int("workers", 10, "number of workers")
-	rounds := flag.Int("rounds", 30, "round cap")
-	level := flag.String("level", "", "heterogeneity: low | medium | high (default: paper's A+B mix)")
-	nonIIDKind := flag.String("noniid", "", "non-IID scheme: label | missing")
-	nonIIDLevel := flag.Int("noniid-level", 0, "non-IID level y")
-	fixedRatio := flag.Float64("ratio", 0.3, "pruning ratio for -strategy fixed")
-	async := flag.Bool("async", false, "asynchronous engine (Alg. 2)")
-	asyncM := flag.Int("async-m", 0, "async aggregation size m (default workers/2)")
-	target := flag.Float64("target", 0, "stop at this test accuracy (0 = none)")
-	budget := flag.Float64("budget", 0, "stop after this many virtual seconds (0 = none)")
-	evalEvery := flag.Int("eval-every", 2, "evaluate every k rounds")
-	seed := flag.Int64("seed", 1, "random seed")
-	crash := flag.Float64("crash", 0, "per-round device crash probability (fault injection)")
-	downRounds := flag.Int("down-rounds", 2, "rounds a crashed device stays down")
-	straggle := flag.Float64("straggle", 0, "per-round transient straggler probability")
-	straggleFactor := flag.Float64("straggle-factor", 3, "straggler completion-time multiplier")
-	blackout := flag.Float64("blackout", 0, "per-round link blackout probability")
+	d := defaultSimOptions()
+	var o simOptions
+	flag.StringVar(&o.model, "model", d.model, "cnn | alexnet | vgg | resnet | lstm")
+	flag.StringVar(&o.strategy, "strategy", d.strategy, "fedmp | synfl | upfl | fedprox | flexcom | fixed")
+	flag.StringVar(&o.sync, "sync", d.sync, "r2sp | bsp (pruning strategies)")
+	flag.IntVar(&o.workers, "workers", d.workers, "number of workers")
+	flag.IntVar(&o.rounds, "rounds", d.rounds, "round cap")
+	flag.StringVar(&o.level, "level", d.level, "heterogeneity: low | medium | high (default: paper's A+B mix)")
+	flag.StringVar(&o.nonIIDKind, "noniid", d.nonIIDKind, "non-IID scheme: label | missing")
+	flag.IntVar(&o.nonIIDLevel, "noniid-level", d.nonIIDLevel, "non-IID level y")
+	flag.Float64Var(&o.fixedRatio, "ratio", d.fixedRatio, "pruning ratio for -strategy fixed")
+	flag.BoolVar(&o.async, "async", d.async, "asynchronous engine (Alg. 2)")
+	flag.IntVar(&o.asyncM, "async-m", d.asyncM, "async aggregation size m (default workers/2)")
+	flag.Float64Var(&o.target, "target", d.target, "stop at this test accuracy (0 = none)")
+	flag.Float64Var(&o.budget, "budget", d.budget, "stop after this many virtual seconds (0 = none)")
+	flag.IntVar(&o.evalEvery, "eval-every", d.evalEvery, "evaluate every k rounds")
+	flag.Int64Var(&o.seed, "seed", d.seed, "random seed")
+	flag.Float64Var(&o.crash, "crash", d.crash, "per-round device crash probability (fault injection)")
+	flag.IntVar(&o.downRounds, "down-rounds", d.downRounds, "rounds a crashed device stays down")
+	flag.Float64Var(&o.straggle, "straggle", d.straggle, "per-round transient straggler probability")
+	flag.Float64Var(&o.straggleFactor, "straggle-factor", d.straggleFactor, "straggler completion-time multiplier")
+	flag.Float64Var(&o.blackout, "blackout", d.blackout, "per-round link blackout probability")
+	flag.BoolVar(&o.fixedClock, "fixed-clock", d.fixedClock, "charge overhead from a fixed clock for byte-reproducible output")
 	flag.Parse()
 
+	if err := runSim(o, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runSim executes one simulation and writes the trajectory and summary to w.
+func runSim(o simOptions, w io.Writer) error {
 	var fam fedmp.Family
 	var err error
-	if *model == "lstm" {
+	if o.model == "lstm" {
 		fam = fedmp.NewLanguageModelFamily()
 	} else {
-		fam, err = fedmp.NewImageFamily(*model)
+		fam, err = fedmp.NewImageFamily(o.model)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	cfg := fedmp.Config{
-		Strategy:       fedmp.StrategyID(*strategy),
-		Sync:           fedmp.SyncScheme(*sync),
-		Workers:        *workers,
-		Rounds:         *rounds,
-		FixedRatio:     *fixedRatio,
-		Async:          *async,
-		AsyncM:         *asyncM,
-		TargetAccuracy: *target,
-		TimeBudget:     *budget,
-		EvalEvery:      *evalEvery,
-		Seed:           *seed,
+		Strategy:       fedmp.StrategyID(o.strategy),
+		Sync:           fedmp.SyncScheme(o.sync),
+		Workers:        o.workers,
+		Rounds:         o.rounds,
+		FixedRatio:     o.fixedRatio,
+		Async:          o.async,
+		AsyncM:         o.asyncM,
+		TargetAccuracy: o.target,
+		TimeBudget:     o.budget,
+		EvalEvery:      o.evalEvery,
+		Seed:           o.seed,
 	}
-	if *nonIIDKind != "" {
-		cfg.NonIID = fedmp.NonIID{Kind: *nonIIDKind, Level: *nonIIDLevel}
+	if o.fixedClock {
+		cfg.Clock = simclock.Fixed{}
 	}
-	if *crash > 0 || *straggle > 0 || *blackout > 0 {
+	if o.nonIIDKind != "" {
+		cfg.NonIID = fedmp.NonIID{Kind: o.nonIIDKind, Level: o.nonIIDLevel}
+	}
+	if o.crash > 0 || o.straggle > 0 || o.blackout > 0 {
 		cfg.Faults = fedmp.FaultConfig{
-			CrashProb:       *crash,
-			DownRounds:      *downRounds,
-			StragglerProb:   *straggle,
-			StragglerFactor: *straggleFactor,
-			BlackoutProb:    *blackout,
-			Seed:            *seed + 31,
+			CrashProb:       o.crash,
+			DownRounds:      o.downRounds,
+			StragglerProb:   o.straggle,
+			StragglerFactor: o.straggleFactor,
+			BlackoutProb:    o.blackout,
+			Seed:            o.seed + 31,
 		}
 	}
-	if *level != "" {
-		sc, err := cluster.New(cluster.Level(*level), *workers, *seed+7)
+	if o.level != "" {
+		sc, err := cluster.New(cluster.Level(o.level), o.workers, o.seed+7)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		cfg.Scenario = sc
 	}
 	res, err := fedmp.Run(fam, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("%s / %s: %d workers, %d rounds, %.0f virtual seconds\n\n",
-		fam.Name(), *strategy, *workers, res.Rounds, res.Time)
-	fmt.Println("round  time(s)    loss    metric")
+	fmt.Fprintf(w, "%s / %s: %d workers, %d rounds, %.0f virtual seconds\n\n",
+		fam.Name(), o.strategy, o.workers, res.Rounds, res.Time)
+	fmt.Fprintln(w, "round  time(s)    loss    metric")
 	for _, p := range res.Points {
-		fmt.Printf("%5d  %7.0f  %6.4f  %s\n", p.Round, p.Time, p.Loss, metricString(fam, p))
+		fmt.Fprintf(w, "%5d  %7.0f  %6.4f  %s\n", p.Round, p.Time, p.Loss, metricString(fam, p))
 	}
-	fmt.Println()
-	summarize(res)
+	fmt.Fprintln(w)
+	summarize(w, res)
+	return nil
 }
 
 func metricString(fam fedmp.Family, p fedmp.Point) string {
@@ -106,7 +165,7 @@ func metricString(fam fedmp.Family, p fedmp.Point) string {
 	return fmt.Sprintf("acc %.3f", p.Acc)
 }
 
-func summarize(res *fedmp.Result) {
+func summarize(w io.Writer, res *fedmp.Result) {
 	var comp, comm, dec, pr float64
 	var down, up int64
 	var dropped, suspect int
@@ -124,14 +183,14 @@ func summarize(res *fedmp.Result) {
 	if n == 0 {
 		return
 	}
-	fmt.Printf("per-round means: compute %.1fs, communication %.1fs\n", comp/n, comm/n)
-	fmt.Printf("traffic: %.1f MB down, %.1f MB up\n", float64(down)/1e6, float64(up)/1e6)
-	fmt.Printf("algorithm overhead (real): %.2f ms decision + %.2f ms pruning per round\n",
+	fmt.Fprintf(w, "per-round means: compute %.1fs, communication %.1fs\n", comp/n, comm/n)
+	fmt.Fprintf(w, "traffic: %.1f MB down, %.1f MB up\n", float64(down)/1e6, float64(up)/1e6)
+	fmt.Fprintf(w, "algorithm overhead (real): %.2f ms decision + %.2f ms pruning per round\n",
 		1000*dec/n, 1000*pr/n)
 	if dropped > 0 || suspect > 0 {
-		fmt.Printf("participation losses: %d assignments dropped, %d worker-rounds suspect\n", dropped, suspect)
+		fmt.Fprintf(w, "participation losses: %d assignments dropped, %d worker-rounds suspect\n", dropped, suspect)
 	}
 	if !math.IsInf(res.TimeToTargetAcc, 1) {
-		fmt.Printf("target accuracy reached at %.0f virtual seconds\n", res.TimeToTargetAcc)
+		fmt.Fprintf(w, "target accuracy reached at %.0f virtual seconds\n", res.TimeToTargetAcc)
 	}
 }

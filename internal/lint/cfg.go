@@ -1,0 +1,435 @@
+// Control-flow graphs for the flow-sensitive analyzers. BuildCFG lowers one
+// function body into basic blocks connected by may-execute edges, precise
+// enough for the worklist analyses in dataflow.go: if/else, all three for
+// forms, range, (type) switch with fallthrough, select, labeled
+// break/continue, goto, return and recognised no-return calls (panic,
+// os.Exit, log.Fatal*) are modelled. Statements that do not branch are kept
+// whole as block nodes; nested function literals stay embedded in their
+// enclosing node and are analyzed as separate functions by the callers.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Block is one straight-line run of nodes with no internal control transfer.
+// Nodes holds statements and the condition expressions hoisted out of
+// branching statements (if/for conditions, switch tags), in execution order.
+type Block struct {
+	// Index is the creation order; Blocks[0] is the entry, Blocks[1] the
+	// synthetic exit every return flows to.
+	Index int
+	// Nodes are the statements/expressions executed in this block.
+	Nodes []ast.Node
+	// Succs are the blocks control may transfer to next.
+	Succs []*Block
+}
+
+func (b *Block) addSucc(s *Block) {
+	for _, have := range b.Succs {
+		if have == s {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, s)
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block in creation order: entry first, exit second.
+	Blocks []*Block
+}
+
+// Entry returns the block control enters the function through.
+func (g *CFG) Entry() *Block { return g.Blocks[0] }
+
+// Exit returns the synthetic exit block reached by every normal return.
+// Panics and os.Exit-style terminators do NOT flow here: analyses that
+// check "on every path to return" intentionally ignore dying paths.
+func (g *CFG) Exit() *Block { return g.Blocks[1] }
+
+// Preds returns the predecessor map, computed on demand.
+func (g *CFG) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// BuildCFG lowers a function body to basic blocks. info may be nil; when
+// present it is used to recognise terminator calls (panic, os.Exit,
+// log.Fatal*) whose successor paths are dead.
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{g: &CFG{}, info: info, labels: map[string]*cfgLabel{}}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.exit = exit
+	b.cur = entry
+	b.stmt(body)
+	b.jump(exit)
+	return b.g
+}
+
+// cfgLabel is a goto/labeled-statement target, created on first reference so
+// forward gotos resolve.
+type cfgLabel struct {
+	block *Block
+	// loop is set when the label names a for/range/switch/select, making
+	// `break L` / `continue L` resolvable.
+	loop *cfgLoop
+}
+
+// cfgLoop is one entry of the break/continue target stack. cont is nil for
+// switch/select (continue skips them).
+type cfgLoop struct {
+	label     string
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	g    *CFG
+	info *types.Info
+	exit *Block
+	// cur is the block under construction; nil after a terminator until the
+	// next reachable block starts.
+	cur *Block
+
+	labels map[string]*cfgLabel
+	loops  []*cfgLoop
+	// pendingLabel carries a label name from a LabeledStmt to the loop
+	// statement it names.
+	pendingLabel string
+	// ftTarget is the next case-body block while building a switch clause,
+	// the target of fallthrough.
+	ftTarget *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur→target when flow is live; cur keeps building.
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil {
+		b.cur.addSucc(target)
+	}
+}
+
+func (b *cfgBuilder) start(blk *Block) { b.cur = blk }
+
+// add appends a node to the current block (dropped when flow is dead).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) label(name string) *cfgLabel {
+	l := b.labels[name]
+	if l == nil {
+		l = &cfgLabel{block: b.newBlock()}
+		b.labels[name] = l
+	}
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) *cfgLoop {
+	l := &cfgLoop{label: b.pendingLabel, brk: brk, cont: cont}
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel].loop = l
+		b.pendingLabel = ""
+	}
+	b.loops = append(b.loops, l)
+	return l
+}
+
+func (b *cfgBuilder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+// findLoop resolves a break/continue target: the innermost qualifying loop,
+// or the one named by label.
+func (b *cfgBuilder) findLoop(label string, needCont bool) *cfgLoop {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		l := b.loops[i]
+		if label != "" {
+			if l.label == label {
+				return l
+			}
+			continue
+		}
+		if !needCont || l.cont != nil {
+			return l
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		thenB := b.newBlock()
+		after := b.newBlock()
+		b.jump(thenB)
+		var elseB *Block
+		if s.Else != nil {
+			elseB = b.newBlock()
+			b.jump(elseB)
+		} else {
+			b.jump(after)
+		}
+		b.start(thenB)
+		b.stmt(s.Body)
+		b.jump(after)
+		if s.Else != nil {
+			b.start(elseB)
+			b.stmt(s.Else)
+			b.jump(after)
+		}
+		b.start(after)
+
+	case *ast.ForStmt:
+		b.add(s.Init)
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		cont := head
+		if post != nil {
+			cont = post
+		}
+		b.jump(head)
+		b.start(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.jump(after)
+		}
+		b.jump(body)
+		b.pushLoop(after, cont)
+		b.start(body)
+		b.stmt(s.Body)
+		b.popLoop()
+		b.jump(cont)
+		if post != nil {
+			b.start(post)
+			b.add(s.Post)
+			b.jump(head)
+		}
+		b.start(after)
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		b.start(head)
+		// The RangeStmt node stands for the X evaluation plus the per-
+		// iteration key/value assignment; def/use extraction knows not to
+		// descend into its body.
+		b.add(s)
+		b.jump(after)
+		b.jump(body)
+		b.pushLoop(after, head)
+		b.start(body)
+		b.stmt(s.Body)
+		b.popLoop()
+		b.jump(head)
+		b.start(after)
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.switchClauses(s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		sel := b.cur
+		b.pushLoop(after, nil)
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			if sel != nil {
+				sel.addSucc(blk)
+			}
+			b.start(blk)
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.jump(after)
+		}
+		b.popLoop()
+		b.start(after)
+
+	case *ast.LabeledStmt:
+		l := b.label(s.Label.Name)
+		b.jump(l.block)
+		b.start(l.block)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if l := b.findLoop(label, false); l != nil {
+				b.jump(l.brk)
+			}
+		case token.CONTINUE:
+			if l := b.findLoop(label, true); l != nil {
+				b.jump(l.cont)
+			}
+		case token.GOTO:
+			b.jump(b.label(label).block)
+		case token.FALLTHROUGH:
+			if b.ftTarget != nil {
+				b.jump(b.ftTarget)
+			}
+		}
+		b.cur = nil
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.exit)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.isTerminator(call) {
+			// Dying path: no edge to exit, so "every path to return"
+			// analyses skip it.
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go — straight-line.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the clause bodies of a switch/type-switch. The
+// dispatch block may branch to every clause, and past all of them when no
+// default exists.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, _ *Block) {
+	dispatch := b.cur
+	after := b.newBlock()
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		bodies[i] = b.newBlock()
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+		if dispatch != nil {
+			dispatch.addSucc(bodies[i])
+		}
+	}
+	if !hasDefault && dispatch != nil {
+		dispatch.addSucc(after)
+	}
+	b.pushLoop(after, nil)
+	savedFT := b.ftTarget
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		b.ftTarget = nil
+		if i+1 < len(bodies) {
+			b.ftTarget = bodies[i+1]
+		}
+		b.start(bodies[i])
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.jump(after)
+	}
+	b.ftTarget = savedFT
+	b.popLoop()
+	b.start(after)
+}
+
+// noReturnFuncs are package-level functions after which control cannot
+// continue, keyed by import path then name.
+var noReturnFuncs = map[string]map[string]bool{
+	"os":      {"Exit": true},
+	"runtime": {"Goexit": true},
+	"log": {
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+// isTerminator reports whether the call never returns: the panic builtin or
+// a recognised os.Exit/log.Fatal-style function.
+func (b *cfgBuilder) isTerminator(call *ast.CallExpr) bool {
+	if b.info == nil {
+		return false
+	}
+	if builtinName(b.info, call) == "panic" {
+		return true
+	}
+	for path, names := range noReturnFuncs {
+		for name := range names {
+			if pkgSel(b.info, call.Fun, path) == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcBodies walks a file and calls fn for every function body: each
+// FuncDecl and each FuncLit, so analyzers treat closures as functions of
+// their own. typ is the signature when resolvable (nil otherwise).
+func funcBodies(f *ast.File, info *types.Info, fn func(node ast.Node, typ *types.Signature, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return true
+			}
+			var sig *types.Signature
+			if obj, ok := info.Defs[n.Name].(*types.Func); ok {
+				sig, _ = obj.Type().(*types.Signature)
+			}
+			fn(n, sig, n.Body)
+		case *ast.FuncLit:
+			var sig *types.Signature
+			if t := info.TypeOf(n); t != nil {
+				sig, _ = t.(*types.Signature)
+			}
+			fn(n, sig, n.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseSnippet type-checks one import-free source file and returns what the
+// flow layer needs.
+func parseSnippet(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := newInfo()
+	conf := types.Config{}
+	if _, err := conf.Check("snippet", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, info
+}
+
+// snippetBody returns the body of the named function.
+func snippetBody(t *testing.T, f *ast.File, name string) *ast.BlockStmt {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// blockWith returns the first block containing a node matching pred.
+func blockWith(g *CFG, pred func(ast.Node) bool) *Block {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// reaches reports whether to is reachable from from over successor edges.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+const cfgSrc = `package snippet
+
+func branches(c bool) int {
+	x := 1
+	if c {
+		return x
+	}
+	x = 2
+	return x
+}
+
+func loop(xs []int) int {
+	s := 0
+L:
+	for i := 0; i < len(xs); i++ {
+		if xs[i] < 0 {
+			continue
+		}
+		if xs[i] == 99 {
+			break L
+		}
+		s += xs[i]
+	}
+	return s
+}
+
+func swtch(n int) string {
+	out := ""
+	switch n {
+	case 0:
+		out = "zero"
+		fallthrough
+	case 1:
+		out += "!"
+	default:
+		out = "many"
+	}
+	return out
+}
+
+func jump(n int) int {
+	i := 0
+again:
+	i++
+	if i < n {
+		goto again
+	}
+	return i
+}
+
+func dies(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+`
+
+func buildSnippetCFG(t *testing.T, name string) (*CFG, *ast.File, *types.Info) {
+	t.Helper()
+	_, f, info := parseSnippet(t, cfgSrc)
+	return BuildCFG(snippetBody(t, f, name), info), f, info
+}
+
+func TestCFGBranches(t *testing.T) {
+	g, _, _ := buildSnippetCFG(t, "branches")
+	returns := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+				if !reaches(b, g.Exit()) {
+					t.Errorf("return block %d does not reach exit", b.Index)
+				}
+			}
+		}
+	}
+	if returns != 2 {
+		t.Fatalf("found %d return nodes, want 2", returns)
+	}
+	if !reaches(g.Entry(), g.Exit()) {
+		t.Fatal("exit unreachable from entry")
+	}
+}
+
+func TestCFGLoopEdges(t *testing.T) {
+	g, _, _ := buildSnippetCFG(t, "loop")
+	// The loop head (containing the i < len(xs) condition) must sit on a
+	// cycle: continue and the post statement both lead back to it.
+	head := blockWith(g, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		return ok && be.Op == token.LSS
+	})
+	if head == nil {
+		t.Fatal("no block holds the loop condition")
+	}
+	if !reaches(head, head) {
+		t.Error("loop head is not on a cycle")
+	}
+	// break L must bypass the rest of the body: the block with the
+	// s += xs[i] statement cannot be the only path to exit.
+	if !reaches(g.Entry(), g.Exit()) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g, _, _ := buildSnippetCFG(t, "swtch")
+	zero := blockWith(g, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		bl, ok := as.Rhs[0].(*ast.BasicLit)
+		return ok && bl.Value == `"zero"`
+	})
+	bang := blockWith(g, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		return ok && as.Tok == token.ADD_ASSIGN
+	})
+	if zero == nil || bang == nil {
+		t.Fatal("case bodies not found")
+	}
+	found := false
+	for _, s := range zero.Succs {
+		if s == bang {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fallthrough edge from case 0 to case 1 missing")
+	}
+}
+
+func TestCFGGotoCycle(t *testing.T) {
+	g, _, _ := buildSnippetCFG(t, "jump")
+	target := blockWith(g, func(n ast.Node) bool {
+		_, ok := n.(*ast.IncDecStmt)
+		return ok
+	})
+	if target == nil {
+		t.Fatal("label target block not found")
+	}
+	if !reaches(target, target) {
+		t.Error("goto back edge missing: label block not on a cycle")
+	}
+}
+
+func TestCFGPanicIsTerminator(t *testing.T) {
+	g, _, _ := buildSnippetCFG(t, "dies")
+	pb := blockWith(g, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	})
+	if pb == nil {
+		t.Fatal("panic block not found")
+	}
+	if len(pb.Succs) != 0 {
+		t.Errorf("panic block has successors %v; dying paths must not reach exit", pb.Succs)
+	}
+}

@@ -1,0 +1,346 @@
+// Generic worklist dataflow over the CFGs of cfg.go. Solve runs any
+// monotone problem to a fixpoint; ReachingDefs and Liveness are the two
+// stock instances the analyzers build on (errdiscard uses liveness,
+// lockbalance supplies its own held-locks problem). The solver is
+// deterministic: blocks are processed in index order, so analyzer output is
+// stable across runs.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Direction selects which way facts propagate.
+type Direction int
+
+const (
+	// Forward propagates facts from entry towards exit.
+	Forward Direction = iota
+	// Backward propagates facts from exit towards entry.
+	Backward
+)
+
+// Problem describes one dataflow analysis. F is the per-block fact; the
+// callbacks must treat facts as values (Merge may mutate and return dst, but
+// Transfer must not alias its input into its output).
+type Problem[F any] struct {
+	// Dir is the propagation direction.
+	Dir Direction
+	// Bottom returns the initial fact for every non-boundary block.
+	Bottom func() F
+	// Boundary returns the fact at the entry (Forward) or exit (Backward).
+	Boundary func() F
+	// Merge combines a fact flowing in over one edge into the accumulator.
+	Merge func(dst, src F) F
+	// Transfer pushes a fact through one block: for Forward it receives the
+	// block-entry fact and returns the block-exit fact; for Backward the
+	// reverse.
+	Transfer func(b *Block, in F) F
+	// Equal detects the fixpoint.
+	Equal func(a, b F) bool
+}
+
+// Solve iterates the problem to a fixpoint and returns the fact before and
+// after each block in execution order (before = block entry, after = block
+// exit, for both directions).
+func Solve[F any](g *CFG, p Problem[F]) (before, after map[*Block]F) {
+	before = make(map[*Block]F, len(g.Blocks))
+	after = make(map[*Block]F, len(g.Blocks))
+	preds := g.Preds()
+	boundary := g.Entry()
+	if p.Dir == Backward {
+		boundary = g.Exit()
+	}
+	for _, b := range g.Blocks {
+		if p.Dir == Forward {
+			after[b] = p.Bottom()
+		} else {
+			before[b] = p.Bottom()
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if p.Dir == Forward {
+				in := p.Bottom()
+				if b == boundary {
+					in = p.Merge(in, p.Boundary())
+				}
+				for _, pr := range preds[b] {
+					in = p.Merge(in, after[pr])
+				}
+				before[b] = in
+				out := p.Transfer(b, in)
+				if !p.Equal(out, after[b]) {
+					after[b] = out
+					changed = true
+				}
+			} else {
+				out := p.Bottom()
+				if b == boundary {
+					out = p.Merge(out, p.Boundary())
+				}
+				for _, s := range b.Succs {
+					out = p.Merge(out, before[s])
+				}
+				after[b] = out
+				in := p.Transfer(b, out)
+				if !p.Equal(in, before[b]) {
+					before[b] = in
+					changed = true
+				}
+			}
+		}
+	}
+	return before, after
+}
+
+// Def is one definition site: variable v assigned at node Site.
+type Def struct {
+	Var  *types.Var
+	Site ast.Node
+}
+
+// DefSet is a reaching-definitions fact.
+type DefSet map[Def]bool
+
+// VarSet is a liveness fact.
+type VarSet map[*types.Var]bool
+
+func cloneVarSet(s VarSet) VarSet {
+	c := make(VarSet, len(s))
+	for v := range s {
+		c[v] = true
+	}
+	return c
+}
+
+func varSetEqual(a, b VarSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachingDefs solves forward reaching definitions: before[b] holds every
+// Def that may reach the start of b.
+func ReachingDefs(g *CFG, info *types.Info) (before, after map[*Block]DefSet) {
+	return Solve(g, Problem[DefSet]{
+		Dir:      Forward,
+		Bottom:   func() DefSet { return DefSet{} },
+		Boundary: func() DefSet { return DefSet{} },
+		Merge: func(dst, src DefSet) DefSet {
+			for d := range src {
+				dst[d] = true
+			}
+			return dst
+		},
+		Transfer: func(b *Block, in DefSet) DefSet {
+			out := make(DefSet, len(in))
+			for d := range in {
+				out[d] = true
+			}
+			for _, n := range b.Nodes {
+				defs := nodeDefs(n, info)
+				if len(defs) == 0 {
+					continue
+				}
+				for _, v := range defs {
+					for d := range out {
+						if d.Var == v {
+							delete(out, d)
+						}
+					}
+					out[Def{Var: v, Site: n}] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b DefSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for d := range a {
+				if !b[d] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+}
+
+// Liveness solves backward liveness: after[b] (liveOut) holds every variable
+// that may be read on some path leaving b before being overwritten. Variables
+// captured by a function literal anywhere in the graph are live at exit: the
+// closure can observe them after any later write, regardless of flow order.
+func Liveness(g *CFG, info *types.Info) (liveIn, liveOut map[*Block]VarSet) {
+	captured := capturedVars(g, info)
+	return Solve(g, Problem[VarSet]{
+		Dir:      Backward,
+		Bottom:   func() VarSet { return VarSet{} },
+		Boundary: func() VarSet { return cloneVarSet(captured) },
+		Merge: func(dst, src VarSet) VarSet {
+			for v := range src {
+				dst[v] = true
+			}
+			return dst
+		},
+		Transfer: func(b *Block, out VarSet) VarSet {
+			live := cloneVarSet(out)
+			for i := len(b.Nodes) - 1; i >= 0; i-- {
+				stepLiveness(b.Nodes[i], info, live)
+			}
+			return live
+		},
+		Equal: varSetEqual,
+	})
+}
+
+// capturedVars collects every variable mentioned inside a function literal
+// embedded in the graph's nodes.
+func capturedVars(g *CFG, info *types.Info) VarSet {
+	set := VarSet{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(c ast.Node) bool {
+				lit, ok := c.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ast.Inspect(lit.Body, func(in ast.Node) bool {
+					if id, ok := in.(*ast.Ident); ok {
+						if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() {
+							set[v] = true
+						}
+					}
+					return true
+				})
+				return false
+			})
+		}
+	}
+	return set
+}
+
+// stepLiveness updates a live set backwards across one node: kill the node's
+// definitions, then add its uses.
+func stepLiveness(n ast.Node, info *types.Info, live VarSet) {
+	for _, v := range nodeDefs(n, info) {
+		delete(live, v)
+	}
+	for _, v := range nodeUses(n, info) {
+		live[v] = true
+	}
+}
+
+// nodeDefs returns the variables a block node assigns. Stores through
+// selectors/indexes are not variable definitions (the base is a use), and
+// writes inside nested function literals are deferred to that literal's own
+// analysis.
+func nodeDefs(n ast.Node, info *types.Info) []*types.Var {
+	var defs []*types.Var
+	addIdent := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if v := identVar(info, id); v != nil {
+			defs = append(defs, v)
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			addIdent(lhs)
+		}
+	case *ast.IncDecStmt:
+		addIdent(n.X)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						addIdent(name)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		addIdent(n.Key)
+		addIdent(n.Value)
+	}
+	return defs
+}
+
+// nodeUses returns the variables a block node reads. Plain left-hand sides
+// of `=`/`:=` are writes, not reads (compound ops like += read too), while
+// any mention inside a nested function literal counts as a use: the closure
+// may run at an unknown time, so captured variables are conservatively live.
+func nodeUses(n ast.Node, info *types.Info) []*types.Var {
+	var uses []*types.Var
+	skip := map[*ast.Ident]bool{}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					skip[id] = true
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Only X is evaluated by the head node; the body lives in other
+		// blocks. Key/value are defs.
+		collectUses(n.X, info, nil, &uses)
+		return uses
+	}
+	collectUses(n, info, skip, &uses)
+	return uses
+}
+
+// collectUses gathers every variable read under n, descending into function
+// literals (captures) but honouring the skip set of pure-write idents.
+func collectUses(n ast.Node, info *types.Info, skip map[*ast.Ident]bool, out *[]*types.Var) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return true
+		}
+		if rs, ok := c.(*ast.RangeStmt); ok && rs != n {
+			// A nested RangeStmt node reached here means n IS the range
+			// (handled by caller); anything else keeps descending.
+			return true
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok || skip[id] {
+			return true
+		}
+		// Only genuine references count as reads; Defs-position idents
+		// (`:=` targets, var names) are writes.
+		if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() {
+			*out = append(*out, v)
+		}
+		return true
+	})
+}
+
+// identVar resolves an identifier to the non-field variable it defines or
+// mentions (`:=` and `var` targets live in Defs, `=` targets in Uses).
+func identVar(info *types.Info, id *ast.Ident) *types.Var {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	return v
+}

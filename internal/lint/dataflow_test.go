@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+)
+
+const flowSrc = `package snippet
+
+func sink(int) {}
+
+func shadowed() int {
+	x := 1
+	x = 2
+	return x
+}
+
+func branchy(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}
+
+func carried(n int) int {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = x * 2
+	}
+	return x
+}
+
+func captured() func() {
+	x := 1
+	f := func() { sink(x) }
+	x = 2
+	return f
+}
+`
+
+// deadDefs walks a function the way errdiscard does and returns the lines of
+// assignments whose target is not live afterwards.
+func deadDefs(t *testing.T, name string) map[int]bool {
+	t.Helper()
+	fset, f, info := parseSnippet(t, flowSrc)
+	g := BuildCFG(snippetBody(t, f, name), info)
+	_, liveOut := Liveness(g, info)
+	dead := map[int]bool{}
+	for _, b := range g.Blocks {
+		live := cloneVarSet(liveOut[b])
+		for i := len(b.Nodes) - 1; i >= 0; i-- {
+			n := b.Nodes[i]
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						if v := identVar(info, id); v != nil && !live[v] {
+							dead[fset.Position(id.Pos()).Line] = true
+						}
+					}
+				}
+			}
+			stepLiveness(n, info, live)
+		}
+	}
+	return dead
+}
+
+func TestLivenessDeadStore(t *testing.T) {
+	dead := deadDefs(t, "shadowed")
+	// x := 1 on line 6 is immediately overwritten; x = 2 is returned.
+	if !dead[6] {
+		t.Errorf("line 6 (x := 1) not reported dead; dead = %v", dead)
+	}
+	if dead[7] {
+		t.Errorf("line 7 (x = 2) wrongly dead; its value is returned")
+	}
+}
+
+func TestLivenessBranch(t *testing.T) {
+	if dead := deadDefs(t, "branchy"); len(dead) != 0 {
+		// x := 1 survives the c == false path; liveness is may-use.
+		t.Errorf("branchy has dead defs %v, want none", dead)
+	}
+}
+
+func TestLivenessLoopCarried(t *testing.T) {
+	if dead := deadDefs(t, "carried"); len(dead) != 0 {
+		t.Errorf("carried has dead defs %v, want none: x flows around the back edge", dead)
+	}
+}
+
+func TestLivenessClosureCapture(t *testing.T) {
+	// x = 2 after the closure is live: the closure may observe it when
+	// called. The capture makes every mention inside the literal a use.
+	if dead := deadDefs(t, "captured"); len(dead) != 0 {
+		t.Errorf("captured has dead defs %v, want none", dead)
+	}
+}
+
+func TestReachingDefsMerge(t *testing.T) {
+	fset, f, info := parseSnippet(t, flowSrc)
+	g := BuildCFG(snippetBody(t, f, "branchy"), info)
+	before, _ := ReachingDefs(g, info)
+	ret := blockWith(g, func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	})
+	if ret == nil {
+		t.Fatal("return block not found")
+	}
+	var lines []int
+	for d := range before[ret] {
+		if d.Var.Name() == "x" {
+			lines = append(lines, fset.Position(d.Site.Pos()).Line)
+		}
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d defs of x reach the return, want 2 (both branches): %v", len(lines), lines)
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	_, f, info := parseSnippet(t, flowSrc)
+	g := BuildCFG(snippetBody(t, f, "carried"), info)
+	ref, _ := Liveness(g, info)
+	for i := 0; i < 5; i++ {
+		in, _ := Liveness(g, info)
+		for _, b := range g.Blocks {
+			if !varSetEqual(in[b], ref[b]) {
+				t.Fatalf("run %d: liveness differs at block %d", i, b.Index)
+			}
+		}
+	}
+}
+
+// Compile-time check that the solver instantiates for a custom fact shape
+// (the lockbalance analyzer relies on this).
+var _ = func() {
+	Solve(&CFG{Blocks: []*Block{{}, {Index: 1}}}, Problem[map[string]token.Pos]{
+		Bottom:   func() map[string]token.Pos { return nil },
+		Boundary: func() map[string]token.Pos { return nil },
+		Merge:    func(dst, src map[string]token.Pos) map[string]token.Pos { return dst },
+		Transfer: func(b *Block, in map[string]token.Pos) map[string]token.Pos { return in },
+		Equal:    func(a, b map[string]token.Pos) bool { return true },
+	})
+}

@@ -111,6 +111,24 @@ func TestAllocFreeGolden(t *testing.T) {
 	checkGolden(t, "testdata/allocfree", DefaultOptions())
 }
 
+func TestMapOrderGolden(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MapOrderDeny = append(opts.MapOrderDeny, "fedmp/internal/lint/testdata/maporder")
+	checkGolden(t, "testdata/maporder", opts)
+}
+
+func TestErrDiscardGolden(t *testing.T) {
+	checkGolden(t, "testdata/errdiscard", DefaultOptions())
+}
+
+func TestLockBalanceGolden(t *testing.T) {
+	checkGolden(t, "testdata/lockbalance", DefaultOptions())
+}
+
+func TestSeedFlowGolden(t *testing.T) {
+	checkGolden(t, "testdata/seedflow", DefaultOptions())
+}
+
 // TestAllocFreeInventory pins a fixture function in RequiredAllocFree and
 // checks that its missing annotation is reported — the gate that makes
 // deleting a //fedmp:allocfree comment from a real hot path fail `make

@@ -4,12 +4,18 @@
 // of repo-specific analyzers that enforce the invariants the paper's
 // reproducibility story rests on:
 //
-//	randsource — all randomness flows from an explicitly seeded *rand.Rand
-//	wallclock  — the deterministic simulation layers never read the wall clock
-//	floateq    — no exact equality between computed floating-point values
-//	synccopy   — sync primitives and pooled scratch state never copied by value
-//	allocfree  — annotated hot-path functions contain no allocation sites
+//	randsource  — all randomness flows from an explicitly seeded *rand.Rand
+//	wallclock   — the deterministic simulation layers never read the wall clock
+//	floateq     — no exact equality between computed floating-point values
+//	synccopy    — sync primitives and pooled scratch state never copied by value
+//	allocfree   — annotated hot-path functions contain no allocation sites
+//	maporder    — map iteration never feeds ordered output in deterministic layers
+//	errdiscard  — no error result discarded with _ or stored and never read
+//	lockbalance — every Lock/RLock is unlocked on every path to return
+//	seedflow    — fresh rand.New/NewSource results flow onward, not stay confined
 //
+// The last four are flow-sensitive: they run over the intraprocedural CFGs
+// of cfg.go and the worklist analyses of dataflow.go rather than bare syntax.
 // Findings are reported as "file:line: [rule] message"; cmd/fedmp-lint exits
 // nonzero on any finding, and `make check` runs it between vet and build.
 package lint
@@ -53,6 +59,11 @@ type Options struct {
 	// the PR 2 hot paths: deleting an annotation fails the build gate
 	// instead of silently dropping the check.
 	RequiredAllocFree []string
+	// MapOrderDeny lists the import-path prefixes in which the maporder
+	// analyzer bans map iteration feeding ordered output — the layers whose
+	// results must be bit-identical across same-seed runs. Transport is
+	// exempt: its maps order network events, which carry their own ids.
+	MapOrderDeny []string
 }
 
 // DefaultOptions returns the repo's production configuration.
@@ -77,6 +88,13 @@ func DefaultOptions() *Options {
 			"fedmp/internal/nn.MaxPool2D.Backward",
 			"fedmp/internal/nn.GlobalAvgPool.Backward",
 			"fedmp/internal/nn.AddProximal",
+		},
+		MapOrderDeny: []string{
+			"fedmp/internal/core",
+			"fedmp/internal/cluster",
+			"fedmp/internal/bandit",
+			"fedmp/internal/experiment",
+			"fedmp/internal/metrics",
 		},
 	}
 }
@@ -126,6 +144,10 @@ func Analyzers() []*Analyzer {
 		analyzerFloatEq,
 		analyzerSyncCopy,
 		analyzerAllocFree,
+		analyzerMapOrder,
+		analyzerErrDiscard,
+		analyzerLockBalance,
+		analyzerSeedFlow,
 	}
 }
 
@@ -152,9 +174,26 @@ func Run(pkgs []*Package, opts *Options) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
-	return diags
+	// Overlapping load patterns (e.g. `./... ./internal/core`) analyze a
+	// package twice; collapse the identical findings so output is stable
+	// across package-load order and shape.
+	dedup := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			p := diags[i-1]
+			if p.Pos.Filename == d.Pos.Filename && p.Pos.Line == d.Pos.Line &&
+				p.Pos.Column == d.Pos.Column && p.Rule == d.Rule && p.Message == d.Message {
+				continue
+			}
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup
 }
 
 // directiveLines returns the lines of f on which the given //fedmp:...

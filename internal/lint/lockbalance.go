@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+const lockBalanceOKDirective = "//fedmp:lockbalance-ok"
+
+const lockBalanceHint = "add `defer mu.Unlock()` immediately after the Lock, or unlock on every " +
+	"early return; //fedmp:lockbalance-ok marks a lock intentionally handed to another goroutine"
+
+var analyzerLockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc: "every sync.Mutex/RWMutex Lock or RLock must reach a matching Unlock (or defer Unlock) " +
+		"on every path to function return",
+	Run: runLockBalance,
+}
+
+// lockKey identifies a held lock: the receiver expression text plus whether
+// it is the read side of an RWMutex.
+type lockKey struct {
+	recv string
+	read bool
+}
+
+// lockFact maps each possibly-held lock to the position of the acquiring
+// Lock call (the earliest, under merge).
+type lockFact map[lockKey]token.Pos
+
+// runLockBalance solves a forward may-held analysis per function: Lock/RLock
+// generates a held fact, Unlock/RUnlock (immediate or deferred) kills it,
+// and any fact reaching the synthetic exit is a leak on at least one return
+// path. Paths that die in panic/os.Exit never reach the exit and are not
+// reported. Closures are separate functions: a Lock in one body must be
+// released in that body.
+func runLockBalance(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ok := directiveLines(pass.Pkg.Fset, f, lockBalanceOKDirective)
+		funcBodies(f, info, func(node ast.Node, sig *types.Signature, body *ast.BlockStmt) {
+			if !mentionsSyncLock(body, info) {
+				return
+			}
+			g := BuildCFG(body, info)
+			before, _ := Solve(g, Problem[lockFact]{
+				Dir:      Forward,
+				Bottom:   func() lockFact { return lockFact{} },
+				Boundary: func() lockFact { return lockFact{} },
+				Merge: func(dst, src lockFact) lockFact {
+					for k, pos := range src {
+						if have, okh := dst[k]; !okh || pos < have {
+							dst[k] = pos
+						}
+					}
+					return dst
+				},
+				Transfer: transferLocks(info),
+				Equal: func(a, b lockFact) bool {
+					if len(a) != len(b) {
+						return false
+					}
+					for k, pos := range a {
+						if bp, okb := b[k]; !okb || bp != pos {
+							return false
+						}
+					}
+					return true
+				},
+			})
+			held := before[g.Exit()]
+			keys := make([]lockKey, 0, len(held))
+			for k := range held {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return held[keys[i]] < held[keys[j]] })
+			for _, k := range keys {
+				pos := held[k]
+				if suppressed(pass.Pkg.Fset, ok, pos) {
+					continue
+				}
+				op := "Lock"
+				if k.read {
+					op = "RLock"
+				}
+				pass.ReportHint(pos, lockBalanceHint,
+					"%s.%s() is not matched by an unlock on every path to return", k.recv, op)
+			}
+		})
+	}
+}
+
+// transferLocks interprets one block: direct Lock/Unlock expression
+// statements and deferred unlocks (a defer covers every later exit along
+// this path, so it kills the fact immediately). Lock calls nested inside
+// function literals belong to that literal's own analysis and are skipped
+// by matching only top-level statement shapes.
+func transferLocks(info *types.Info) func(b *Block, in lockFact) lockFact {
+	return func(b *Block, in lockFact) lockFact {
+		out := make(lockFact, len(in))
+		for k, pos := range in {
+			out[k] = pos
+		}
+		for _, n := range b.Nodes {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			}
+			if call == nil {
+				continue
+			}
+			key, op, okc := syncLockCall(info, call)
+			if !okc {
+				continue
+			}
+			switch op {
+			case "Lock", "RLock":
+				if _, held := out[key]; !held {
+					out[key] = call.Pos()
+				}
+			case "Unlock", "RUnlock":
+				delete(out, key)
+			}
+		}
+		return out
+	}
+}
+
+// syncLockCall classifies a call as a sync lock operation, returning the
+// lock identity and the method name. The method must resolve to package
+// sync (sync.Mutex, sync.RWMutex or the sync.Locker interface), which also
+// covers mutexes embedded in repo structs.
+func syncLockCall(info *types.Info, call *ast.CallExpr) (lockKey, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	selection := info.Selections[sel]
+	if selection == nil {
+		return lockKey{}, "", false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockKey{}, "", false
+	}
+	name := fn.Name()
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	key := lockKey{
+		recv: types.ExprString(sel.X),
+		read: name == "RLock" || name == "RUnlock",
+	}
+	return key, name, true
+}
+
+// mentionsSyncLock is a cheap pre-filter: does the body contain any sync
+// Lock/RLock call at all?
+func mentionsSyncLock(body *ast.BlockStmt, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, op, okc := syncLockCall(info, call); okc && (op == "Lock" || op == "RLock") {
+			found = true
+		}
+		return true
+	})
+	return found
+}

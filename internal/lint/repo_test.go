@@ -54,4 +54,29 @@ func TestDefaultOptionsPinHotPaths(t *testing.T) {
 	if len(opts.WallclockDeny) < 4 {
 		t.Errorf("WallclockDeny shrank to %v", opts.WallclockDeny)
 	}
+	if len(opts.MapOrderDeny) < 5 {
+		t.Errorf("MapOrderDeny shrank to %v; the deterministic layers must stay covered", opts.MapOrderDeny)
+	}
+}
+
+// TestAnalyzerInventory pins the pipeline itself: all nine rules must stay
+// registered, in reporting order, so dropping one from Analyzers() fails the
+// suite rather than silently weakening the gate.
+func TestAnalyzerInventory(t *testing.T) {
+	want := []string{
+		"randsource", "wallclock", "floateq", "synccopy", "allocfree",
+		"maporder", "errdiscard", "lockbalance", "seedflow",
+	}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() has %d rules, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing doc or run function", a.Name)
+		}
+	}
 }

@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const seedFlowOKDirective = "//fedmp:seedflow-ok"
+
+const seedFlowHint = "thread the rng from the composition root instead: store it in a struct " +
+	"field, pass it to the consumer, or return it; //fedmp:seedflow-ok marks a sanctioned " +
+	"local consumer"
+
+var analyzerSeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc: "a rand.New/rand.NewSource result must flow onward — into a field, a call argument, " +
+		"or a return — not stay confined to the creating function",
+	Run: runSeedFlow,
+}
+
+// randConstructors are the rng factory functions per rand package path.
+var randConstructors = map[string]map[string]bool{
+	"math/rand":    {"New": true, "NewSource": true},
+	"math/rand/v2": {"New": true, "NewPCG": true, "NewChaCha8": true},
+}
+
+// runSeedFlow enforces the threaded-seed discipline on freshly constructed
+// randomness: even a fixed-seed rng created in a leaf function fragments the
+// seed space (the repo's reproducibility story threads one rng from each
+// composition root). A constructor result is fine when it escapes — used as
+// a call argument, stored into a field/element or composite literal,
+// returned, or sent on a channel — directly or via the local it is assigned
+// to. Results that are dropped, bound to _, or used only as a method
+// receiver are findings.
+func runSeedFlow(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ok := directiveLines(pass.Pkg.Fset, f, seedFlowOKDirective)
+		w := &pathWalker{}
+		w.walk(f, func(n ast.Node, path []ast.Node) {
+			call, okc := n.(*ast.CallExpr)
+			if !okc {
+				return
+			}
+			name := constructorName(info, call)
+			if name == "" || suppressed(pass.Pkg.Fset, ok, call.Pos()) {
+				return
+			}
+			switch escape := classifyConstructorSite(call, path, info); escape {
+			case seedEscapes:
+				// flows at the construction site itself
+			case seedDropped:
+				pass.ReportHint(call.Pos(), seedFlowHint, "rand.%s result is discarded", name)
+			case seedLocal:
+				v := assignedVar(call, path, info)
+				if v == nil {
+					return
+				}
+				body := enclosingBody(path)
+				if body == nil || varEscapes(v, body, info) {
+					return
+				}
+				pass.ReportHint(call.Pos(), seedFlowHint,
+					"rand.%s result %s never flows into a field, call argument, or return", name, v.Name())
+			}
+		})
+	}
+}
+
+type seedEscape int
+
+const (
+	seedEscapes seedEscape = iota
+	seedDropped
+	seedLocal
+)
+
+// constructorName matches rand.New/NewSource/NewPCG/NewChaCha8 calls.
+func constructorName(info *types.Info, call *ast.CallExpr) string {
+	for path, names := range randConstructors {
+		if name := pkgSel(info, call.Fun, path); name != "" && names[name] {
+			return name
+		}
+	}
+	return ""
+}
+
+// classifyConstructorSite inspects the syntactic context of the constructor
+// call: nested directly in another call's arguments, a composite literal, a
+// return or a send, the value escapes on the spot; as an expression
+// statement or bound to _, it is dropped; assigned to a local, the local's
+// uses decide.
+func classifyConstructorSite(call *ast.CallExpr, path []ast.Node, info *types.Info) seedEscape {
+	// path[len-1] == call; scan outwards, tracking which child we came from
+	// so receiver position (under a call's Fun) is told apart from argument
+	// position.
+	child := ast.Node(call)
+	for i := len(path) - 2; i >= 0; i-- {
+		switch p := path[i].(type) {
+		case *ast.ParenExpr, *ast.SelectorExpr:
+			child = p
+			continue
+		case *ast.CallExpr:
+			for _, arg := range p.Args {
+				if containsNode(arg, child) {
+					// Argument of an enclosing call (includes append and
+					// conversions).
+					return seedEscapes
+				}
+			}
+			// rand.New(...).Intn(n): consumed inline through the receiver,
+			// then gone.
+			return seedDropped
+		case *ast.CompositeLit, *ast.KeyValueExpr, *ast.ReturnStmt, *ast.SendStmt:
+			return seedEscapes
+		case *ast.ExprStmt:
+			return seedDropped
+		case *ast.AssignStmt:
+			if target := assignIdent(p, call); target != nil {
+				if target.Name == "_" {
+					return seedDropped
+				}
+				return seedLocal
+			}
+			// Assigned into a selector/index: a field store.
+			return seedEscapes
+		case *ast.ValueSpec:
+			return seedLocal
+		default:
+			return seedEscapes
+		}
+	}
+	return seedEscapes
+}
+
+// assignIdent returns the plain identifier the call's value lands in within
+// the assignment, or nil when the target is a selector/index expression.
+func assignIdent(as *ast.AssignStmt, call *ast.CallExpr) *ast.Ident {
+	for i, rhs := range as.Rhs {
+		if ast.Unparen(rhs) != ast.Expr(call) || i >= len(as.Lhs) {
+			continue
+		}
+		id, _ := as.Lhs[i].(*ast.Ident)
+		return id
+	}
+	return nil
+}
+
+// assignedVar resolves the local variable the constructor result is bound
+// to, from either an AssignStmt or a ValueSpec on the path.
+func assignedVar(call *ast.CallExpr, path []ast.Node, info *types.Info) *types.Var {
+	for i := len(path) - 2; i >= 0; i-- {
+		switch p := path[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.AssignStmt:
+			if id := assignIdent(p, call); id != nil {
+				return identVar(info, id)
+			}
+			return nil
+		case *ast.ValueSpec:
+			for j, v := range p.Values {
+				if ast.Unparen(v) == ast.Expr(call) && j < len(p.Names) {
+					return identVar(info, p.Names[j])
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// enclosingBody returns the innermost function body on the path.
+func enclosingBody(path []ast.Node) *ast.BlockStmt {
+	for i := len(path) - 1; i >= 0; i-- {
+		switch p := path[i].(type) {
+		case *ast.FuncDecl:
+			return p.Body
+		case *ast.FuncLit:
+			return p.Body
+		}
+	}
+	return nil
+}
+
+// varEscapes reports whether any use of v inside body lets the rng flow
+// onward: a call argument, a composite-literal element, a return, a send,
+// or an assignment into a field/element. A use as method-call receiver
+// (rng.Intn(...)) is local consumption, not a flow.
+func varEscapes(v *types.Var, body *ast.BlockStmt, info *types.Info) bool {
+	escapes := false
+	w := &pathWalker{}
+	w.walk(body, func(n ast.Node, path []ast.Node) {
+		if escapes {
+			return
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if u, _ := info.Uses[id].(*types.Var); u != v {
+			return
+		}
+		if useEscapes(path, info) {
+			escapes = true
+		}
+	})
+	return escapes
+}
+
+// useEscapes classifies one identifier use from its ancestor path (the
+// identifier is path[len-1]).
+func useEscapes(path []ast.Node, info *types.Info) bool {
+	child := path[len(path)-1].(ast.Expr)
+	for i := len(path) - 2; i >= 0; i-- {
+		switch p := path[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.SelectorExpr:
+			// rng.Something — method/field access on the rng. If that
+			// selector is itself the callee, this is receiver position.
+			child = p
+			continue
+		case *ast.CallExpr:
+			// Receiver position: the ident sits under the call's Fun.
+			// Argument position: under one of the call's Args.
+			for _, arg := range p.Args {
+				if containsNode(arg, child) {
+					return true
+				}
+			}
+			return false
+		case *ast.CompositeLit, *ast.KeyValueExpr, *ast.ReturnStmt, *ast.SendStmt:
+			return true
+		case *ast.AssignStmt:
+			// RHS use whose matching LHS is a selector/index: field store.
+			for j, rhs := range p.Rhs {
+				if !containsNode(rhs, child) || j >= len(p.Lhs) {
+					continue
+				}
+				switch ast.Unparen(p.Lhs[j]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					return true
+				}
+			}
+			return false
+		case *ast.UnaryExpr, *ast.StarExpr, *ast.IndexExpr:
+			child = p.(ast.Expr)
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// containsNode reports whether needle appears in the subtree rooted at n.
+func containsNode(n ast.Node, needle ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == needle {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// pathWalker runs a visitor that sees each node together with its ancestor
+// path (path[len-1] is the node itself).
+type pathWalker struct {
+	stack []ast.Node
+}
+
+func (w *pathWalker) walk(root ast.Node, visit func(n ast.Node, path []ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			w.stack = w.stack[:len(w.stack)-1]
+			return true
+		}
+		w.stack = append(w.stack, n)
+		visit(n, w.stack)
+		return true
+	})
+}

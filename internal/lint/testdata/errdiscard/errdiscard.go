@@ -1,0 +1,77 @@
+// Package errdiscard is a deliberately-bad fixture for the errdiscard
+// analyzer. Every `want` comment is a golden expectation checked by
+// internal/lint's golden tests; the unflagged functions pin the sanctioned
+// patterns.
+package errdiscard
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+func step(name string) error {
+	if name == "" {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+func blankDiscard() {
+	_ = step("a") // want "error result discarded with _"
+}
+
+func tupleBlank() int {
+	n, _ := strconv.Atoi("7") // want "error result discarded with _"
+	return n
+}
+
+func deadOverwrite() error {
+	err := step("a") // want "error assigned to err is never read on any path"
+	err = step("b")
+	return err
+}
+
+// deadOnAllPaths: the first definition is overwritten after the branch
+// merge, so no path reads it — the CFG, not line order, proves it.
+func deadOnAllPaths(loud bool) error {
+	err := step("x") // want "error assigned to err is never read on any path"
+	if loud {
+		fmt.Println("ran step")
+	}
+	err = step("y")
+	return err
+}
+
+// checked pins the sanctioned pattern: every error is inspected.
+func checked() error {
+	if err := step("a"); err != nil {
+		return err
+	}
+	err := step("b")
+	if err != nil {
+		return fmt.Errorf("second step: %w", err)
+	}
+	return nil
+}
+
+// livePath is NOT a finding: the error is read on one path, and liveness is
+// a may-analysis.
+func livePath(check bool) {
+	err := step("maybe")
+	if check && err != nil {
+		fmt.Println(err)
+	}
+}
+
+// bestEffort demonstrates the escape hatch for genuinely ignorable errors.
+func bestEffort() {
+	_ = step("teardown") //fedmp:errdiscard-ok — best-effort cleanup
+}
+
+// silenced pins that `_ = err` of an existing value is not a finding: only
+// fresh call results count.
+func silenced() {
+	err := step("kept")
+	_ = err
+}

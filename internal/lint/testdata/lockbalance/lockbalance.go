@@ -1,0 +1,90 @@
+// Package lockbalance is a deliberately-bad fixture for the lockbalance
+// analyzer. Every `want` comment is a golden expectation checked by
+// internal/lint's golden tests; the unflagged functions pin the sanctioned
+// patterns.
+package lockbalance
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (b *box) leakOnEarlyReturn(take bool) int {
+	b.mu.Lock() // want "b.mu.Lock() is not matched by an unlock on every path to return"
+	if take {
+		return 0
+	}
+	b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) leakReadLock() int {
+	b.rw.RLock() // want "b.rw.RLock() is not matched by an unlock on every path to return"
+	return b.n
+}
+
+func (b *box) leakInLoop(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		b.mu.Lock() // want "b.mu.Lock() is not matched by an unlock on every path to return"
+		if x < 0 {
+			break
+		}
+		total += x
+		b.mu.Unlock()
+	}
+	return total
+}
+
+// deferred pins the canonical pattern: a defer covers every exit.
+func (b *box) deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n < 0 {
+		return 0
+	}
+	return b.n
+}
+
+// branchBalanced unlocks explicitly on each path.
+func (b *box) branchBalanced(fast bool) int {
+	b.mu.Lock()
+	if fast {
+		b.mu.Unlock()
+		return 0
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// readBalanced pairs the read side correctly.
+func (b *box) readBalanced() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n
+}
+
+// dies shows that paths ending in panic are not "paths to return": a lock
+// held while panicking is not a finding.
+func (b *box) dies(ok bool) int {
+	b.mu.Lock()
+	if !ok {
+		panic("corrupt box")
+	}
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// handedOff demonstrates the escape hatch: the lock is deliberately released
+// by another goroutine.
+func (b *box) handedOff(done chan struct{}) {
+	b.mu.Lock() //fedmp:lockbalance-ok — released by the goroutine below
+	go func() {
+		<-done
+		b.mu.Unlock()
+	}()
+}

@@ -1,0 +1,69 @@
+// Package maporder is a deliberately-bad fixture for the maporder analyzer.
+// Every `want` comment is a golden expectation checked by internal/lint's
+// golden tests; the unflagged functions pin the sanctioned patterns.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type table struct{ rows [][]string }
+
+func (t *table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order reaches ordered output"
+		out = append(out, k)
+	}
+	return out
+}
+
+func printUnsorted(w io.Writer, m map[string]float64) {
+	for k, v := range m { // want "map iteration order reaches ordered output"
+		fmt.Fprintf(w, "%s=%g\n", k, v)
+	}
+}
+
+func rowsUnsorted(t *table, m map[string]string) {
+	for k, v := range m { // want "map iteration order reaches ordered output"
+		t.AddRow(k, v)
+	}
+}
+
+func sendUnsorted(m map[int]int, out chan<- int) {
+	for k := range m { // want "map iteration order reaches ordered output"
+		out <- k
+	}
+}
+
+// reduce is order-insensitive: commutative accumulation over a map is fine.
+func reduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sortedKeys pins the sanctioned collect-then-sort idiom: the append order
+// is erased by the sort before anything observes it.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sanctioned demonstrates the escape hatch on a loop whose output order is
+// deliberately irrelevant (a debug dump).
+func sanctioned(w io.Writer, m map[string]int) {
+	//fedmp:maporder-ok — debug dump, order irrelevant
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

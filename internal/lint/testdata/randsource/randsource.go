@@ -23,9 +23,11 @@ func clockSeeded() *rand.Rand {
 	return rand.New(src)
 }
 
-// threaded shows the sanctioned pattern: an explicit seed, a threaded
-// *rand.Rand, method calls only. Nothing here may be flagged.
+// threaded shows the sanctioned pattern: an explicit seed and a *rand.Rand
+// handed onward to the consumer. Nothing here may be flagged.
 func threaded(seed int64) int {
 	rng := rand.New(rand.NewSource(seed))
-	return rng.Intn(10)
+	return draw(rng)
 }
+
+func draw(rng *rand.Rand) int { return rng.Intn(10) }

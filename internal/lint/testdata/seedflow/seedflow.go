@@ -1,0 +1,55 @@
+// Package seedflow is a deliberately-bad fixture for the seedflow analyzer.
+// Every `want` comment is a golden expectation checked by internal/lint's
+// golden tests; the unflagged functions pin the sanctioned patterns.
+package seedflow
+
+import "math/rand"
+
+type holder struct{ rng *rand.Rand }
+
+func consume(rng *rand.Rand) int { return rng.Intn(10) }
+
+func confined(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // want "rand.New result rng never flows into a field, call argument, or return"
+	return rng.Intn(10)
+}
+
+func dropped(seed int64) {
+	rand.NewSource(seed) // want "rand.NewSource result is discarded"
+}
+
+func blanked(seed int64) {
+	_ = rand.New(rand.NewSource(seed)) // want "rand.New result is discarded"
+}
+
+func inlineReceiver(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10) // want "rand.New result is discarded"
+}
+
+// threaded pins the sanctioned pattern: the rng is handed to its consumer.
+func threaded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return consume(rng)
+}
+
+// stored flows into a struct field via a composite literal.
+func stored(seed int64) *holder {
+	return &holder{rng: rand.New(rand.NewSource(seed))}
+}
+
+// fieldAssign flows into a field after the fact.
+func fieldAssign(h *holder, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	h.rng = rng
+}
+
+// returned escapes through the return statement.
+func returned(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// sanctioned demonstrates the escape hatch for a deliberate local consumer.
+func sanctioned(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) //fedmp:seedflow-ok — throwaway warm-up draw
+	return rng.Intn(2)
+}

@@ -14,6 +14,7 @@ type guarded struct {
 
 func lockByValue(mu sync.Mutex) { // want "parameter sync.Mutex passed by value"
 	mu.Lock()
+	defer mu.Unlock()
 }
 
 func waitByValue(wg sync.WaitGroup) { // want "parameter sync.WaitGroup passed by value"

@@ -147,8 +147,8 @@ func (r *registry) admit(c *conn, hello *helloMsg) {
 	if slot < 0 {
 		if r.next >= r.n {
 			r.mu.Unlock()
-			_ = c.send(&envelope{Kind: kindShutdown, Shutdown: &shutdownMsg{Reason: "server full"}})
-			_ = c.close()
+			sendShutdownLogged(c, "server full", r.logf)
+			closeLogged(c, r.logf, "rejected connection")
 			r.logf("rejecting %q: all %d slots taken", hello.Name, r.n)
 			return
 		}
@@ -159,7 +159,7 @@ func (r *registry) admit(c *conn, hello *helloMsg) {
 		}
 	}
 	if old := r.conns[slot]; old != nil {
-		_ = old.close()
+		closeLogged(old, r.logf, "replaced connection")
 	}
 	r.names[slot] = hello.Name
 	r.conns[slot] = c
@@ -212,7 +212,7 @@ func (r *registry) drop(slot, gen int) bool {
 	if r.gens[slot] != gen || r.conns[slot] == nil {
 		return false
 	}
-	_ = r.conns[slot].close()
+	closeLogged(r.conns[slot], r.logf, "dropped connection")
 	r.conns[slot] = nil
 	r.state[slot] = stateDown
 	return true
@@ -298,8 +298,8 @@ func (r *registry) shutdown(reason string) {
 		if c == nil {
 			continue
 		}
-		_ = c.send(&envelope{Kind: kindShutdown, Shutdown: &shutdownMsg{Reason: reason}})
-		_ = c.close()
+		sendShutdownLogged(c, reason, r.logf)
+		closeLogged(c, r.logf, "worker connection")
 		r.conns[i] = nil
 		r.state[i] = stateDown
 	}
@@ -518,7 +518,7 @@ func acceptLoop(ln net.Listener, reg *registry, helloTimeout time.Duration, logf
 			c := newConn(raw)
 			e, err := c.recv(helloTimeout)
 			if err != nil || e.Kind != kindHello {
-				_ = c.close()
+				closeLogged(c, logf, "silent connection")
 				logf("rejecting connection %v: bad or missing hello", raw.RemoteAddr())
 				return
 			}

@@ -118,6 +118,23 @@ func (c *conn) recv(timeout time.Duration) (*envelope, error) {
 
 func (c *conn) close() error { return c.raw.Close() }
 
+// closeLogged closes c on a best-effort teardown path: the session is over
+// either way, but a failing close still earns a log line instead of being
+// silently dropped.
+func closeLogged(c *conn, logf func(string, ...any), who string) {
+	if err := c.close(); err != nil {
+		logf("closing %s: %v", who, err)
+	}
+}
+
+// sendShutdownLogged sends a shutdown frame without propagating the error:
+// the peer may already be gone, which is exactly why it is being shut down.
+func sendShutdownLogged(c *conn, reason string, logf func(string, ...any)) {
+	if err := c.send(&envelope{Kind: kindShutdown, Shutdown: &shutdownMsg{Reason: reason}}); err != nil {
+		logf("shutdown frame (%s): %v", reason, err)
+	}
+}
+
 // ioTimeout bounds individual sends; round-level receives use the server's
 // configured round timeout.
 const ioTimeout = 30 * time.Second

@@ -8,6 +8,7 @@ import (
 
 	"fedmp/internal/core"
 	"fedmp/internal/nn"
+	"fedmp/internal/simclock"
 	"fedmp/internal/tensor"
 )
 
@@ -32,6 +33,10 @@ type WorkerConfig struct {
 	MaxReconnects int
 	// Logf receives progress lines (nil silences logging).
 	Logf func(format string, args ...any)
+	// Clock charges the CompSeconds a worker reports with each result.
+	// nil means the wall clock (simclock.Wall); tests inject
+	// simclock.Fixed for reproducible timing without real sleeps.
+	Clock simclock.Clock
 }
 
 // errShutdown distinguishes an orderly server shutdown from a broken
@@ -76,12 +81,12 @@ func RunWorker(fam core.Family, src core.Source, cfg WorkerConfig) error {
 			return err
 		}
 		if err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: cfg.Name, ID: cfg.ID}}); err != nil {
-			_ = c.close()
+			closeLogged(c, logf, "connection")
 			return fmt.Errorf("transport: hello: %w", err)
 		}
 		logf("connected to %s (session %d)", cfg.Addr, session)
 		err = serveConn(c, fam, src, cfg, &lastRound, logf)
-		_ = c.close()
+		closeLogged(c, logf, "session connection")
 		if errors.Is(err, errShutdown) {
 			return nil
 		}
@@ -134,7 +139,11 @@ func serveConn(c *conn, fam core.Family, src core.Source, cfg WorkerConfig, last
 // trainAssignment performs the local-training phase for one assignment,
 // mirroring the simulation engine's worker step with wall-clock timing.
 func trainAssignment(fam core.Family, src core.Source, a *assignMsg, cfg WorkerConfig) (*resultMsg, error) {
-	start := time.Now()
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Wall{}
+	}
+	elapsed := clock.Stopwatch()
 	net, err := fam.BuildNet(a.Desc, 1)
 	if err != nil {
 		return nil, fmt.Errorf("transport: building assigned model: %w", err)
@@ -158,7 +167,7 @@ func trainAssignment(fam core.Family, src core.Source, a *assignMsg, cfg WorkerC
 	res := &resultMsg{
 		Round:       a.Round,
 		TrainLoss:   lossSum / float64(iters),
-		CompSeconds: time.Since(start).Seconds(),
+		CompSeconds: elapsed(),
 	}
 	newW := nn.GetWeights(net)
 	if a.UploadK > 0 {
