@@ -12,10 +12,10 @@ vet:
 	go vet ./...
 
 # lint runs the repo's own static-analysis suite (internal/lint): the
-# syntactic rules randsource, wallclock, floateq, synccopy and allocfree plus
-# the flow-sensitive rules maporder, errdiscard, lockbalance and seedflow —
-# the reproducibility and hot-path invariants DESIGN.md's "Static analysis"
-# section describes.
+# syntactic rules randsource, wallclock, floateq, synccopy, allocfree and
+# gobdeny plus the flow-sensitive rules maporder, errdiscard, lockbalance
+# and seedflow — the reproducibility, hot-path and wire-format invariants
+# DESIGN.md's "Static analysis" section describes.
 lint:
 	go run ./cmd/fedmp-lint ./...
 
@@ -30,15 +30,20 @@ lint-fix-hints:
 race:
 	go test -race ./...
 
-# bench regenerates BENCH_kernels.json: kernel micro-benchmarks with
-# speedups over the seed kernels (see EXPERIMENTS.md).
+# bench regenerates the committed benchmark reports: BENCH_kernels.json
+# (kernel micro-benchmarks with speedups over the seed kernels, see
+# EXPERIMENTS.md) and BENCH_wire.json (frame codec vs gob encode/decode,
+# bytes/round across the pruning-ratio sweep, sparse-upload savings).
 bench:
 	go run ./cmd/fedmp-bench -bench-json BENCH_kernels.json
+	go run ./cmd/fedmp-bench -wire-json BENCH_wire.json
 
 check: vet lint build test race
 
 # ci is the offline continuous-integration entry point: the full check
-# pipeline followed by a bench smoke run (one static table plus one quick
-# sim-backed figure) proving the experiment CLI still runs end to end.
+# pipeline, a race-checked two-worker loopback PS/worker round over the
+# binary wire codec, then a bench smoke run (one static table plus one
+# quick sim-backed figure) proving the experiment CLI still runs end to end.
 ci: check
+	go test -race -run 'TestLoopbackSmoke|TestSimWireBytesParity' ./internal/transport
 	go run ./cmd/fedmp-bench -quick -exp table2,fig5

@@ -29,11 +29,18 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-table CSVs into (optional)")
 	verbose := flag.Bool("v", false, "log each simulation as it starts")
 	benchJSON := flag.String("bench-json", "", "run the kernel micro-benchmarks and write results (with speedups vs the seed kernels) to this JSON file ('-' for stdout), then exit")
+	wireJSON := flag.String("wire-json", "", "run the wire-codec benchmarks (codec vs gob, bytes/round vs keep ratio) and write results to this JSON file ('-' for stdout), then exit")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := writeKernelBench(*benchJSON); err != nil {
 			log.Fatalf("bench-json: %v", err)
+		}
+		return
+	}
+	if *wireJSON != "" {
+		if err := writeWireBench(*wireJSON); err != nil {
+			log.Fatalf("wire-json: %v", err)
 		}
 		return
 	}

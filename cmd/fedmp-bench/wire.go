@@ -1,0 +1,366 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"fedmp/internal/nn"
+	"fedmp/internal/prune"
+	"fedmp/internal/tensor"
+	"fedmp/internal/transport/codec"
+	"fedmp/internal/zoo"
+)
+
+// The -wire-json mode benchmarks the binary frame codec against the gob
+// encoding the transport used before PR 5 and writes BENCH_wire.json: codec
+// and gob ns/op + allocs/op for encode and decode of a representative
+// assignment frame, per-round traffic across the keep-ratio sweep (pruned
+// sub-models physically shrink the frames), and the sparse payload mode's
+// savings on zero-heavy delta uploads.
+
+// wireSide is one direction (encode or decode) of the codec-vs-gob
+// comparison.
+type wireSide struct {
+	CodecNsPerOp     float64 `json:"codec_ns_per_op"`
+	CodecAllocsPerOp int64   `json:"codec_allocs_per_op"`
+	CodecMBPerSec    float64 `json:"codec_mb_per_sec"`
+	GobNsPerOp       float64 `json:"gob_ns_per_op"`
+	GobAllocsPerOp   int64   `json:"gob_allocs_per_op"`
+	SpeedupVsGob     float64 `json:"speedup_vs_gob"`
+}
+
+// wireTrafficRow is one keep-ratio cell of the bytes-per-round table.
+type wireTrafficRow struct {
+	// KeepRatio is the fraction of each layer's units kept (1.0 = dense);
+	// the paper's pruning ratio p is 1 - keep.
+	KeepRatio float64 `json:"keep_ratio"`
+	Params    int64   `json:"params"`
+	// DownBytes/UpBytes are the framed assignment and dense-delta result
+	// sizes; the sum is one worker's round trip.
+	DownBytes  int64   `json:"down_bytes"`
+	UpBytes    int64   `json:"up_bytes"`
+	RoundBytes int64   `json:"round_bytes"`
+	PctOfDense float64 `json:"pct_of_dense"`
+}
+
+// wireSparseRow is one zero-fraction cell of the sparse-mode table: the
+// same dense-shape delta upload as its zero fraction grows.
+type wireSparseRow struct {
+	ZeroFrac   float64 `json:"zero_frac"`
+	UpBytes    int64   `json:"up_bytes"`
+	PctOfDense float64 `json:"pct_of_dense"`
+}
+
+type wireReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// BenchModel and BenchFrameBytes describe the envelope the encode and
+	// decode benchmarks push: a full dense assignment for the model.
+	BenchModel      string           `json:"bench_model"`
+	BenchFrameBytes int64            `json:"bench_frame_bytes"`
+	BenchGobBytes   int64            `json:"bench_gob_bytes"`
+	Encode          wireSide         `json:"encode"`
+	Decode          wireSide         `json:"decode"`
+	TrafficModel    string           `json:"traffic_model"`
+	BytesPerRound   []wireTrafficRow `json:"bytes_per_round"`
+	SparseUpload    []wireSparseRow  `json:"sparse_upload"`
+}
+
+// benchEnvelope builds the representative assignment frame both codecs
+// encode: the full dense model with its spec, exactly what the PS sends a
+// new worker at round 1.
+func benchEnvelope(spec *zoo.Spec) (*codec.Envelope, error) {
+	rng := rand.New(rand.NewSource(11))
+	net, err := zoo.Build(spec, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &codec.Envelope{Kind: codec.KindAssign, Assign: &codec.Assign{
+		Round:   1,
+		Desc:    spec,
+		Weights: nn.GetWeights(net),
+		Iters:   4,
+	}}, nil
+}
+
+// gobBytes returns the steady-state gob size of one envelope: the second
+// message on a primed encoder, after the type descriptors went out with the
+// first.
+func gobBytes(env *codec.Envelope) (int64, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(env); err != nil {
+		return 0, err
+	}
+	primed := buf.Len()
+	if err := enc.Encode(env); err != nil {
+		return 0, err
+	}
+	return int64(buf.Len() - primed), nil
+}
+
+// benchWireEncode measures codec.WriteFrame of env into a discarding writer.
+func benchWireEncode(env *codec.Envelope) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := codec.WriteFrame(io.Discard, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchWireDecode measures codec.ReadFrame over a pre-encoded frame.
+func benchWireDecode(env *codec.Envelope) func(b *testing.B) {
+	return func(b *testing.B) {
+		var buf bytes.Buffer
+		if _, err := codec.WriteFrame(&buf, env); err != nil {
+			b.Fatal(err)
+		}
+		frame := buf.Bytes()
+		rd := bytes.NewReader(frame)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset(frame)
+			if _, _, err := codec.ReadFrame(rd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchGobEncode measures the old transport's steady state: one long-lived
+// encoder per connection, so type descriptors are amortised away.
+func benchGobEncode(env *codec.Envelope) func(b *testing.B) {
+	return func(b *testing.B) {
+		enc := gob.NewEncoder(io.Discard)
+		if err := enc.Encode(env); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchGobDecode measures steady-state gob decoding. A decoder consumes its
+// stream, so batches of frames are pre-encoded by one encoder and the
+// encoder/decoder pair is recreated only when a batch runs out — the
+// per-frame cost stays the long-lived-connection cost.
+func benchGobDecode(env *codec.Envelope) func(b *testing.B) {
+	const batch = 256
+	return func(b *testing.B) {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		for i := 0; i < batch; i++ {
+			if err := enc.Encode(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stream := buf.Bytes()
+		rd := bytes.NewReader(stream)
+		dec := gob.NewDecoder(rd)
+		left := batch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if left == 0 {
+				rd.Reset(stream)
+				dec = gob.NewDecoder(rd)
+				left = batch
+			}
+			var out codec.Envelope
+			if err := dec.Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+			left--
+		}
+	}
+}
+
+// wireTraffic fills the keep-ratio sweep: the framed bytes of one round
+// trip (assignment down, dense delta up) as structured pruning shrinks the
+// sub-model.
+func wireTraffic(spec *zoo.Spec) ([]wireTrafficRow, error) {
+	rng := rand.New(rand.NewSource(13))
+	net, err := zoo.Build(spec, rng)
+	if err != nil {
+		return nil, err
+	}
+	weights := nn.GetWeights(net)
+
+	roundTrip := func(desc *zoo.Spec, w []*tensor.Tensor, ratio float64) (down, up, params int64, err error) {
+		d, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindAssign, Assign: &codec.Assign{
+			Round: 1, Desc: desc, Weights: w, Iters: 4, Ratio: ratio,
+		}})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		u, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindResult, Result: &codec.Result{
+			Round: 1, Delta: w, TrainLoss: 1,
+		}})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		for _, t := range w {
+			params += int64(len(t.Data))
+		}
+		return d, u, params, nil
+	}
+
+	var rows []wireTrafficRow
+	var dense int64
+	for _, keep := range []float64{1.0, 0.8, 0.6, 0.4, 0.2} {
+		desc, w := spec, weights
+		if keep < 1 {
+			plan, err := prune.BuildPlan(spec, weights, 1-keep)
+			if err != nil {
+				return nil, err
+			}
+			desc, w, err = prune.Shrink(spec, weights, plan)
+			if err != nil {
+				return nil, err
+			}
+		}
+		down, up, params, err := roundTrip(desc, w, 1-keep)
+		if err != nil {
+			return nil, err
+		}
+		row := wireTrafficRow{
+			KeepRatio: keep, Params: params,
+			DownBytes: down, UpBytes: up, RoundBytes: down + up,
+		}
+		if keep == 1 {
+			dense = row.RoundBytes
+		}
+		row.PctOfDense = 100 * float64(row.RoundBytes) / float64(dense)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// zeroOut forces each element of w to zero with probability zf; the same
+// seed produces the same zero pattern at every zero fraction's row.
+func zeroOut(w []*tensor.Tensor, zf float64, zr *rand.Rand) {
+	for _, t := range w {
+		for i := range t.Data {
+			if zr.Float64() < zf {
+				t.Data[i] = 0
+			}
+		}
+	}
+}
+
+// wireSparse fills the sparse-mode table: the framed size of a dense-shape
+// delta upload as the fraction of exactly-zero entries grows (partially
+// trained deltas and top-K-style updates are zero-heavy).
+func wireSparse(spec *zoo.Spec) ([]wireSparseRow, error) {
+	rng := rand.New(rand.NewSource(17))
+	net, err := zoo.Build(spec, rng)
+	if err != nil {
+		return nil, err
+	}
+	weights := nn.GetWeights(net)
+
+	var rows []wireSparseRow
+	var dense int64
+	for _, zf := range []float64{0, 0.5, 0.9, 0.99} {
+		delta := nn.CloneWeights(weights)
+		zeroOut(delta, zf, rand.New(rand.NewSource(19)))
+		up, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindResult, Result: &codec.Result{
+			Round: 1, Delta: delta, TrainLoss: 1,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		row := wireSparseRow{ZeroFrac: zf, UpBytes: up}
+		if zf == 0 {
+			dense = up
+		}
+		row.PctOfDense = 100 * float64(up) / float64(dense)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// writeWireBench runs the wire benchmarks and writes the JSON report to
+// path (stdout when path is "-").
+func writeWireBench(path string) error {
+	gob.Register(&zoo.Spec{})
+	benchSpec := zoo.CNNSpec()
+	env, err := benchEnvelope(benchSpec)
+	if err != nil {
+		return err
+	}
+	frameBytes, err := codec.FrameBytes(env)
+	if err != nil {
+		return err
+	}
+	gb, err := gobBytes(env)
+	if err != nil {
+		return err
+	}
+	rep := wireReport{
+		GeneratedBy:     "fedmp-bench -wire-json",
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		BenchModel:      benchSpec.Name,
+		BenchFrameBytes: frameBytes,
+		BenchGobBytes:   gb,
+		TrafficModel:    zoo.AlexNetSpec().Name,
+	}
+
+	measure := func(label string, codecRun, gobRun func(b *testing.B)) wireSide {
+		fmt.Fprintf(os.Stderr, "benchmarking wire %-6s ... ", label)
+		cr := testing.Benchmark(codecRun)
+		gr := testing.Benchmark(gobRun)
+		side := wireSide{
+			CodecNsPerOp:     float64(cr.NsPerOp()),
+			CodecAllocsPerOp: cr.AllocsPerOp(),
+			GobNsPerOp:       float64(gr.NsPerOp()),
+			GobAllocsPerOp:   gr.AllocsPerOp(),
+		}
+		if side.CodecNsPerOp > 0 {
+			side.CodecMBPerSec = float64(frameBytes) / side.CodecNsPerOp * 1e9 / (1 << 20)
+			side.SpeedupVsGob = side.GobNsPerOp / side.CodecNsPerOp
+		}
+		fmt.Fprintf(os.Stderr, "codec %9.0f ns/op (%3d allocs)  gob %10.0f ns/op (%5d allocs)  %5.2fx\n",
+			side.CodecNsPerOp, side.CodecAllocsPerOp, side.GobNsPerOp, side.GobAllocsPerOp, side.SpeedupVsGob)
+		return side
+	}
+	rep.Encode = measure("encode", benchWireEncode(env), benchGobEncode(env))
+	rep.Decode = measure("decode", benchWireDecode(env), benchGobDecode(env))
+
+	if rep.BytesPerRound, err = wireTraffic(zoo.AlexNetSpec()); err != nil {
+		return err
+	}
+	if rep.SparseUpload, err = wireSparse(benchSpec); err != nil {
+		return err
+	}
+	for _, r := range rep.BytesPerRound {
+		fmt.Fprintf(os.Stderr, "keep %.1f: %8d params  %9d B/round  %5.1f%% of dense\n",
+			r.KeepRatio, r.Params, r.RoundBytes, r.PctOfDense)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

@@ -70,7 +70,7 @@ func (r *runner) runAsync() error {
 				})
 				continue
 			}
-			o, err := r.runWorker(a)
+			o, err := r.runWorker(a, round)
 			if err != nil {
 				return err
 			}

@@ -9,6 +9,7 @@ import (
 	"fedmp/internal/cluster"
 	"fedmp/internal/nn"
 	"fedmp/internal/tensor"
+	"fedmp/internal/transport/codec"
 )
 
 // runner holds the state of one simulation run.
@@ -144,7 +145,7 @@ func (r *runner) runSync() error {
 					failed = append(failed, a)
 					continue
 				}
-				o, err := r.runWorker(a)
+				o, err := r.runWorker(a, round)
 				if err != nil {
 					return err
 				}
@@ -378,8 +379,10 @@ func (r *runner) applyDeadline(outs []Output, hadFailures bool) (participants []
 }
 
 // runWorker executes one assignment: local training for real, virtual time
-// charged per the device model (phase ② of Fig. 1).
-func (r *runner) runWorker(a Assignment) (Output, error) {
+// charged per the device model (phase ② of Fig. 1). round is the wire
+// round index, threaded through so the size model prices exactly the frame
+// the TCP runtime would send.
+func (r *runner) runWorker(a Assignment, round int) (Output, error) {
 	dev := r.devices[a.Worker]
 	net, err := r.fam.BuildNet(a.Desc, r.cfg.Seed)
 	if err != nil {
@@ -406,12 +409,29 @@ func (r *runner) runWorker(a Assignment) (Output, error) {
 	flops := 3 * fwd * float64(a.Iters*r.cfg.BatchSize)
 	comp := dev.ComputeTime(flops)
 
+	// Traffic is priced by the wire codec's size model — the exact frame
+	// sizes the TCP runtime would measure for this assignment and its
+	// result — so Figs. 5 and 9 report real encoded bytes, sparse-mode
+	// compression included, not a parameter-count estimate.
+	down, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindAssign, Assign: &codec.Assign{
+		Round:   round,
+		Desc:    a.Desc,
+		Weights: a.Weights,
+		Iters:   a.Iters,
+		ProxMu:  a.ProxMu,
+		UploadK: a.UploadK,
+		Ratio:   a.Ratio,
+	}})
+	if err != nil {
+		return Output{}, fmt.Errorf("core: sizing worker %d assignment: %w", a.Worker, err)
+	}
 	out := Output{
 		Assignment: a,
 		TrainLoss:  lossSum / float64(a.Iters),
 		CompTime:   comp,
-		DownBytes:  nn.WeightsBytes(a.Weights),
+		DownBytes:  down,
 	}
+	result := &codec.Result{Round: round, TrainLoss: out.TrainLoss}
 	if a.UploadK > 0 {
 		// Error feedback: unsent deltas from previous rounds re-enter the
 		// selection, the standard fix for top-K compression stalls.
@@ -422,19 +442,29 @@ func (r *runner) runWorker(a Assignment) (Output, error) {
 				delta[i].Add(a.Feedback[i])
 			}
 		}
-		update, nnz := topKOf(delta, a.UploadK)
+		update, _ := topKOf(delta, a.UploadK)
 		out.Update = update
 		leftover := delta
 		for i := range leftover {
 			leftover[i].Sub(update[i])
 		}
 		out.Leftover = leftover
-		// Sparse encoding: 4-byte value + 4-byte index per entry.
-		out.UpBytes = int64(nnz) * 8
+		result.Update = update
 	} else {
 		out.NewWeights = newW
-		out.UpBytes = nn.WeightsBytes(newW)
+		// The wire runtime uploads only the trained-minus-assigned delta
+		// (the server reconstructs); price the same message here.
+		delta := nn.CloneWeights(newW)
+		for i := range delta {
+			delta[i].Sub(a.Weights[i])
+		}
+		result.Delta = delta
 	}
+	up, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindResult, Result: result})
+	if err != nil {
+		return Output{}, fmt.Errorf("core: sizing worker %d result: %w", a.Worker, err)
+	}
+	out.UpBytes = up
 	out.CommTime = dev.CommTime(out.DownBytes + out.UpBytes)
 	out.Total = out.CompTime + out.CommTime
 	return out, nil

@@ -45,6 +45,21 @@ func runAblationPolicy(l *lab) (*Report, error) {
 		{"epsilon-greedy", core.StrategyFedMP, "greedy", 0},
 		{"fixed 0.3", core.StrategyFixed, "", 0.3},
 	}
+	spec := func(m zoo.ModelID, v variant) runSpec {
+		return runSpec{
+			model: m, strategy: v.strategy, policy: v.policy,
+			fixedRatio: v.ratio, rounds: l.params(m).rounds * 3 / 2,
+		}
+	}
+	var grid []runSpec
+	for _, m := range l.sweepModels() {
+		for _, v := range variants {
+			grid = append(grid, spec(m, v))
+		}
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
+	}
 	var tables []*metrics.Table
 	for _, model := range l.sweepModels() {
 		p := l.params(model)
@@ -53,10 +68,7 @@ func runAblationPolicy(l *lab) (*Report, error) {
 			Columns: []string{"policy", "time to target", "final accuracy"},
 		}
 		for _, v := range variants {
-			res, err := l.simulateSpec(runSpec{
-				model: model, strategy: v.strategy, policy: v.policy,
-				fixedRatio: v.ratio, rounds: p.rounds * 3 / 2,
-			})
+			res, err := l.simulateSpec(spec(model, v))
 			if err != nil {
 				return nil, err
 			}

@@ -49,6 +49,25 @@ func runChurn(l *lab) (*Report, error) {
 	model := zoo.ModelCNN
 	p := l.params(model)
 
+	spec := func(crash, q float64) runSpec {
+		return runSpec{
+			model:    model,
+			strategy: core.StrategyFedMP,
+			rounds:   p.rounds,
+			crash:    crash,
+			quantile: q,
+		}
+	}
+	var grid []runSpec
+	for _, crash := range l.churnRates() {
+		for _, q := range l.churnQuorums() {
+			grid = append(grid, spec(crash, q))
+		}
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
+	}
+
 	acc := &metrics.Table{
 		Title:   "Best accuracy within the time budget vs crash rate × quorum",
 		Columns: []string{"crash rate"},
@@ -73,13 +92,7 @@ func runChurn(l *lab) (*Report, error) {
 		tttRow := []string{fmt.Sprintf("%.2f", crash)}
 		partRow := []string{fmt.Sprintf("%.2f", crash)}
 		for _, q := range l.churnQuorums() {
-			res, err := l.simulateSpec(runSpec{
-				model:    model,
-				strategy: core.StrategyFedMP,
-				rounds:   p.rounds,
-				crash:    crash,
-				quantile: q,
-			})
+			res, err := l.simulateSpec(spec(crash, q))
 			if err != nil {
 				return nil, err
 			}

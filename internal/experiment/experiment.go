@@ -29,6 +29,11 @@ type Options struct {
 	Quick bool
 	// Seed drives every simulation (default 1).
 	Seed int64
+	// MaxParallel bounds how many grid cells simulate concurrently
+	// (0 = GOMAXPROCS, 1 = serial). Every cell's seed derives from Seed
+	// alone, never from scheduling, so any setting produces byte-identical
+	// artefacts — parallelism only changes the wall-clock time.
+	MaxParallel int
 	// Logf receives progress lines (nil silences them).
 	Logf func(format string, args ...any)
 }
@@ -100,12 +105,21 @@ func (l *Lab) Run(id string) (*Report, error) { return l.inner.run(id) }
 
 // lab carries shared state for the runners.
 type lab struct {
-	opts  Options
-	logf  func(string, ...any)
-	mu    sync.Mutex
-	fams  map[zoo.ModelID]*core.ImageFamily
-	lm    *core.LMFamily
-	cache map[string]*core.Result
+	opts     Options
+	logf     func(string, ...any)
+	mu       sync.Mutex
+	fams     map[zoo.ModelID]*core.ImageFamily
+	lm       *core.LMFamily
+	cache    map[string]*core.Result
+	inflight map[string]*inflightRun
+}
+
+// inflightRun is a simulation currently executing; duplicate requests for
+// its key wait on done instead of running the configuration twice.
+type inflightRun struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
 }
 
 func newLab(opts Options) *lab {
@@ -117,10 +131,11 @@ func newLab(opts Options) *lab {
 		logf = func(string, ...any) {}
 	}
 	return &lab{
-		opts:  opts,
-		logf:  logf,
-		fams:  map[zoo.ModelID]*core.ImageFamily{},
-		cache: map[string]*core.Result{},
+		opts:     opts,
+		logf:     logf,
+		fams:     map[zoo.ModelID]*core.ImageFamily{},
+		cache:    map[string]*core.Result{},
+		inflight: map[string]*inflightRun{},
 	}
 }
 
@@ -170,23 +185,40 @@ func (l *lab) lmFamily() *core.LMFamily {
 }
 
 // simulate runs (or returns the cached result of) one configuration.
-// The key must uniquely identify the run semantics.
+// The key must uniquely identify the run semantics. Concurrent requests for
+// the same key are single-flighted: one caller runs the simulation, the
+// rest wait for it — the cache never holds two runs of one configuration,
+// no matter how the prefetch pool schedules the grid.
 func (l *lab) simulate(key string, fam core.Family, cfg core.Config) (*core.Result, error) {
 	l.mu.Lock()
 	if res, ok := l.cache[key]; ok {
 		l.mu.Unlock()
 		return res, nil
 	}
+	if in, ok := l.inflight[key]; ok {
+		l.mu.Unlock()
+		<-in.done
+		return in.res, in.err
+	}
+	in := &inflightRun{done: make(chan struct{})}
+	l.inflight[key] = in
 	l.mu.Unlock()
+
 	l.logf("running %s", key)
 	res, err := core.Run(fam, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", key, err)
+		err = fmt.Errorf("%s: %w", key, err)
+		res = nil
 	}
 	l.mu.Lock()
-	l.cache[key] = res
+	if err == nil {
+		l.cache[key] = res
+	}
+	delete(l.inflight, key)
+	in.res, in.err = res, err
 	l.mu.Unlock()
-	return res, nil
+	close(in.done)
+	return res, err
 }
 
 // accSeries converts a result trajectory to a metrics series over virtual

@@ -67,6 +67,38 @@ func TestIDsCoverPaperArtefacts(t *testing.T) {
 	}
 }
 
+// renderReport renders every table of an artefact into one byte stream.
+func renderReport(t *testing.T, opts Options, id string) []byte {
+	t.Helper()
+	rep, err := Run(id, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	for _, tab := range rep.Tables {
+		tab.Render(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestGridParallelMatchesSerial pins the parallel grid runner's contract:
+// cell seeds derive from Options.Seed alone and tables are assembled
+// serially from the cache, so MaxParallel only changes wall-clock time —
+// the rendered artefact must be byte-identical to a serial run.
+func TestGridParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	serial := renderReport(t, Options{Quick: true, Seed: 1, MaxParallel: 1}, "fig2")
+	parallel := renderReport(t, Options{Quick: true, Seed: 1, MaxParallel: 4}, "fig2")
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("parallel grid run diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if len(serial) == 0 {
+		t.Error("fig2 rendered to nothing")
+	}
+}
+
 // TestResultCacheSharing verifies that two artefacts reading the same
 // configuration share one simulation.
 func TestResultCacheSharing(t *testing.T) {

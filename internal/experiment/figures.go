@@ -19,6 +19,21 @@ var fig2Ratios = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
 // much capacity removed).
 func runFig2(l *lab) (*Report, error) {
 	models := l.sweepModels()
+	spec := func(m zoo.ModelID, ratio float64) runSpec {
+		return runSpec{
+			model: m, strategy: core.StrategyFixed, fixedRatio: ratio,
+			rounds: l.params(m).rounds * 2,
+		}
+	}
+	var grid []runSpec
+	for _, ratio := range fig2Ratios {
+		for _, m := range models {
+			grid = append(grid, spec(m, ratio))
+		}
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
+	}
 	t := &metrics.Table{
 		Title:   "Test accuracy after a fixed time budget vs pruning ratio (Fig. 2)",
 		Columns: []string{"ratio"},
@@ -31,10 +46,7 @@ func runFig2(l *lab) (*Report, error) {
 		row := []string{fmt.Sprintf("%.1f", ratio)}
 		for _, m := range models {
 			p := l.params(m)
-			res, err := l.simulateSpec(runSpec{
-				model: m, strategy: core.StrategyFixed, fixedRatio: ratio,
-				rounds: p.rounds * 2,
-			})
+			res, err := l.simulateSpec(spec(m, ratio))
 			if err != nil {
 				return nil, err
 			}
@@ -86,6 +98,21 @@ var fig4Thetas = []float64{0.01, 0.02, 0.05, 0.10, 0.15, 0.25}
 // granularity θ varies, normalised per model by the best θ.
 func runFig4(l *lab) (*Report, error) {
 	models := l.sweepModels()
+	spec := func(m zoo.ModelID, theta float64) runSpec {
+		return runSpec{
+			model: m, strategy: core.StrategyFedMP, theta: theta,
+			rounds: l.params(m).rounds * 3 / 2,
+		}
+	}
+	var grid []runSpec
+	for _, m := range models {
+		for _, theta := range fig4Thetas {
+			grid = append(grid, spec(m, theta))
+		}
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
+	}
 	t := &metrics.Table{
 		Title:   "Normalised completion time to target accuracy vs pruning granularity θ (Fig. 4)",
 		Columns: []string{"theta"},
@@ -97,10 +124,7 @@ func runFig4(l *lab) (*Report, error) {
 	for _, m := range models {
 		p := l.params(m)
 		for _, theta := range fig4Thetas {
-			res, err := l.simulateSpec(runSpec{
-				model: m, strategy: core.StrategyFedMP, theta: theta,
-				rounds: p.rounds * 3 / 2,
-			})
+			res, err := l.simulateSpec(spec(m, theta))
 			if err != nil {
 				return nil, err
 			}
@@ -166,6 +190,15 @@ func runFig5(l *lab) (*Report, error) {
 
 // runFig6 renders the accuracy-over-time trajectories of the five methods.
 func runFig6(l *lab) (*Report, error) {
+	var grid []runSpec
+	for _, model := range l.models() {
+		for _, strat := range core.StrategyIDs {
+			grid = append(grid, runSpec{model: model, strategy: strat})
+		}
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
+	}
 	var tables []*metrics.Table
 	for _, model := range l.models() {
 		var series []metrics.Series
@@ -185,6 +218,15 @@ func runFig6(l *lab) (*Report, error) {
 
 // runFig7 compares the R2SP and BSP synchronization schemes round by round.
 func runFig7(l *lab) (*Report, error) {
+	var grid []runSpec
+	for _, model := range l.models() {
+		for _, sync := range []core.SyncScheme{core.SyncR2SP, core.SyncBSP} {
+			grid = append(grid, runSpec{model: model, strategy: core.StrategyFedMP, sync: sync})
+		}
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
+	}
 	var tables []*metrics.Table
 	for _, model := range l.models() {
 		var series []metrics.Series
@@ -210,6 +252,23 @@ func runFig7(l *lab) (*Report, error) {
 // heterogeneity levels, with speedups relative to Syn-FL.
 func runFig8(l *lab) (*Report, error) {
 	levels := []cluster.Level{cluster.LevelLow, cluster.LevelMedium, cluster.LevelHigh}
+	spec := func(m zoo.ModelID, strat core.StrategyID, level cluster.Level) runSpec {
+		return runSpec{
+			model: m, strategy: strat, level: level,
+			rounds: l.params(m).rounds * 3 / 2,
+		}
+	}
+	var grid []runSpec
+	for _, m := range l.sweepModels() {
+		for _, level := range levels {
+			for _, strat := range core.StrategyIDs {
+				grid = append(grid, spec(m, strat, level))
+			}
+		}
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
+	}
 	var tables []*metrics.Table
 	for _, model := range l.sweepModels() {
 		p := l.params(model)
@@ -225,10 +284,7 @@ func runFig8(l *lab) (*Report, error) {
 			row := []string{string(level)}
 			var synTime, fedTime float64
 			for _, strat := range core.StrategyIDs {
-				res, err := l.simulateSpec(runSpec{
-					model: model, strategy: strat, level: level,
-					rounds: p.rounds * 3 / 2,
-				})
+				res, err := l.simulateSpec(spec(model, strat, level))
 				if err != nil {
 					return nil, err
 				}
@@ -254,14 +310,47 @@ func runFig8(l *lab) (*Report, error) {
 
 // runFig9 reports completion time under increasing non-IID levels.
 func runFig9(l *lab) (*Report, error) {
+	skewLevels := []int{0, 30, 60}
+	if l.opts.Quick {
+		skewLevels = []int{0, 60}
+	}
+	spec := func(m zoo.ModelID, strat core.StrategyID, nid core.NonIID) runSpec {
+		return runSpec{
+			model: m, strategy: strat, nonIID: nid,
+			rounds: l.params(m).rounds * 2,
+		}
+	}
+	var grid []runSpec
+	for _, m := range l.sweepModels() {
+		for _, level := range skewLevels {
+			nid := core.NonIID{}
+			if level > 0 {
+				nid = core.NonIID{Kind: "label", Level: level}
+			}
+			for _, strat := range core.StrategyIDs {
+				grid = append(grid, spec(m, strat, nid))
+			}
+		}
+	}
+	if !l.opts.Quick {
+		for _, level := range []int{0, 8, 16} {
+			nid := core.NonIID{}
+			if level > 0 {
+				nid = core.NonIID{Kind: "missing", Level: level}
+			}
+			for _, strat := range []core.StrategyID{core.StrategySynFL, core.StrategyFedMP} {
+				grid = append(grid, spec(zoo.ModelVGG, strat, nid))
+			}
+		}
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
+	}
 	var tables []*metrics.Table
 	for _, model := range l.sweepModels() {
 		p := l.params(model)
 		// Label-skew scheme for the 10-class datasets, per the paper.
-		levels := []int{0, 30, 60}
-		if l.opts.Quick {
-			levels = []int{0, 60}
-		}
+		levels := skewLevels
 		strategies := core.StrategyIDs
 		t := &metrics.Table{
 			Title:   fmt.Sprintf("Completion time to %.0f%% accuracy vs non-IID level (label skew), %s (Fig. 9)", 100*p.target, model),
@@ -277,10 +366,7 @@ func runFig9(l *lab) (*Report, error) {
 				if level > 0 {
 					nid = core.NonIID{Kind: "label", Level: level}
 				}
-				res, err := l.simulateSpec(runSpec{
-					model: model, strategy: strat, nonIID: nid,
-					rounds: p.rounds * 2,
-				})
+				res, err := l.simulateSpec(spec(model, strat, nid))
 				if err != nil {
 					return nil, err
 				}
@@ -306,10 +392,7 @@ func runFig9(l *lab) (*Report, error) {
 			}
 			row := []string{fmt.Sprintf("%d", level)}
 			for _, strat := range []core.StrategyID{core.StrategySynFL, core.StrategyFedMP} {
-				res, err := l.simulateSpec(runSpec{
-					model: model, strategy: strat, nonIID: nid,
-					rounds: p.rounds * 2,
-				})
+				res, err := l.simulateSpec(spec(model, strat, nid))
 				if err != nil {
 					return nil, err
 				}
@@ -343,6 +426,18 @@ func (l *lab) fig10Model() zoo.ModelID {
 func runFig10(l *lab) (*Report, error) {
 	model := l.fig10Model()
 	p := l.params(model)
+	var grid []runSpec
+	for _, n := range l.fig10Workers() {
+		for _, strat := range core.StrategyIDs {
+			grid = append(grid, runSpec{
+				model: model, strategy: strat, workers: n,
+				rounds: p.rounds * 3 / 2,
+			})
+		}
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
+	}
 	t := &metrics.Table{
 		Title:   fmt.Sprintf("Completion time to %.0f%% accuracy vs number of workers, %s (Fig. 10)", 100*p.target, model),
 		Columns: []string{"workers"},
@@ -383,6 +478,16 @@ func runFig10(l *lab) (*Report, error) {
 func runFig11(l *lab) (*Report, error) {
 	model := l.fig10Model()
 	p := l.params(model)
+	var grid []runSpec
+	for _, n := range l.fig10Workers() {
+		grid = append(grid, runSpec{
+			model: model, strategy: core.StrategyFedMP, workers: n,
+			rounds: p.rounds * 3 / 2,
+		})
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
+	}
 	t := &metrics.Table{
 		Title:   fmt.Sprintf("Average per-round algorithm overhead (real wall clock), %s (Fig. 11)", model),
 		Columns: []string{"workers", "ratio decision (ms)", "model pruning (ms)", "total (ms)"},
@@ -427,6 +532,13 @@ func runFig12(l *lab) (*Report, error) {
 		{"FedMP (sync)", runSpec{model: model, strategy: core.StrategyFedMP, rounds: p.rounds * 3 / 2}},
 		{"Asyn-FedMP", runSpec{model: model, strategy: core.StrategyFedMP, async: true, asyncM: m, rounds: p.rounds * 3}},
 		{"Asyn-FL", runSpec{model: model, strategy: core.StrategySynFL, async: true, asyncM: m, rounds: p.rounds * 3}},
+	}
+	grid := make([]runSpec, 0, len(entries))
+	for _, e := range entries {
+		grid = append(grid, e.sp)
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
 	}
 	t := &metrics.Table{
 		Title:   fmt.Sprintf("Completion time to %.0f%% accuracy, sync vs async (m=%d of %d), %s (Fig. 12)", 100*p.target, m, n, model),

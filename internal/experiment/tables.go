@@ -27,6 +27,15 @@ func runTable2(l *lab) (*Report, error) {
 // runTable3 reports the best accuracy each method reaches within the
 // model's time budget (Table III).
 func runTable3(l *lab) (*Report, error) {
+	var grid []runSpec
+	for _, model := range l.models() {
+		for _, strat := range core.StrategyIDs {
+			grid = append(grid, runSpec{model: model, strategy: strat})
+		}
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
+	}
 	t := &metrics.Table{
 		Title:   "Test accuracy of different FL methods in a given time (Table III)",
 		Columns: []string{"model", "time budget"},

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// gobdenyOKDirective suppresses a finding on its own line or the line
+// above — the reviewed escape hatch for a deliberate gob use (e.g. a
+// migration shim or an on-disk format that never crosses the wire).
+const gobdenyOKDirective = "//fedmp:gobdeny-ok"
+
+const gobdenyHint = "encode with internal/transport/codec (WriteFrame/ReadFrame); gob re-sends type descriptors and reflects per element, which the binary codec exists to avoid"
+
+var analyzerGobDeny = &Analyzer{
+	Name: "gobdeny",
+	Doc: "bans encoding/gob imports inside the wire layers (internal/transport " +
+		"and below): the transport moved to the hand-rolled binary frame codec, " +
+		"and a gob import is a regression to reflective, descriptor-heavy " +
+		"encoding that breaks the measured-bytes contract between the TCP " +
+		"runtime and the simulation. Test files are exempt. " +
+		gobdenyOKDirective + " on the preceding or same line suppresses.",
+	Run: runGobDeny,
+}
+
+func runGobDeny(pass *Pass) {
+	inScope := false
+	for _, prefix := range pass.Opts.GobDeny {
+		if hasPathPrefix(pass.Pkg.Path, prefix) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	fset := pass.Pkg.Fset
+	for _, f := range pass.Pkg.Files {
+		ok := directiveLines(fset, f, gobdenyOKDirective)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != "encoding/gob" && !strings.HasPrefix(path, "encoding/gob/") {
+				continue
+			}
+			if suppressed(fset, ok, imp.Pos()) {
+				continue
+			}
+			pass.ReportHint(imp.Pos(), gobdenyHint,
+				"encoding/gob imported in wire layer %s: the transport's frame format is the binary codec, not gob", pass.Pkg.Path)
+		}
+	}
+}

@@ -117,6 +117,12 @@ func TestMapOrderGolden(t *testing.T) {
 	checkGolden(t, "testdata/maporder", opts)
 }
 
+func TestGobDenyGolden(t *testing.T) {
+	opts := DefaultOptions()
+	opts.GobDeny = append(opts.GobDeny, "fedmp/internal/lint/testdata/gobdeny")
+	checkGolden(t, "testdata/gobdeny", opts)
+}
+
 func TestErrDiscardGolden(t *testing.T) {
 	checkGolden(t, "testdata/errdiscard", DefaultOptions())
 }

@@ -10,6 +10,7 @@
 //	synccopy    — sync primitives and pooled scratch state never copied by value
 //	allocfree   — annotated hot-path functions contain no allocation sites
 //	maporder    — map iteration never feeds ordered output in deterministic layers
+//	gobdeny     — the wire layers never import encoding/gob (the binary codec owns framing)
 //	errdiscard  — no error result discarded with _ or stored and never read
 //	lockbalance — every Lock/RLock is unlocked on every path to return
 //	seedflow    — fresh rand.New/NewSource results flow onward, not stay confined
@@ -64,6 +65,10 @@ type Options struct {
 	// results must be bit-identical across same-seed runs. Transport is
 	// exempt: its maps order network events, which carry their own ids.
 	MapOrderDeny []string
+	// GobDeny lists the import-path prefixes in which the gobdeny analyzer
+	// bans encoding/gob imports — the wire layers, which moved to the
+	// binary frame codec and must not regress to reflective encoding.
+	GobDeny []string
 }
 
 // DefaultOptions returns the repo's production configuration.
@@ -88,6 +93,9 @@ func DefaultOptions() *Options {
 			"fedmp/internal/nn.MaxPool2D.Backward",
 			"fedmp/internal/nn.GlobalAvgPool.Backward",
 			"fedmp/internal/nn.AddProximal",
+			"fedmp/internal/transport/codec.putF32s",
+			"fedmp/internal/transport/codec.getF32s",
+			"fedmp/internal/transport/codec.nonzeroCount",
 		},
 		MapOrderDeny: []string{
 			"fedmp/internal/core",
@@ -95,6 +103,9 @@ func DefaultOptions() *Options {
 			"fedmp/internal/bandit",
 			"fedmp/internal/experiment",
 			"fedmp/internal/metrics",
+		},
+		GobDeny: []string{
+			"fedmp/internal/transport",
 		},
 	}
 }
@@ -145,6 +156,7 @@ func Analyzers() []*Analyzer {
 		analyzerSyncCopy,
 		analyzerAllocFree,
 		analyzerMapOrder,
+		analyzerGobDeny,
 		analyzerErrDiscard,
 		analyzerLockBalance,
 		analyzerSeedFlow,

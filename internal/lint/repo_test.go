@@ -57,15 +57,34 @@ func TestDefaultOptionsPinHotPaths(t *testing.T) {
 	if len(opts.MapOrderDeny) < 5 {
 		t.Errorf("MapOrderDeny shrank to %v; the deterministic layers must stay covered", opts.MapOrderDeny)
 	}
+	for _, key := range []string{
+		"fedmp/internal/transport/codec.putF32s",
+		"fedmp/internal/transport/codec.getF32s",
+		"fedmp/internal/transport/codec.nonzeroCount",
+	} {
+		found := false
+		for _, k := range opts.RequiredAllocFree {
+			if k == key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("RequiredAllocFree no longer pins codec fast path %s", key)
+		}
+	}
+	if len(opts.GobDeny) < 1 {
+		t.Errorf("GobDeny shrank to %v; the wire layers must stay covered", opts.GobDeny)
+	}
 }
 
-// TestAnalyzerInventory pins the pipeline itself: all nine rules must stay
+// TestAnalyzerInventory pins the pipeline itself: all ten rules must stay
 // registered, in reporting order, so dropping one from Analyzers() fails the
 // suite rather than silently weakening the gate.
 func TestAnalyzerInventory(t *testing.T) {
 	want := []string{
 		"randsource", "wallclock", "floateq", "synccopy", "allocfree",
-		"maporder", "errdiscard", "lockbalance", "seedflow",
+		"maporder", "gobdeny", "errdiscard", "lockbalance", "seedflow",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {

@@ -1,0 +1,19 @@
+// Package gobdeny is a deliberately-bad fixture for the gobdeny analyzer.
+// Every `want` comment is a golden expectation checked by internal/lint's
+// golden tests; sanctioned.go pins the escape hatch.
+package gobdeny
+
+import (
+	"bytes"
+	"encoding/gob" // want "encoding/gob imported in wire layer"
+)
+
+// encode round-trips a value through gob — the pattern the wire layers
+// must never regress to now that the binary codec owns framing.
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

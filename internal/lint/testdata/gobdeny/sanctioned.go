@@ -1,0 +1,14 @@
+package gobdeny
+
+import (
+	"io"
+
+	//fedmp:gobdeny-ok — legacy on-disk snapshot reader, never crosses the wire
+	legacygob "encoding/gob"
+)
+
+// decodeLegacySnapshot pins the sanctioned escape hatch: a reviewed gob use
+// behind the //fedmp:gobdeny-ok directive is not flagged.
+func decodeLegacySnapshot(r io.Reader, v any) error {
+	return legacygob.NewDecoder(r).Decode(v)
+}

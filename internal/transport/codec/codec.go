@@ -1,0 +1,176 @@
+// Package codec implements the transport's hand-rolled wire format: a
+// length-prefixed binary frame per message, replacing encoding/gob on the
+// parameter-server/worker link.
+//
+// Why not gob: every assignment and result carries the model as
+// []*tensor.Tensor, and gob walks those values element by element through
+// reflection — the encode cost scales with parameter count at tens of
+// nanoseconds per float. This codec writes tensor data as raw little-endian
+// float32 slabs (one memmove on little-endian machines), draws its scratch
+// buffers from a size-classed sync.Pool mirroring tensor.Pool, and encodes
+// mostly-zero tensors (pruned sub-models, top-K updates) in a sparse mode
+// that ships only the surviving values plus a one-bit-per-element mask. The
+// result is that wire bytes track the *pruned* model size — the property the
+// paper's communication results (Figs. 5 and 9) depend on — and that the
+// simulation can price communication with the exact same size model the TCP
+// runtime measures (FrameBytes is byte-exact against WriteFrame).
+//
+// Frame layout (all multi-byte integers little-endian):
+//
+//	offset size field
+//	0      2    magic "FM"
+//	2      1    format version (1)
+//	3      1    message kind
+//	4      4    payload length N
+//	8      N    payload (kind-specific, see encode.go)
+//
+// Decoding is defensive: every length is bounds-checked against the frame
+// before allocation, ranks/element counts/nesting depths are capped, and any
+// malformed input yields an error — never a panic. See fuzz_test.go.
+package codec
+
+import (
+	"errors"
+	"fmt"
+
+	"fedmp/internal/tensor"
+)
+
+// Kind discriminates wire messages. The values are pinned — they are the
+// on-the-wire protocol, shared by every PS and worker build.
+type Kind byte
+
+// Message kinds.
+const (
+	KindHello Kind = iota + 1
+	KindAssign
+	KindResult
+	KindShutdown
+	KindPing
+	KindPong
+
+	kindMax = KindPong
+)
+
+// Frame geometry and decode limits.
+const (
+	magic0, magic1 = 'F', 'M'
+	version        = 1
+
+	// HeaderLen is the fixed frame-header size in bytes.
+	HeaderLen = 8
+
+	// MaxFrame bounds one frame's payload; a peer announcing more is
+	// malformed (the scaled model zoo tops out well under a megabyte).
+	MaxFrame = 64 << 20
+
+	// maxRank, maxElems, maxTensors and maxLayers cap what a decoded frame
+	// may ask the decoder to allocate, so a corrupt or hostile length
+	// field cannot amplify a small frame into an enormous allocation.
+	maxRank    = 32
+	maxElems   = 1 << 24
+	maxTensors = 1 << 16
+	maxLayers  = 1 << 12
+)
+
+// Envelope is the single wire frame; exactly one payload field matching
+// Kind is set (Ping/Pong carry no payload).
+type Envelope struct {
+	Kind     Kind
+	Hello    *Hello
+	Assign   *Assign
+	Result   *Result
+	Shutdown *Shutdown
+}
+
+// Hello introduces a worker to the server.
+type Hello struct {
+	// Name is a human-readable worker label.
+	Name string
+	// ID is a stable worker identity: a reconnecting worker presenting an
+	// ID the server has seen before re-enters its old slot mid-training
+	// instead of being treated as a stranger. Empty IDs never match.
+	ID string
+}
+
+// Assign is a per-round work order. It deliberately omits the R2SP residual
+// and pruning plan — those are server-side bookkeeping the worker never
+// needs (and the residual is as large as the full model).
+type Assign struct {
+	Round int
+	// Desc is the model description: nil, *zoo.Spec or zoo.LMConfig.
+	Desc    any
+	Weights []*tensor.Tensor
+	Iters   int
+	ProxMu  float32
+	UploadK float64
+	Ratio   float64
+}
+
+// Result is a worker's round result. At most one of Delta and Update is
+// set: Delta is the dense trained-minus-assigned difference (the server
+// reconstructs the new weights by adding it back, so the upload never
+// repeats the weights the server just sent), Update is the FlexCom top-K
+// sparse update in global shape.
+type Result struct {
+	Round       int
+	Delta       []*tensor.Tensor
+	Update      []*tensor.Tensor
+	TrainLoss   float64
+	CompSeconds float64
+}
+
+// Shutdown ends a worker's session.
+type Shutdown struct {
+	Reason string
+}
+
+// errTruncated reports a payload shorter than its own length fields claim.
+var errTruncated = errors.New("codec: truncated payload")
+
+// payload returns result-message tag bytes discriminating which tensor list
+// follows.
+const (
+	resultNone byte = iota
+	resultDelta
+	resultUpdate
+)
+
+// Desc tag bytes.
+const (
+	descNil byte = iota
+	descSpec
+	descLM
+)
+
+// checkKind validates that e's Kind has its matching payload pointer (and,
+// for results, at most one tensor list). It is shared by the encoder and
+// the size model so they can never disagree on what is encodable.
+func checkKind(e *Envelope) error {
+	switch e.Kind {
+	case KindHello:
+		if e.Hello == nil {
+			return fmt.Errorf("codec: hello envelope without payload")
+		}
+	case KindAssign:
+		if e.Assign == nil {
+			return fmt.Errorf("codec: assign envelope without payload")
+		}
+	case KindResult:
+		if e.Result == nil {
+			return fmt.Errorf("codec: result envelope without payload")
+		}
+		if e.Result.Delta != nil && e.Result.Update != nil {
+			return fmt.Errorf("codec: result carries both delta and update")
+		}
+	case KindShutdown:
+		if e.Shutdown == nil {
+			return fmt.Errorf("codec: shutdown envelope without payload")
+		}
+	case KindPing, KindPong:
+		// No payload.
+	default:
+		return fmt.Errorf("codec: unknown message kind %d", e.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,387 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"fedmp/internal/tensor"
+	"fedmp/internal/zoo"
+)
+
+// reader parses a payload slice with explicit bounds checks. Every length
+// field is validated against the bytes actually present before anything is
+// allocated, so a corrupt frame yields an error — never a panic, and never
+// an allocation much larger than the frame itself.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) rem() int { return len(r.buf) - r.off }
+
+// take consumes n bytes, aliasing into the frame buffer (callers must copy
+// anything they keep — the buffer is pooled).
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || r.rem() < n {
+		return nil, errTruncated
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) getByte() (byte, error) {
+	if r.rem() < 1 {
+		return 0, errTruncated
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) getUvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("codec: malformed varint")
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) getInt() (int, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("codec: malformed varint")
+	}
+	r.off += n
+	if int64(int(v)) != v {
+		return 0, fmt.Errorf("codec: varint %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+func (r *reader) getF32() (float32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(b)), nil
+}
+
+func (r *reader) getF64() (float64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+func (r *reader) getString() (string, error) {
+	n, err := r.getUvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.rem()) {
+		return "", errTruncated
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// decodeTensor reads one tensor in either mode, validating rank, element
+// count and — for sparse payloads — that the mask's set-bit population
+// matches the announced nonzero count exactly.
+func decodeTensor(r *reader) (*tensor.Tensor, error) {
+	rank, err := r.getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if rank > maxRank {
+		return nil, fmt.Errorf("codec: tensor rank %d exceeds %d", rank, maxRank)
+	}
+	dims := make([]int, rank)
+	n64 := int64(1) // bounded multiplies: ≤ maxElems² ≪ 2⁶³ even on 32-bit ints
+	for i := range dims {
+		d, err := r.getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if d > maxElems {
+			return nil, fmt.Errorf("codec: dimension %d exceeds %d", d, maxElems)
+		}
+		dims[i] = int(d)
+		n64 *= int64(d)
+		if n64 > maxElems {
+			return nil, fmt.Errorf("codec: tensor with over %d elements", maxElems)
+		}
+	}
+	n := int(n64)
+	mode, err := r.getByte()
+	if err != nil {
+		return nil, err
+	}
+	switch mode {
+	case modeDense:
+		b, err := r.take(4 * n)
+		if err != nil {
+			return nil, err
+		}
+		t := &tensor.Tensor{Shape: dims, Data: make([]float32, n)}
+		getF32s(t.Data, b)
+		return t, nil
+	case modeSparse:
+		nnzU, err := r.getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nnzU > uint64(n) {
+			return nil, fmt.Errorf("codec: %d nonzeros in a %d-element tensor", nnzU, n)
+		}
+		nnz := int(nnzU)
+		mask, err := r.take((n + 7) / 8)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := r.take(4 * nnz)
+		if err != nil {
+			return nil, err
+		}
+		if n%8 != 0 && len(mask) > 0 && mask[len(mask)-1]>>(n%8) != 0 {
+			return nil, fmt.Errorf("codec: sparse mask has bits set past the last element")
+		}
+		t := &tensor.Tensor{Shape: dims, Data: make([]float32, n)}
+		vi := 0
+		for i := 0; i < n; i++ {
+			if mask[i>>3]&(1<<(i&7)) != 0 {
+				if vi >= nnz {
+					return nil, fmt.Errorf("codec: sparse mask has more than %d set bits", nnz)
+				}
+				t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(vals[4*vi:]))
+				vi++
+			}
+		}
+		if vi != nnz {
+			return nil, fmt.Errorf("codec: sparse mask has %d set bits, header says %d", vi, nnz)
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("codec: unknown tensor mode %d", mode)
+	}
+}
+
+func decodeTensors(r *reader) ([]*tensor.Tensor, error) {
+	cnt, err := r.getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Every tensor costs at least two bytes, so a count beyond the frame's
+	// remaining bytes is corrupt — reject before allocating the slice.
+	if cnt > maxTensors || cnt > uint64(r.rem()) {
+		return nil, fmt.Errorf("codec: implausible tensor count %d", cnt)
+	}
+	ts := make([]*tensor.Tensor, cnt)
+	for i := range ts {
+		if ts[i], err = decodeTensor(r); err != nil {
+			return nil, err
+		}
+	}
+	return ts, nil
+}
+
+func decodeDesc(r *reader) (any, error) {
+	tag, err := r.getByte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case descNil:
+		return nil, nil
+	case descSpec:
+		s := &zoo.Spec{}
+		if s.Name, err = r.getString(); err != nil {
+			return nil, err
+		}
+		for _, dst := range []*int{&s.InC, &s.InH, &s.InW, &s.Classes} {
+			if *dst, err = r.getInt(); err != nil {
+				return nil, err
+			}
+		}
+		if s.Layers, err = decodeLayers(r, 0); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case descLM:
+		var c zoo.LMConfig
+		for _, dst := range []*int{&c.Vocab, &c.Embed, &c.Hidden, &c.SeqLen} {
+			if *dst, err = r.getInt(); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("codec: unknown description tag %d", tag)
+	}
+}
+
+func decodeLayers(r *reader, depth int) ([]zoo.LayerSpec, error) {
+	cnt, err := r.getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if cnt == 0 {
+		return nil, nil
+	}
+	if depth > 1 {
+		return nil, fmt.Errorf("codec: residual blocks nest deeper than the zoo allows")
+	}
+	if cnt > maxLayers || cnt > uint64(r.rem()) {
+		return nil, fmt.Errorf("codec: implausible layer count %d", cnt)
+	}
+	layers := make([]zoo.LayerSpec, cnt)
+	for i := range layers {
+		l := &layers[i]
+		kind, err := r.getInt()
+		if err != nil {
+			return nil, err
+		}
+		l.Kind = zoo.Kind(kind)
+		if l.Name, err = r.getString(); err != nil {
+			return nil, err
+		}
+		for _, dst := range []*int{&l.Out, &l.K, &l.Stride, &l.Pad, &l.Window} {
+			if *dst, err = r.getInt(); err != nil {
+				return nil, err
+			}
+		}
+		if l.Rate, err = r.getF64(); err != nil {
+			return nil, err
+		}
+		if l.Body, err = decodeLayers(r, depth+1); err != nil {
+			return nil, err
+		}
+	}
+	return layers, nil
+}
+
+// decodePayload parses the payload for e.Kind into e.
+func decodePayload(r *reader, e *Envelope) error {
+	var err error
+	switch e.Kind {
+	case KindHello:
+		h := &Hello{}
+		if h.Name, err = r.getString(); err != nil {
+			return err
+		}
+		if h.ID, err = r.getString(); err != nil {
+			return err
+		}
+		e.Hello = h
+	case KindAssign:
+		a := &Assign{}
+		if a.Round, err = r.getInt(); err != nil {
+			return err
+		}
+		if a.Desc, err = decodeDesc(r); err != nil {
+			return err
+		}
+		if a.Weights, err = decodeTensors(r); err != nil {
+			return err
+		}
+		if a.Iters, err = r.getInt(); err != nil {
+			return err
+		}
+		if a.ProxMu, err = r.getF32(); err != nil {
+			return err
+		}
+		if a.UploadK, err = r.getF64(); err != nil {
+			return err
+		}
+		if a.Ratio, err = r.getF64(); err != nil {
+			return err
+		}
+		e.Assign = a
+	case KindResult:
+		res := &Result{}
+		if res.Round, err = r.getInt(); err != nil {
+			return err
+		}
+		tag, err := r.getByte()
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case resultNone:
+		case resultDelta:
+			if res.Delta, err = decodeTensors(r); err != nil {
+				return err
+			}
+		case resultUpdate:
+			if res.Update, err = decodeTensors(r); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("codec: unknown result payload tag %d", tag)
+		}
+		if res.TrainLoss, err = r.getF64(); err != nil {
+			return err
+		}
+		if res.CompSeconds, err = r.getF64(); err != nil {
+			return err
+		}
+		e.Result = res
+	case KindShutdown:
+		s := &Shutdown{}
+		if s.Reason, err = r.getString(); err != nil {
+			return err
+		}
+		e.Shutdown = s
+	case KindPing, KindPong:
+		// No payload.
+	}
+	return nil
+}
+
+// ReadFrame reads and decodes one frame from rd, returning the envelope and
+// the total bytes consumed. Any malformed input — bad magic, unknown kind,
+// truncated or oversized payloads, corrupt tensor encodings — is reported as
+// an error; ReadFrame never panics on wire data.
+func ReadFrame(rd io.Reader) (*Envelope, int, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return nil, HeaderLen, fmt.Errorf("codec: bad frame magic %#02x%02x", hdr[0], hdr[1])
+	}
+	if hdr[2] != version {
+		return nil, HeaderLen, fmt.Errorf("codec: unsupported format version %d", hdr[2])
+	}
+	kind := Kind(hdr[3])
+	if kind < KindHello || kind > kindMax {
+		return nil, HeaderLen, fmt.Errorf("codec: unknown message kind %d", kind)
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > MaxFrame {
+		return nil, HeaderLen, fmt.Errorf("codec: %d-byte payload exceeds the %d-byte frame limit", n, MaxFrame)
+	}
+	f := getBuf(int(n))
+	defer putBuf(f)
+	if _, err := io.ReadFull(rd, f.b); err != nil {
+		return nil, HeaderLen, err
+	}
+	total := HeaderLen + int(n)
+	e := &Envelope{Kind: kind}
+	r := &reader{buf: f.b}
+	if err := decodePayload(r, e); err != nil {
+		return nil, total, err
+	}
+	if r.off != len(r.buf) {
+		return nil, total, fmt.Errorf("codec: %d trailing bytes after payload", r.rem())
+	}
+	return e, total, nil
+}

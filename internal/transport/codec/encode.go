@@ -1,0 +1,207 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"fedmp/internal/tensor"
+	"fedmp/internal/zoo"
+)
+
+// Tensor payload modes.
+const (
+	modeDense  byte = 0 // raw little-endian float32 slab
+	modeSparse byte = 1 // nonzero count, presence bitmask, surviving values
+)
+
+// writer fills a pre-sized frame buffer. The buffer's length comes from the
+// size model, so every put is a plain bounds-checked store — no growth, no
+// appends; encodeFrame asserts the final offset against the prediction.
+type writer struct {
+	buf []byte
+	off int
+}
+
+func (w *writer) putByte(v byte) {
+	w.buf[w.off] = v
+	w.off++
+}
+
+func (w *writer) putU32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[w.off:], v)
+	w.off += 4
+}
+
+func (w *writer) putUvarint(v uint64) {
+	w.off += binary.PutUvarint(w.buf[w.off:], v)
+}
+
+func (w *writer) putSvarint(v int64) {
+	w.off += binary.PutVarint(w.buf[w.off:], v)
+}
+
+func (w *writer) putF32(v float32) {
+	w.putU32(math.Float32bits(v))
+}
+
+func (w *writer) putF64(v float64) {
+	binary.LittleEndian.PutUint64(w.buf[w.off:], math.Float64bits(v))
+	w.off += 8
+}
+
+func (w *writer) putString(s string) {
+	w.putUvarint(uint64(len(s)))
+	w.off += copy(w.buf[w.off:], s)
+}
+
+// encodeTensor writes one tensor: rank, dimensions, mode byte, then either
+// the dense float slab or the sparse mask + surviving values. The mode is
+// chosen per tensor by exact cost, mirroring tensorWireSize.
+func encodeTensor(w *writer, t *tensor.Tensor) {
+	n := len(t.Data)
+	w.putUvarint(uint64(len(t.Shape)))
+	for _, d := range t.Shape {
+		w.putUvarint(uint64(d))
+	}
+	nnz := nonzeroCount(t.Data)
+	if tensorSparseSize(n, nnz) >= 4*n {
+		w.putByte(modeDense)
+		putF32s(w.buf[w.off:], t.Data)
+		w.off += 4 * n
+		return
+	}
+	w.putByte(modeSparse)
+	w.putUvarint(uint64(nnz))
+	mask := w.buf[w.off : w.off+(n+7)/8]
+	clear(mask)
+	w.off += len(mask)
+	for i, v := range t.Data {
+		if math.Float32bits(v) != 0 {
+			mask[i>>3] |= 1 << (i & 7)
+			w.putF32(v)
+		}
+	}
+}
+
+func encodeTensors(w *writer, ts []*tensor.Tensor) {
+	w.putUvarint(uint64(len(ts)))
+	for _, t := range ts {
+		encodeTensor(w, t)
+	}
+}
+
+// encodeDesc writes a model description. The size model already vetted the
+// dynamic type, so the default arm is unreachable on any frame that got this
+// far.
+func encodeDesc(w *writer, d any) {
+	switch v := d.(type) {
+	case nil:
+		w.putByte(descNil)
+	case *zoo.Spec:
+		w.putByte(descSpec)
+		w.putString(v.Name)
+		w.putSvarint(int64(v.InC))
+		w.putSvarint(int64(v.InH))
+		w.putSvarint(int64(v.InW))
+		w.putSvarint(int64(v.Classes))
+		encodeLayers(w, v.Layers)
+	case zoo.LMConfig:
+		w.putByte(descLM)
+		w.putSvarint(int64(v.Vocab))
+		w.putSvarint(int64(v.Embed))
+		w.putSvarint(int64(v.Hidden))
+		w.putSvarint(int64(v.SeqLen))
+	}
+}
+
+func encodeLayers(w *writer, layers []zoo.LayerSpec) {
+	w.putUvarint(uint64(len(layers)))
+	for i := range layers {
+		l := &layers[i]
+		w.putSvarint(int64(l.Kind))
+		w.putString(l.Name)
+		w.putSvarint(int64(l.Out))
+		w.putSvarint(int64(l.K))
+		w.putSvarint(int64(l.Stride))
+		w.putSvarint(int64(l.Pad))
+		w.putSvarint(int64(l.Window))
+		w.putF64(l.Rate)
+		encodeLayers(w, l.Body)
+	}
+}
+
+// encodePayload writes e's payload; the envelope has already passed
+// payloadSize's validation.
+func encodePayload(w *writer, e *Envelope) {
+	switch e.Kind {
+	case KindHello:
+		w.putString(e.Hello.Name)
+		w.putString(e.Hello.ID)
+	case KindAssign:
+		a := e.Assign
+		w.putSvarint(int64(a.Round))
+		encodeDesc(w, a.Desc)
+		encodeTensors(w, a.Weights)
+		w.putSvarint(int64(a.Iters))
+		w.putF32(a.ProxMu)
+		w.putF64(a.UploadK)
+		w.putF64(a.Ratio)
+	case KindResult:
+		r := e.Result
+		w.putSvarint(int64(r.Round))
+		switch {
+		case r.Delta != nil:
+			w.putByte(resultDelta)
+			encodeTensors(w, r.Delta)
+		case r.Update != nil:
+			w.putByte(resultUpdate)
+			encodeTensors(w, r.Update)
+		default:
+			w.putByte(resultNone)
+		}
+		w.putF64(r.TrainLoss)
+		w.putF64(r.CompSeconds)
+	case KindShutdown:
+		w.putString(e.Shutdown.Reason)
+	}
+}
+
+// encodeFrame builds e's complete frame in a pooled buffer sized by the
+// size model, asserting afterwards that prediction and encoding agree; the
+// caller owns the returned buffer and must putBuf it.
+func encodeFrame(e *Envelope) (*frameBuf, error) {
+	n, err := payloadSize(e)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("codec: %d-byte payload exceeds the %d-byte frame limit", n, MaxFrame)
+	}
+	f := getBuf(HeaderLen + n)
+	w := &writer{buf: f.b}
+	w.putByte(magic0)
+	w.putByte(magic1)
+	w.putByte(version)
+	w.putByte(byte(e.Kind))
+	w.putU32(uint32(n))
+	encodePayload(w, e)
+	if w.off != len(f.b) {
+		putBuf(f)
+		return nil, fmt.Errorf("codec: internal error: encoded %d of a predicted %d-byte frame", w.off, len(f.b))
+	}
+	return f, nil
+}
+
+// WriteFrame encodes e and writes its frame to wr in a single Write,
+// returning the number of bytes written — exactly FrameBytes(e) on success.
+func WriteFrame(wr io.Writer, e *Envelope) (int, error) {
+	f, err := encodeFrame(e)
+	if err != nil {
+		return 0, err
+	}
+	n, err := wr.Write(f.b)
+	putBuf(f)
+	return n, err
+}

@@ -1,0 +1,230 @@
+package codec
+
+import (
+	"fmt"
+	"math"
+
+	"fedmp/internal/tensor"
+	"fedmp/internal/zoo"
+)
+
+// This file is the codec's size model: FrameBytes predicts, to the byte,
+// what WriteFrame will emit for an envelope. The simulation engine prices
+// communication with FrameBytes while the TCP runtime measures real frames,
+// so the two runtimes charge identical traffic for identical messages; the
+// encoder asserts the prediction after every frame it builds (encode.go),
+// and codec tests pin the equality. Every helper here has an encoding twin
+// in encode.go — change them in pairs.
+
+// uvarintLen returns the encoded size of v as a binary.PutUvarint varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// svarintLen returns the encoded size of v as a zig-zag binary.PutVarint
+// varint.
+func svarintLen(v int64) int {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return uvarintLen(uv)
+}
+
+// stringLen returns the encoded size of s (uvarint length prefix + bytes).
+func stringLen(s string) int {
+	return uvarintLen(uint64(len(s))) + len(s)
+}
+
+// nonzeroCount counts the elements of vals whose bit pattern is not the
+// all-zero word. Comparing bit patterns instead of values keeps the sparse
+// mode bit-exact: negative zero and NaN payloads survive a round trip, and
+// no float comparison is involved.
+//
+//fedmp:allocfree
+func nonzeroCount(vals []float32) int {
+	n := 0
+	for _, v := range vals {
+		if math.Float32bits(v) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// tensorSparseSize returns the sparse-mode payload size for a tensor of n
+// elements with nnz nonzeros: the nonzero count, a one-bit-per-element
+// presence mask and the surviving values.
+func tensorSparseSize(n, nnz int) int {
+	return uvarintLen(uint64(nnz)) + (n+7)/8 + 4*nnz
+}
+
+// tensorWireSize returns the encoded size of one tensor, choosing the
+// cheaper of dense and sparse mode exactly as the encoder does, and
+// validates everything the encoder relies on.
+func tensorWireSize(t *tensor.Tensor) (int, error) {
+	if t == nil {
+		return 0, fmt.Errorf("codec: nil tensor in payload")
+	}
+	if len(t.Shape) > maxRank {
+		return 0, fmt.Errorf("codec: tensor rank %d exceeds %d", len(t.Shape), maxRank)
+	}
+	n := 1
+	size := uvarintLen(uint64(len(t.Shape)))
+	for _, d := range t.Shape {
+		if d < 0 {
+			return 0, fmt.Errorf("codec: negative dimension %d in shape %v", d, t.Shape)
+		}
+		size += uvarintLen(uint64(d))
+		n *= d
+	}
+	if n != len(t.Data) {
+		return 0, fmt.Errorf("codec: tensor shape %v does not match %d data elements", t.Shape, len(t.Data))
+	}
+	if n > maxElems {
+		return 0, fmt.Errorf("codec: tensor with %d elements exceeds %d", n, maxElems)
+	}
+	size++ // mode byte
+	if sparse := tensorSparseSize(n, nonzeroCount(t.Data)); sparse < 4*n {
+		return size + sparse, nil
+	}
+	return size + 4*n, nil
+}
+
+// tensorsSize returns the encoded size of a tensor list.
+func tensorsSize(ts []*tensor.Tensor) (int, error) {
+	if len(ts) > maxTensors {
+		return 0, fmt.Errorf("codec: %d tensors exceed %d", len(ts), maxTensors)
+	}
+	size := uvarintLen(uint64(len(ts)))
+	for _, t := range ts {
+		n, err := tensorWireSize(t)
+		if err != nil {
+			return 0, err
+		}
+		size += n
+	}
+	return size, nil
+}
+
+// descSize returns the encoded size of a model description (tag byte plus
+// the description itself).
+func descSize(d any) (int, error) {
+	switch v := d.(type) {
+	case nil:
+		return 1, nil
+	case *zoo.Spec:
+		if v == nil {
+			return 0, fmt.Errorf("codec: nil *zoo.Spec description")
+		}
+		n, err := specSize(v)
+		if err != nil {
+			return 0, err
+		}
+		return 1 + n, nil
+	case zoo.LMConfig:
+		return 1 + svarintLen(int64(v.Vocab)) + svarintLen(int64(v.Embed)) +
+			svarintLen(int64(v.Hidden)) + svarintLen(int64(v.SeqLen)), nil
+	default:
+		return 0, fmt.Errorf("codec: unsupported description type %T", d)
+	}
+}
+
+// specSize returns the encoded size of an architecture spec.
+func specSize(s *zoo.Spec) (int, error) {
+	n, err := layersSize(s.Layers, 0)
+	if err != nil {
+		return 0, err
+	}
+	return stringLen(s.Name) +
+		svarintLen(int64(s.InC)) + svarintLen(int64(s.InH)) + svarintLen(int64(s.InW)) +
+		svarintLen(int64(s.Classes)) + n, nil
+}
+
+// layersSize returns the encoded size of a layer list; depth tracks residual
+// nesting (zoo.Walk forbids residuals inside residuals, so one level of
+// Body is the limit).
+func layersSize(layers []zoo.LayerSpec, depth int) (int, error) {
+	if len(layers) > 0 && depth > 1 {
+		return 0, fmt.Errorf("codec: residual blocks nest deeper than the zoo allows")
+	}
+	if len(layers) > maxLayers {
+		return 0, fmt.Errorf("codec: %d layers exceed %d", len(layers), maxLayers)
+	}
+	size := uvarintLen(uint64(len(layers)))
+	for i := range layers {
+		l := &layers[i]
+		body, err := layersSize(l.Body, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		size += svarintLen(int64(l.Kind)) + stringLen(l.Name) +
+			svarintLen(int64(l.Out)) + svarintLen(int64(l.K)) +
+			svarintLen(int64(l.Stride)) + svarintLen(int64(l.Pad)) +
+			svarintLen(int64(l.Window)) + 8 + body
+	}
+	return size, nil
+}
+
+// payloadSize returns the encoded payload size for an envelope.
+func payloadSize(e *Envelope) (int, error) {
+	if err := checkKind(e); err != nil {
+		return 0, err
+	}
+	switch e.Kind {
+	case KindHello:
+		return stringLen(e.Hello.Name) + stringLen(e.Hello.ID), nil
+	case KindAssign:
+		a := e.Assign
+		desc, err := descSize(a.Desc)
+		if err != nil {
+			return 0, err
+		}
+		ws, err := tensorsSize(a.Weights)
+		if err != nil {
+			return 0, err
+		}
+		return svarintLen(int64(a.Round)) + desc + ws +
+			svarintLen(int64(a.Iters)) + 4 + 8 + 8, nil
+	case KindResult:
+		r := e.Result
+		size := svarintLen(int64(r.Round)) + 1 + 8 + 8
+		var payload []*tensor.Tensor
+		switch {
+		case r.Delta != nil:
+			payload = r.Delta
+		case r.Update != nil:
+			payload = r.Update
+		default:
+			return size, nil
+		}
+		ts, err := tensorsSize(payload)
+		if err != nil {
+			return 0, err
+		}
+		return size + ts, nil
+	case KindShutdown:
+		return stringLen(e.Shutdown.Reason), nil
+	default: // KindPing, KindPong — checkKind rejected everything else.
+		return 0, nil
+	}
+}
+
+// FrameBytes returns the exact wire size of e's frame — header plus payload
+// — without encoding it. It is the size model the simulation engine charges
+// communication with; WriteFrame emits exactly this many bytes.
+func FrameBytes(e *Envelope) (int64, error) {
+	n, err := payloadSize(e)
+	if err != nil {
+		return 0, err
+	}
+	if n > MaxFrame {
+		return 0, fmt.Errorf("codec: %d-byte payload exceeds the %d-byte frame limit", n, MaxFrame)
+	}
+	return int64(HeaderLen + n), nil
+}

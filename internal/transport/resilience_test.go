@@ -32,17 +32,17 @@ func deadAfterWorker(t *testing.T, fam *core.ImageFamily, addr string, src core.
 		return
 	}
 	defer c.close()
-	if err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: "flaky", ID: id}}); err != nil {
+	if _, err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: "flaky", ID: id}}); err != nil {
 		t.Errorf("flaky hello: %v", err)
 		return
 	}
 	for served := 0; ; {
-		e, err := c.recv(30 * time.Second)
+		e, _, err := c.recv(30 * time.Second)
 		if err != nil || e.Kind == kindShutdown {
 			return
 		}
 		if e.Kind == kindPing {
-			if c.send(&envelope{Kind: kindPong}) != nil {
+			if _, err := c.send(&envelope{Kind: kindPong}); err != nil {
 				return
 			}
 			continue
@@ -58,7 +58,7 @@ func deadAfterWorker(t *testing.T, fam *core.ImageFamily, addr string, src core.
 			t.Errorf("flaky train: %v", err)
 			return
 		}
-		if err := c.send(&envelope{Kind: kindResult, Result: res}); err != nil {
+		if _, err := c.send(&envelope{Kind: kindResult, Result: res}); err != nil {
 			return
 		}
 		served++
@@ -76,18 +76,18 @@ func slowWorker(t *testing.T, fam *core.ImageFamily, addr string, src core.Sourc
 		return
 	}
 	defer c.close()
-	if err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: id, ID: id}}); err != nil {
+	if _, err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: id, ID: id}}); err != nil {
 		t.Errorf("slow hello: %v", err)
 		return
 	}
 	for {
-		e, err := c.recv(30 * time.Second)
+		e, _, err := c.recv(30 * time.Second)
 		if err != nil || e.Kind == kindShutdown {
 			return
 		}
 		switch e.Kind {
 		case kindPing:
-			if c.send(&envelope{Kind: kindPong}) != nil {
+			if _, err := c.send(&envelope{Kind: kindPong}); err != nil {
 				return
 			}
 		case kindAssign:
@@ -97,7 +97,7 @@ func slowWorker(t *testing.T, fam *core.ImageFamily, addr string, src core.Sourc
 				t.Errorf("slow train: %v", err)
 				return
 			}
-			if c.send(&envelope{Kind: kindResult, Result: res}) != nil {
+			if _, err := c.send(&envelope{Kind: kindResult, Result: res}); err != nil {
 				return
 			}
 		default:

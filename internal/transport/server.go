@@ -9,6 +9,7 @@ import (
 
 	"fedmp/internal/core"
 	"fedmp/internal/nn"
+	"fedmp/internal/tensor"
 )
 
 // ServerConfig parameterises a parameter server.
@@ -86,10 +87,11 @@ const (
 )
 
 // event is what per-connection readers deliver to the round loop. A nil env
-// signals a disconnect.
+// signals a disconnect; bytes is the received frame's measured wire size.
 type event struct {
 	worker int
 	env    *envelope
+	bytes  int
 }
 
 // idleTimeout is the reader goroutines' per-receive deadline; it only needs
@@ -184,14 +186,14 @@ func (r *registry) admit(c *conn, hello *helloMsg) {
 // connection dies or is replaced by a rejoin.
 func (r *registry) read(slot, gen int, c *conn) {
 	for {
-		e, err := c.recv(idleTimeout)
+		e, n, err := c.recv(idleTimeout)
 		if err != nil {
 			if r.drop(slot, gen) {
 				r.push(event{worker: slot, env: nil})
 			}
 			return
 		}
-		r.push(event{worker: slot, env: e})
+		r.push(event{worker: slot, env: e, bytes: n})
 	}
 }
 
@@ -218,13 +220,14 @@ func (r *registry) drop(slot, gen int) bool {
 	return true
 }
 
-// send transmits to a slot's current connection.
-func (r *registry) send(slot int, e *envelope) error {
+// send transmits to a slot's current connection, returning the frame's
+// measured wire size.
+func (r *registry) send(slot int, e *envelope) (int, error) {
 	r.mu.Lock()
 	c := r.conns[slot]
 	r.mu.Unlock()
 	if c == nil {
-		return fmt.Errorf("transport: worker %d disconnected", slot)
+		return 0, fmt.Errorf("transport: worker %d disconnected", slot)
 	}
 	return c.send(e)
 }
@@ -309,7 +312,7 @@ func (r *registry) shutdown(reason string) {
 // (or any other frame) restores it to the live set.
 func (r *registry) pingSuspects() {
 	for _, slot := range r.suspects() {
-		if err := r.send(slot, &envelope{Kind: kindPing}); err != nil {
+		if _, err := r.send(slot, &envelope{Kind: kindPing}); err != nil {
 			r.logf("heartbeat to worker %d failed: %v", slot, err)
 		}
 	}
@@ -317,11 +320,12 @@ func (r *registry) pingSuspects() {
 
 // roundState tracks one round's in-flight collection.
 type roundState struct {
-	round   int
-	pending map[int]core.Assignment // worker -> assignment awaiting a result
-	sentAt  map[int]time.Time
-	outs    []core.Output
-	dropped []core.Assignment
+	round     int
+	pending   map[int]core.Assignment // worker -> assignment awaiting a result
+	sentAt    map[int]time.Time
+	sentBytes map[int]int64 // worker -> measured assignment frame size
+	outs      []core.Output
+	dropped   []core.Assignment
 }
 
 // server bundles the round loop's fixed parts.
@@ -516,7 +520,7 @@ func acceptLoop(ln net.Listener, reg *registry, helloTimeout time.Duration, logf
 		}
 		go func(raw net.Conn) {
 			c := newConn(raw)
-			e, err := c.recv(helloTimeout)
+			e, _, err := c.recv(helloTimeout)
 			if err != nil || e.Kind != kindHello {
 				closeLogged(c, logf, "silent connection")
 				logf("rejecting connection %v: bad or missing hello", raw.RemoteAddr())
@@ -557,9 +561,10 @@ func (s *server) awaitLiveWorkers(round int) ([]int, error) {
 // their assignments reported as dropped.
 func (s *server) runRound(round int, assignments []core.Assignment) *roundState {
 	rs := &roundState{
-		round:   round,
-		pending: make(map[int]core.Assignment, len(assignments)),
-		sentAt:  make(map[int]time.Time, len(assignments)),
+		round:     round,
+		pending:   make(map[int]core.Assignment, len(assignments)),
+		sentAt:    make(map[int]time.Time, len(assignments)),
+		sentBytes: make(map[int]int64, len(assignments)),
 	}
 
 	// Fan out sends; each is bounded by the connection write deadline.
@@ -579,7 +584,7 @@ func (s *server) runRound(round int, assignments []core.Assignment) *roundState 
 				Ratio:   a.Ratio,
 			}
 			sent := time.Now()
-			err := s.reg.send(a.Worker, &envelope{Kind: kindAssign, Assign: msg})
+			n, err := s.reg.send(a.Worker, &envelope{Kind: kindAssign, Assign: msg})
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -590,6 +595,7 @@ func (s *server) runRound(round int, assignments []core.Assignment) *roundState 
 			}
 			rs.pending[a.Worker] = a
 			rs.sentAt[a.Worker] = sent
+			rs.sentBytes[a.Worker] = int64(n)
 		}(a)
 	}
 	wg.Wait()
@@ -645,6 +651,7 @@ func (s *server) handleEvent(ev event, rs *roundState) {
 			if a, ok := rs.pending[ev.worker]; ok {
 				delete(rs.pending, ev.worker)
 				delete(rs.sentAt, ev.worker)
+				delete(rs.sentBytes, ev.worker)
 				rs.dropped = append(rs.dropped, a)
 			}
 		}
@@ -668,23 +675,37 @@ func (s *server) handleEvent(ev event, rs *roundState) {
 		if comm < 0 {
 			comm = 0
 		}
+		// Traffic is charged from the measured frames: the assignment frame
+		// this round-trip started with and the result frame that just
+		// arrived — the same sizes codec.FrameBytes predicts, so the cluster
+		// simulation's accounting and this runtime's agree byte for byte.
 		o := core.Output{
 			Assignment: a,
-			NewWeights: r.Weights,
 			Update:     r.Update,
 			TrainLoss:  r.TrainLoss,
 			CompTime:   r.CompSeconds,
 			CommTime:   comm,
 			Total:      total,
-			DownBytes:  nn.WeightsBytes(a.Weights),
+			DownBytes:  rs.sentBytes[ev.worker],
+			UpBytes:    int64(ev.bytes),
 		}
-		if o.NewWeights != nil {
-			o.UpBytes = nn.WeightsBytes(o.NewWeights)
-		} else if o.Update != nil {
-			o.UpBytes = sparseBytes(o.Update)
+		if r.Delta != nil {
+			// Dense mode ships only the trained-minus-assigned delta;
+			// reconstruct the new weights against the assignment we sent.
+			w, err := applyDelta(a.Weights, r.Delta)
+			if err != nil {
+				s.logf("round %d: malformed result from worker %d (%v), dropping it", rs.round, ev.worker, err)
+				delete(rs.pending, ev.worker)
+				delete(rs.sentAt, ev.worker)
+				delete(rs.sentBytes, ev.worker)
+				rs.dropped = append(rs.dropped, a)
+				return
+			}
+			o.NewWeights = w
 		}
 		delete(rs.pending, ev.worker)
 		delete(rs.sentAt, ev.worker)
+		delete(rs.sentBytes, ev.worker)
 		rs.outs = append(rs.outs, o)
 	case kindPong:
 		s.reg.restore(ev.worker)
@@ -695,4 +716,28 @@ func (s *server) handleEvent(ev event, rs *roundState) {
 	default:
 		s.logf("ignoring unexpected frame kind %d from worker %d", ev.env.Kind, ev.worker)
 	}
+}
+
+// applyDelta reconstructs a worker's trained weights from the assignment's
+// weights plus the uploaded delta (the dense-mode upload never repeats what
+// the server just sent). The base tensors are cloned, never mutated — they
+// may alias strategy state. A result whose delta does not match the
+// assignment's shapes is a protocol error reported to the caller, not a
+// panic.
+func applyDelta(base, delta []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(delta) != len(base) {
+		return nil, fmt.Errorf("delta has %d tensors, assignment has %d", len(delta), len(base))
+	}
+	out := nn.CloneWeights(base)
+	for i := range out {
+		if len(delta[i].Data) != len(out[i].Data) {
+			return nil, fmt.Errorf("delta tensor %d has %d elements, assignment has %d",
+				i, len(delta[i].Data), len(out[i].Data))
+		}
+		dst, src := out[i].Data, delta[i].Data
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"fedmp/internal/core"
 	"fedmp/internal/simclock"
+	"fedmp/internal/transport/codec"
 )
 
 // TestTrainAssignmentFixedClock pins the simclock seam in the worker path:
@@ -41,8 +42,8 @@ func TestTrainAssignmentFixedClock(t *testing.T) {
 		if res.CompSeconds != tc.perCall {
 			t.Errorf("%s: CompSeconds = %v, want exactly %v", tc.name, res.CompSeconds, tc.perCall)
 		}
-		if res.Round != 1 || len(res.Weights) == 0 {
-			t.Errorf("%s: malformed result: round %d, %d weight tensors", tc.name, res.Round, len(res.Weights))
+		if res.Round != 1 || len(res.Delta) == 0 {
+			t.Errorf("%s: malformed result: round %d, %d delta tensors", tc.name, res.Round, len(res.Delta))
 		}
 	}
 }
@@ -68,10 +69,10 @@ func TestHeartbeatAndResultOverPipe(t *testing.T) {
 	}()
 
 	// Heartbeat: ping must come back as pong.
-	if err := server.send(&envelope{Kind: kindPing}); err != nil {
+	if _, err := server.send(&envelope{Kind: kindPing}); err != nil {
 		t.Fatal(err)
 	}
-	e, err := server.recv(ioTimeout)
+	e, _, err := server.recv(ioTimeout)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,16 +81,27 @@ func TestHeartbeatAndResultOverPipe(t *testing.T) {
 	}
 
 	// One assignment round; the fixed clock makes the reported compute
-	// time exact.
-	if err := server.send(&envelope{Kind: kindAssign, Assign: &assignMsg{
+	// time exact. The measured frame sizes must agree with the codec's
+	// size model in both directions — that is the contract that lets the
+	// simulation charge the traffic the runtime really generates.
+	assignEnv := &envelope{Kind: kindAssign, Assign: &assignMsg{
 		Round:   1,
 		Desc:    fam.FullDesc(),
 		Weights: fam.InitWeights(5),
 		Iters:   1,
-	}}); err != nil {
+	}}
+	wantDown, err := codec.FrameBytes(assignEnv)
+	if err != nil {
 		t.Fatal(err)
 	}
-	e, err = server.recv(ioTimeout)
+	sentDown, err := server.send(assignEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(sentDown) != wantDown {
+		t.Errorf("assignment frame measured %d bytes, size model says %d", sentDown, wantDown)
+	}
+	e, upBytes, err := server.recv(ioTimeout)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,8 +111,15 @@ func TestHeartbeatAndResultOverPipe(t *testing.T) {
 	if e.Result.CompSeconds != 3.25 {
 		t.Errorf("CompSeconds = %v, want exactly 3.25 from the fixed clock", e.Result.CompSeconds)
 	}
+	wantUp, err := codec.FrameBytes(&envelope{Kind: kindResult, Result: e.Result})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(upBytes) != wantUp {
+		t.Errorf("result frame measured %d bytes, size model says %d", upBytes, wantUp)
+	}
 
-	if err := server.send(&envelope{Kind: kindShutdown, Shutdown: &shutdownMsg{Reason: "test over"}}); err != nil {
+	if _, err := server.send(&envelope{Kind: kindShutdown, Shutdown: &shutdownMsg{Reason: "test over"}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-done; !errors.Is(err, errShutdown) {

@@ -161,13 +161,13 @@ func TestBadHelloRejected(t *testing.T) {
 		errCh <- err
 	}()
 
-	// First connection sends garbage and must be rejected.
+	// First connection sends garbage (wrong magic) and must be rejected.
 	time.Sleep(200 * time.Millisecond)
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw.Write([]byte("not gob at all\n"))
+	raw.Write([]byte("not a frame at all\n"))
 	raw.Close()
 
 	// A real worker then joins and training completes.
@@ -184,9 +184,75 @@ func TestBadHelloRejected(t *testing.T) {
 	}
 }
 
-func TestSparseBytes(t *testing.T) {
-	u := []*tensor.Tensor{tensor.FromSlice([]float32{0, 1, 0, -2}, 4)}
-	if got := sparseBytes(u); got != 16 {
-		t.Errorf("sparseBytes = %d, want 16", got)
+// TestSimWireBytesParity pins the acceptance contract of the size model:
+// the simulated cluster runtime and the real TCP runtime must report the
+// same per-round traffic for identical plans. Round 1 is fully determined
+// by the config (same seed → same initial weights, same strategy state), so
+// the measured assignment frames on the wire must sum to exactly what the
+// simulation charges through codec.FrameBytes.
+func TestSimWireBytesParity(t *testing.T) {
+	fam := testFamily()
+	coreCfg := core.Config{
+		Strategy:   core.StrategySynFL,
+		Workers:    3,
+		Rounds:     1,
+		LocalIters: 2,
+		BatchSize:  4,
+		EvalLimit:  80,
+		Seed:       5,
+	}
+	simRes, err := core.Run(fam, coreCfg)
+	if err != nil {
+		t.Fatalf("simulation: %v", err)
+	}
+	wireRes := launch(t, core.StrategySynFL, 3, 1)
+	if len(simRes.Stats) == 0 || len(wireRes.Stats) == 0 {
+		t.Fatalf("missing round stats: sim %d, wire %d", len(simRes.Stats), len(wireRes.Stats))
+	}
+	simDown, wireDown := simRes.Stats[0].DownBytes, wireRes.Stats[0].DownBytes
+	if simDown != wireDown {
+		t.Errorf("round-1 downlink bytes: simulation %d, wire %d — runtimes disagree on the size model", simDown, wireDown)
+	}
+	if simDown <= 0 {
+		t.Errorf("round-1 downlink bytes = %d, want positive", simDown)
+	}
+}
+
+// TestLoopbackSmoke is the CI smoke round: two workers, one round, over
+// loopback TCP with the binary codec (make ci runs it under -race).
+func TestLoopbackSmoke(t *testing.T) {
+	res := launch(t, core.StrategyFedMP, 2, 1)
+	if res.Rounds != 1 {
+		t.Errorf("ran %d rounds, want 1", res.Rounds)
+	}
+	if len(res.Stats) != 1 || res.Stats[0].Participants != 2 {
+		t.Errorf("round stats %+v, want one round with 2 participants", res.Stats)
+	}
+}
+
+// TestApplyDelta pins the server-side dense reconstruction: base plus delta
+// without mutating the base, and protocol errors instead of panics on
+// mismatched payloads.
+func TestApplyDelta(t *testing.T) {
+	base := []*tensor.Tensor{tensor.FromSlice([]float32{1, 2, 3, 4}, 4)}
+	delta := []*tensor.Tensor{tensor.FromSlice([]float32{0.5, 0, -1, 2}, 4)}
+	got, err := applyDelta(base, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1.5, 2, 2, 6}
+	for i, v := range want {
+		if got[0].Data[i] != v {
+			t.Errorf("reconstructed[%d] = %v, want %v", i, got[0].Data[i], v)
+		}
+	}
+	if base[0].Data[0] != 1 {
+		t.Error("applyDelta mutated the assignment weights")
+	}
+	if _, err := applyDelta(base, nil); err == nil {
+		t.Error("tensor-count mismatch accepted")
+	}
+	if _, err := applyDelta(base, []*tensor.Tensor{tensor.New(3)}); err == nil {
+		t.Error("element-count mismatch accepted")
 	}
 }

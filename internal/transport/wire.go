@@ -1,119 +1,70 @@
 // Package transport provides a real distributed runtime for the federated
-// framework: a parameter server and workers exchanging gob-encoded messages
-// over TCP. The paper deploys FedMP on a physical testbed (one workstation
-// PS plus Jetson workers); this package is the equivalent network runtime —
-// the same core strategies drive it, but completion times are measured on
-// the wall clock instead of the cluster simulation.
+// framework: a parameter server and workers exchanging length-prefixed
+// binary frames (internal/transport/codec) over TCP. The paper deploys
+// FedMP on a physical testbed (one workstation PS plus Jetson workers); this
+// package is the equivalent network runtime — the same core strategies
+// drive it, but completion times are measured on the wall clock instead of
+// the cluster simulation, and traffic is accounted from the measured frame
+// sizes rather than a parameter-count estimate.
 package transport
 
 import (
-	"encoding/gob"
-	"fmt"
+	"bufio"
 	"net"
 	"time"
 
-	"fedmp/internal/prune"
-	"fedmp/internal/tensor"
-	"fedmp/internal/zoo"
+	"fedmp/internal/transport/codec"
 )
 
-func init() {
-	// Concrete types carried in `any`-typed fields.
-	gob.Register(&zoo.Spec{})
-	gob.Register(zoo.LMConfig{})
-	gob.Register(&prune.Plan{})
-	gob.Register(&prune.LMPlan{})
-}
+// The wire vocabulary is defined once in internal/transport/codec — the
+// simulation engine prices its virtual communication with the same size
+// model — and aliased here so the server and worker read naturally.
+type (
+	envelope    = codec.Envelope
+	helloMsg    = codec.Hello
+	assignMsg   = codec.Assign
+	resultMsg   = codec.Result
+	shutdownMsg = codec.Shutdown
+)
 
-// msgKind discriminates wire messages.
-type msgKind int
-
+// Message kinds.
 const (
-	kindHello msgKind = iota + 1
-	kindAssign
-	kindResult
-	kindShutdown
-	kindPing
-	kindPong
+	kindHello    = codec.KindHello
+	kindAssign   = codec.KindAssign
+	kindResult   = codec.KindResult
+	kindShutdown = codec.KindShutdown
+	kindPing     = codec.KindPing
+	kindPong     = codec.KindPong
 )
 
-// envelope is the single wire frame; exactly one payload field matching
-// Kind is set (Ping/Pong carry no payload).
-type envelope struct {
-	Kind     msgKind
-	Hello    *helloMsg
-	Assign   *assignMsg
-	Result   *resultMsg
-	Shutdown *shutdownMsg
-}
-
-// helloMsg introduces a worker to the server.
-type helloMsg struct {
-	// Name is a human-readable worker label.
-	Name string
-	// ID is a stable worker identity: a reconnecting worker presenting an
-	// ID the server has seen before re-enters its old slot mid-training
-	// instead of being treated as a stranger. Empty IDs never match.
-	ID string
-}
-
-// assignMsg is a per-round work order. It deliberately omits the R2SP
-// residual and pruning plan — those are server-side bookkeeping the worker
-// never needs (and the residual is as large as the full model).
-type assignMsg struct {
-	Round   int
-	Desc    any
-	Weights []*tensor.Tensor
-	Iters   int
-	ProxMu  float32
-	UploadK float64
-	Ratio   float64
-}
-
-// resultMsg is a worker's round result.
-type resultMsg struct {
-	Round       int
-	Weights     []*tensor.Tensor
-	Update      []*tensor.Tensor
-	TrainLoss   float64
-	CompSeconds float64
-}
-
-// shutdownMsg ends a worker's session.
-type shutdownMsg struct {
-	Reason string
-}
-
-// conn wraps a TCP connection with gob codecs and deadlines.
+// conn wraps a TCP connection with the frame codec and deadlines. The reads
+// go through a bufio.Reader so the codec's fixed-size header reads do not
+// each cost a syscall; writes are already one syscall per frame (the codec
+// emits each frame with a single Write).
 type conn struct {
 	raw net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
+	br  *bufio.Reader
 }
 
 func newConn(raw net.Conn) *conn {
-	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+	return &conn{raw: raw, br: bufio.NewReaderSize(raw, 64<<10)}
 }
 
-func (c *conn) send(e *envelope) error {
+// send encodes and writes one frame, returning its exact wire size.
+func (c *conn) send(e *envelope) (int, error) {
 	if err := c.raw.SetWriteDeadline(time.Now().Add(ioTimeout)); err != nil {
-		return err
+		return 0, err
 	}
-	return c.enc.Encode(e)
+	return codec.WriteFrame(c.raw, e)
 }
 
-func (c *conn) recv(timeout time.Duration) (*envelope, error) {
+// recv reads and decodes one frame, returning its exact wire size alongside
+// the envelope.
+func (c *conn) recv(timeout time.Duration) (*envelope, int, error) {
 	if err := c.raw.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	var e envelope
-	if err := c.dec.Decode(&e); err != nil {
-		return nil, err
-	}
-	if e.Kind == 0 {
-		return nil, fmt.Errorf("transport: malformed envelope")
-	}
-	return &e, nil
+	return codec.ReadFrame(c.br)
 }
 
 func (c *conn) close() error { return c.raw.Close() }
@@ -130,7 +81,7 @@ func closeLogged(c *conn, logf func(string, ...any), who string) {
 // sendShutdownLogged sends a shutdown frame without propagating the error:
 // the peer may already be gone, which is exactly why it is being shut down.
 func sendShutdownLogged(c *conn, reason string, logf func(string, ...any)) {
-	if err := c.send(&envelope{Kind: kindShutdown, Shutdown: &shutdownMsg{Reason: reason}}); err != nil {
+	if _, err := c.send(&envelope{Kind: kindShutdown, Shutdown: &shutdownMsg{Reason: reason}}); err != nil {
 		logf("shutdown frame (%s): %v", reason, err)
 	}
 }

@@ -9,7 +9,6 @@ import (
 	"fedmp/internal/core"
 	"fedmp/internal/nn"
 	"fedmp/internal/simclock"
-	"fedmp/internal/tensor"
 )
 
 // WorkerConfig parameterises one edge worker process.
@@ -80,7 +79,7 @@ func RunWorker(fam core.Family, src core.Source, cfg WorkerConfig) error {
 		if err != nil {
 			return err
 		}
-		if err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: cfg.Name, ID: cfg.ID}}); err != nil {
+		if _, err := c.send(&envelope{Kind: kindHello, Hello: &helloMsg{Name: cfg.Name, ID: cfg.ID}}); err != nil {
 			closeLogged(c, logf, "connection")
 			return fmt.Errorf("transport: hello: %w", err)
 		}
@@ -103,7 +102,7 @@ func RunWorker(fam core.Family, src core.Source, cfg WorkerConfig) error {
 // rounds the worker already served before a reconnect — are discarded.
 func serveConn(c *conn, fam core.Family, src core.Source, cfg WorkerConfig, lastRound *int, logf func(string, ...any)) error {
 	for {
-		e, err := c.recv(idleTimeout)
+		e, _, err := c.recv(idleTimeout)
 		if err != nil {
 			return fmt.Errorf("transport: receiving assignment: %w", err)
 		}
@@ -112,7 +111,7 @@ func serveConn(c *conn, fam core.Family, src core.Source, cfg WorkerConfig, last
 			logf("shutdown: %s", e.Shutdown.Reason)
 			return errShutdown
 		case kindPing:
-			if err := c.send(&envelope{Kind: kindPong}); err != nil {
+			if _, err := c.send(&envelope{Kind: kindPong}); err != nil {
 				return fmt.Errorf("transport: answering heartbeat: %w", err)
 			}
 		case kindAssign:
@@ -125,7 +124,7 @@ func serveConn(c *conn, fam core.Family, src core.Source, cfg WorkerConfig, last
 				return err
 			}
 			*lastRound = e.Assign.Round
-			if err := c.send(&envelope{Kind: kindResult, Result: res}); err != nil {
+			if _, err := c.send(&envelope{Kind: kindResult, Result: res}); err != nil {
 				return fmt.Errorf("transport: sending result: %w", err)
 			}
 			logf("round %d done: loss %.4f (ratio %.2f, %d params)",
@@ -173,7 +172,15 @@ func trainAssignment(fam core.Family, src core.Source, a *assignMsg, cfg WorkerC
 	if a.UploadK > 0 {
 		res.Update = core.TopKUpdate(a.Weights, newW, a.UploadK)
 	} else {
-		res.Weights = newW
+		// Dense mode uploads the trained-minus-assigned delta: the server
+		// still has the weights it sent, so repeating them buys nothing,
+		// and a partially-trained delta's zero runs compress under the
+		// codec's sparse mode. GetWeights deep-copies, so the subtraction
+		// can safely run in place.
+		for i, w := range newW {
+			w.Sub(a.Weights[i])
+		}
+		res.Delta = newW
 	}
 	return res, nil
 }
@@ -192,19 +199,4 @@ func dial(addr string, bo *backoff, attempts int) (*conn, error) {
 		time.Sleep(bo.delay(attempt))
 	}
 	return nil, fmt.Errorf("transport: dialing %s: %w", addr, lastErr)
-}
-
-// sparseBytes is the wire size of a sparse top-K update (4-byte value plus
-// 4-byte index per nonzero); the server charges it as UpBytes for FlexCom
-// results.
-func sparseBytes(update []*tensor.Tensor) int64 {
-	var nnz int64
-	for _, u := range update {
-		for _, v := range u.Data {
-			if v != 0 {
-				nnz++
-			}
-		}
-	}
-	return nnz * 8
 }
