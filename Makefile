@@ -12,10 +12,11 @@ vet:
 	go vet ./...
 
 # lint runs the repo's own static-analysis suite (internal/lint): the
-# syntactic rules randsource, wallclock, floateq, synccopy, allocfree and
-# gobdeny plus the flow-sensitive rules maporder, errdiscard, lockbalance
-# and seedflow — the reproducibility, hot-path and wire-format invariants
-# DESIGN.md's "Static analysis" section describes.
+# syntactic rules randsource, wallclock, floateq, synccopy, allocfree,
+# gobdeny and atomicwrite plus the flow-sensitive rules maporder,
+# errdiscard, lockbalance and seedflow — the reproducibility, hot-path,
+# wire-format and durability invariants DESIGN.md's "Static analysis"
+# section describes.
 lint:
 	go run ./cmd/fedmp-lint ./...
 
@@ -41,9 +42,11 @@ bench:
 check: vet lint build test race
 
 # ci is the offline continuous-integration entry point: the full check
-# pipeline, a race-checked two-worker loopback PS/worker round over the
-# binary wire codec, then a bench smoke run (one static table plus one
-# quick sim-backed figure) proving the experiment CLI still runs end to end.
+# pipeline, a race-checked transport smoke (two-worker loopback round over
+# the binary wire codec, sim/wire parity, and a mid-run PS kill/restart that
+# must recover from its checkpoint), then a bench smoke run (one static
+# table plus one quick sim-backed figure) proving the experiment CLI still
+# runs end to end.
 ci: check
-	go test -race -run 'TestLoopbackSmoke|TestSimWireBytesParity' ./internal/transport
+	go test -race -run 'TestLoopbackSmoke|TestSimWireBytesParity|TestPSKillRestartRecovery' ./internal/transport
 	go run ./cmd/fedmp-bench -quick -exp table2,fig5

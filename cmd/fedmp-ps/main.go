@@ -28,6 +28,8 @@ func main() {
 	helloTimeout := flag.Duration("hello-timeout", 10*time.Second, "per-connection hello deadline")
 	acceptTimeout := flag.Duration("accept-timeout", 2*time.Minute, "bound on the initial wait for workers")
 	seed := flag.Int64("seed", 1, "random seed")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for durable snapshots and the round WAL (empty = no durability)")
+	snapshotEvery := flag.Int("snapshot-every", 5, "rounds between full snapshots; other rounds append to the WAL")
 	flag.Parse()
 
 	var fam fedmp.Family
@@ -49,6 +51,8 @@ func main() {
 		StragglerGrace: *grace,
 		HelloTimeout:   *helloTimeout,
 		AcceptTimeout:  *acceptTimeout,
+		CheckpointDir:  *checkpointDir,
+		SnapshotEvery:  *snapshotEvery,
 		Core: fedmp.Config{
 			Strategy: fedmp.StrategyID(*strategy),
 			Rounds:   *rounds,

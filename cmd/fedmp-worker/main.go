@@ -27,6 +27,7 @@ func main() {
 	batch := flag.Int("batch", 8, "local minibatch size")
 	seed := flag.Int64("seed", 1, "partitioning seed (must match across workers)")
 	reconnects := flag.Int("reconnects", 5, "lost sessions to re-establish before giving up (-1 = never reconnect)")
+	dialAttempts := flag.Int("dial-attempts", 0, "dials per connection attempt before giving up (0 = default; raise to ride out PS restarts)")
 	flag.Parse()
 
 	var fam fedmp.Family
@@ -44,11 +45,12 @@ func main() {
 		log.Fatal(err)
 	}
 	err = fedmp.RunWorker(fam, src, fedmp.WorkerConfig{
-		Addr:          *addr,
-		Name:          fmt.Sprintf("worker-%d", *index),
-		ID:            fmt.Sprintf("worker-%d", *index),
-		MaxReconnects: *reconnects,
-		Logf:          log.Printf,
+		Addr:            *addr,
+		Name:            fmt.Sprintf("worker-%d", *index),
+		ID:              fmt.Sprintf("worker-%d", *index),
+		MaxReconnects:   *reconnects,
+		MaxDialAttempts: *dialAttempts,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -51,6 +51,9 @@ type (
 	// FaultConfig injects simulated cluster failures (crashes, transient
 	// stragglers, link blackouts) into a run via Config.Faults.
 	FaultConfig = cluster.FaultConfig
+	// State is a synchronous run's resumable engine state (Result.State);
+	// feed it to RunFrom to continue a checkpointed run.
+	State = core.State
 )
 
 // Strategies of the paper's evaluation.
@@ -83,6 +86,13 @@ var ImageModels = []string{ModelCNN, ModelAlexNet, ModelVGG, ModelResNet}
 // Run executes one federated simulation: real local SGD on synthetic data,
 // virtual completion times from the heterogeneous cluster model.
 func Run(fam Family, cfg Config) (*Result, error) { return core.Run(fam, cfg) }
+
+// RunFrom resumes a synchronous simulation from a checkpointed State (taken
+// from an earlier Result.State): round numbering and the virtual clock
+// continue, and no completed round is re-run.
+func RunFrom(fam Family, cfg Config, st *State) (*Result, error) {
+	return core.RunFrom(fam, cfg, st)
+}
 
 // NewImageFamily constructs the family for one of the paper's image
 // models ("cnn", "alexnet", "vgg", "resnet"), generating its paired
@@ -143,8 +153,14 @@ type (
 	WorkerConfig = transport.WorkerConfig
 )
 
+// ErrAborted is returned by Serve when its Abort channel fires mid-run;
+// rounds completed before the abort stay durable when ServerConfig's
+// CheckpointDir is set.
+var ErrAborted = transport.ErrAborted
+
 // Serve runs a real parameter server over TCP (blocking until training
-// finishes).
+// finishes). With ServerConfig.CheckpointDir set, it checkpoints every
+// completed round and resumes from the last durable round after a restart.
 func Serve(fam Family, cfg ServerConfig) (*Result, error) { return transport.Serve(fam, cfg) }
 
 // RunWorker connects a worker to a parameter server and serves training

@@ -1,0 +1,172 @@
+package bandit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// drive pulls a policy through n Select/Observe rounds with a deterministic
+// reward shape (peak near ratio 0.5).
+func drive(p Policy, n int, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		r := p.Select()
+		reward := 1 - (r-0.5)*(r-0.5) + 0.01*rng.Float64()
+		p.Observe(reward)
+	}
+}
+
+// TestAgentExportRestoreRoundTrip pins that a restored E-UCB agent carries
+// the exact partition, history and round counter of the exported one, and
+// that both make identical future selections when driven by identical RNGs.
+func TestAgentExportRestoreRoundTrip(t *testing.T) {
+	cfg := Config{Lambda: 0.95, Theta: 0.05, MaxRatio: 0.8}
+	a := MustAgent(cfg, rand.New(rand.NewSource(11)))
+	drive(a, 40, rand.New(rand.NewSource(12)))
+
+	st := a.Export()
+	if st.Kind != StateEUCB {
+		t.Fatalf("exported kind %q", st.Kind)
+	}
+	if st.Round != a.Round() {
+		t.Fatalf("exported round %d, agent at %d", st.Round, a.Round())
+	}
+	if len(st.Regions) != len(a.regions) {
+		t.Fatalf("exported %d regions, agent has %d", len(st.Regions), len(a.regions))
+	}
+
+	b := MustAgent(cfg, rand.New(rand.NewSource(99)))
+	if err := b.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if b.Round() != a.Round() {
+		t.Fatalf("restored round %d, want %d", b.Round(), a.Round())
+	}
+	ra, rb := a.Regions(), b.Regions()
+	if len(ra) != len(rb) {
+		t.Fatalf("restored %d regions, want %d", len(rb), len(ra))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("region %d: restored %+v, want %+v", i, rb[i], ra[i])
+		}
+	}
+	// Same RNG stream from here on must produce identical behaviour: the
+	// restored agent is statistically indistinguishable from the original.
+	a.rng = rand.New(rand.NewSource(7))
+	b.rng = rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		sa, sb := a.Select(), b.Select()
+		if sa != sb {
+			t.Fatalf("step %d: original selected %v, restored %v", i, sa, sb)
+		}
+		a.Observe(0.5)
+		b.Observe(0.5)
+	}
+}
+
+// TestAgentExportIsACopy verifies mutating the exported state cannot corrupt
+// the live agent.
+func TestAgentExportIsACopy(t *testing.T) {
+	a := MustAgent(DefaultConfig(), rand.New(rand.NewSource(3)))
+	drive(a, 10, rand.New(rand.NewSource(4)))
+	st := a.Export()
+	st.Regions[0] = Region{Lo: 0.4, Hi: 0.41}
+	if len(st.Pulls) > 0 {
+		st.Pulls[0].Reward = 1e9
+	}
+	if a.regions[0] == (Region{Lo: 0.4, Hi: 0.41}) {
+		t.Fatal("export aliases the agent's region slice")
+	}
+	for _, p := range a.history {
+		if p.reward == 1e9 {
+			t.Fatal("export aliases the agent's history")
+		}
+	}
+}
+
+// TestAgentRestoreRejectsBadState pins the validation: wrong kind, empty
+// partition, out-of-range regions and future pulls are all errors.
+func TestAgentRestoreRejectsBadState(t *testing.T) {
+	a := MustAgent(Config{Lambda: 0.9, Theta: 0.05, MaxRatio: 0.8}, rand.New(rand.NewSource(5)))
+	cases := []*State{
+		nil,
+		{Kind: StateDiscrete},
+		{Kind: StateEUCB, Round: -1, Regions: []Region{{0, 0.8}}},
+		{Kind: StateEUCB}, // no regions
+		{Kind: StateEUCB, Regions: []Region{{Lo: 0.5, Hi: 0.2}}},
+		{Kind: StateEUCB, Regions: []Region{{Lo: 0, Hi: 0.95}}}, // beyond MaxRatio
+		{Kind: StateEUCB, Round: 2, Regions: []Region{{0, 0.8}},
+			Pulls: []PullRecord{{Round: 5, Ratio: 0.1}}}, // pull from the future
+	}
+	for i, st := range cases {
+		if err := a.Restore(st); err == nil {
+			t.Errorf("case %d: bad state accepted", i)
+		}
+	}
+	// The failed restores must not have broken the agent.
+	drive(a, 3, rand.New(rand.NewSource(6)))
+}
+
+// TestDiscretePoliciesExportRestore round-trips UCB1 and ε-greedy state.
+func TestDiscretePoliciesExportRestore(t *testing.T) {
+	arms := GridArms(5, 0.8)
+
+	d, err := NewDiscreteUCB(arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(d, 20, rand.New(rand.NewSource(21)))
+	st := d.Export()
+	d2, err := NewDiscreteUCB(arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if d2.total != d.total {
+		t.Fatalf("restored total %d, want %d", d2.total, d.total)
+	}
+	// UCB1 is deterministic given its statistics: the next selection must
+	// agree exactly.
+	if a, b := d.Select(), d2.Select(); a != b {
+		t.Fatalf("restored UCB1 selects %v, original %v", b, a)
+	}
+
+	g, err := NewEpsilonGreedy(0.1, arms, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(g, 20, rand.New(rand.NewSource(32)))
+	gs := g.Export()
+	g2, err := NewEpsilonGreedy(0.1, arms, rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Restore(gs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.counts {
+		if g.counts[i] != g2.counts[i] || g.sums[i] != g2.sums[i] {
+			t.Fatalf("arm %d stats diverge after restore", i)
+		}
+	}
+
+	// Arm-count mismatches are rejected.
+	short, err := NewDiscreteUCB(GridArms(3, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := short.Restore(st); err == nil {
+		t.Fatal("restore across differing arm grids accepted")
+	}
+
+	// Fixed: export/restore is a tagged no-op.
+	f := Fixed{Ratio: 0.3}
+	if err := f.Restore(f.Export()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Restore(st); err == nil {
+		t.Fatal("fixed policy accepted discrete state")
+	}
+}

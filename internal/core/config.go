@@ -323,6 +323,10 @@ type Result struct {
 	// first met (+Inf if never, or no target set). TimeToTargetLoss is the
 	// analogue for TargetLoss.
 	TimeToTargetAcc, TimeToTargetLoss float64
+	// State is the engine's resumable snapshot at the end of the run
+	// (synchronous runs only; nil for async). RunFrom continues a run
+	// from it as if the process had never stopped.
+	State *State
 }
 
 // BestAccWithin returns the best accuracy observed at or before the given

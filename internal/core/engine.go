@@ -39,35 +39,35 @@ type runner struct {
 	res *Result
 }
 
-// Run executes one federated simulation and returns its result. Local SGD
-// is executed for real on the family's data; completion times are virtual,
-// charged by the cluster model.
-func Run(fam Family, cfg Config) (*Result, error) {
+// newRunner validates cfg and builds the engine: strategy, data sources,
+// device scenario and the freshly initialised global model. The normalized
+// config is returned alongside so callers branch on defaults, not raw input.
+func newRunner(fam Family, cfg Config) (*runner, Config, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
-		return nil, err
+		return nil, cfg, err
 	}
 	if cfg.FailureRate > 0 && !cfg.FaultTolerance {
-		return nil, fmt.Errorf("core: failure injection requires fault tolerance")
+		return nil, cfg, fmt.Errorf("core: failure injection requires fault tolerance")
 	}
 	scenario := cfg.Scenario
 	if scenario == nil {
 		scenario = cluster.Default(cfg.Workers, cfg.Seed+7)
 	}
 	if scenario.N() != cfg.Workers {
-		return nil, fmt.Errorf("core: scenario has %d devices for %d workers", scenario.N(), cfg.Workers)
+		return nil, cfg, fmt.Errorf("core: scenario has %d devices for %d workers", scenario.N(), cfg.Workers)
 	}
 	strategy, err := NewStrategy(fam, &cfg)
 	if err != nil {
-		return nil, err
+		return nil, cfg, err
 	}
 	sources, err := fam.Sources(cfg.Workers, cfg.NonIID, cfg.BatchSize, cfg.Seed+17)
 	if err != nil {
-		return nil, err
+		return nil, cfg, err
 	}
 	evalNet, err := fam.BuildNet(fam.FullDesc(), cfg.Seed)
 	if err != nil {
-		return nil, err
+		return nil, cfg, err
 	}
 	r := &runner{
 		cfg:       cfg,
@@ -91,21 +91,24 @@ func Run(fam Family, cfg Config) (*Result, error) {
 	if cfg.Faults.Enabled() {
 		r.injector = cluster.NewInjector(cfg.Faults, cfg.Workers)
 	}
-	r.evaluate(0)
-	if cfg.Async {
-		err = r.runAsync()
-	} else {
-		err = r.runSync()
-	}
+	return r, cfg, nil
+}
+
+// Run executes one federated simulation and returns its result. Local SGD
+// is executed for real on the family's data; completion times are virtual,
+// charged by the cluster model.
+func Run(fam Family, cfg Config) (*Result, error) {
+	r, normCfg, err := newRunner(fam, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if len(r.res.Points) > 0 {
-		last := r.res.Points[len(r.res.Points)-1]
-		r.res.FinalAcc, r.res.FinalLoss = last.Acc, last.Loss
+	r.evaluate(0)
+	if normCfg.Async {
+		err = r.runAsync()
+	} else {
+		err = r.runSync(1)
 	}
-	r.res.Time = r.now
-	return r.res, nil
+	return r.finish(err)
 }
 
 // allWorkers returns [0..n).
@@ -117,12 +120,13 @@ func (r *runner) allWorkers() []int {
 	return out
 }
 
-// runSync executes synchronous rounds (Fig. 1). With fault injection
-// enabled, devices recovering from an earlier crash are skipped up front
-// (suspect, mirroring the wire runtime's suspect state) while devices hit
-// mid-round lose their assignment (dropped).
-func (r *runner) runSync() error {
-	for round := 1; ; round++ {
+// runSync executes synchronous rounds (Fig. 1) starting at round start
+// (1 for a fresh run, snapshot round + 1 when resuming). With fault
+// injection enabled, devices recovering from an earlier crash are skipped
+// up front (suspect, mirroring the wire runtime's suspect state) while
+// devices hit mid-round lose their assignment (dropped).
+func (r *runner) runSync(start int) error {
+	for round := start; ; round++ {
 		var faults []cluster.Fault
 		if r.injector != nil {
 			faults = r.injector.Advance(round)

@@ -69,6 +69,42 @@ func (s *fedMP) Name() string {
 	return "fedmp"
 }
 
+// ExportBandits implements BanditPersistent: one state per worker agent.
+func (s *fedMP) ExportBandits() []*bandit.State {
+	out := make([]*bandit.State, len(s.agents))
+	for i, a := range s.agents {
+		if p, ok := a.(bandit.Persistent); ok {
+			out[i] = p.Export()
+		}
+	}
+	return out
+}
+
+// RestoreBandits implements BanditPersistent. Policies validate their own
+// state, so a checkpoint from a differently configured run (other partition
+// bounds, other arm grid) is rejected rather than silently adopted.
+func (s *fedMP) RestoreBandits(sts []*bandit.State) error {
+	if len(sts) == 0 {
+		return nil
+	}
+	if len(sts) != len(s.agents) {
+		return fmt.Errorf("core: %d bandit states for %d workers", len(sts), len(s.agents))
+	}
+	for i, st := range sts {
+		if st == nil {
+			continue
+		}
+		p, ok := s.agents[i].(bandit.Persistent)
+		if !ok {
+			return fmt.Errorf("core: worker %d policy %T cannot be restored", i, s.agents[i])
+		}
+		if err := p.Restore(st); err != nil {
+			return fmt.Errorf("core: restoring worker %d policy: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // Assign implements Strategy: adaptive model pruning (phase ① of Fig. 1).
 func (s *fedMP) Assign(info *RoundInfo, workers []int) ([]Assignment, error) {
 	warmup := info.Round <= s.cfg.WarmupRounds || info.Round == 0

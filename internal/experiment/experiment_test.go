@@ -57,13 +57,13 @@ func TestIDsCoverPaperArtefacts(t *testing.T) {
 			t.Errorf("artefact %s missing from IDs()", w)
 		}
 	}
-	for _, extra := range []string{"ablation-policy", "ablation-quantize", "extra-adaptivity", "extra-churn"} {
+	for _, extra := range []string{"ablation-policy", "ablation-quantize", "extra-adaptivity", "extra-churn", "extra-pskill"} {
 		if !strings.Contains(have+",", extra+",") {
 			t.Errorf("extra artefact %s missing from IDs()", extra)
 		}
 	}
-	if len(ids) != len(want)+4 {
-		t.Errorf("IDs() has %d entries, want %d", len(ids), len(want)+4)
+	if len(ids) != len(want)+5 {
+		t.Errorf("IDs() has %d entries, want %d", len(ids), len(want)+5)
 	}
 }
 

@@ -116,11 +116,14 @@ func (sp runSpec) key(workers int, rounds int) string {
 		sp.crash, sp.quantile)
 }
 
-// simulateSpec builds the core config for a spec and runs (or fetches) it.
-func (l *lab) simulateSpec(sp runSpec) (*core.Result, error) {
+// specConfig builds the family and core config for a spec without running
+// it. Runners that drive the engine in non-standard ways (the PS-kill
+// artefact resumes runs via core.RunFrom) share the exact configuration the
+// cached simulations use.
+func (l *lab) specConfig(sp runSpec) (core.Family, core.Config, string, error) {
 	fam, err := l.family(sp.model)
 	if err != nil {
-		return nil, err
+		return nil, core.Config{}, "", err
 	}
 	p := l.params(sp.model)
 	workers := sp.workers
@@ -158,7 +161,7 @@ func (l *lab) simulateSpec(sp runSpec) (*core.Result, error) {
 	if sp.level != "" {
 		sc, err := cluster.New(sp.level, workers, l.opts.Seed+7)
 		if err != nil {
-			return nil, err
+			return nil, core.Config{}, "", err
 		}
 		cfg.Scenario = sc
 	}
@@ -174,7 +177,16 @@ func (l *lab) simulateSpec(sp runSpec) (*core.Result, error) {
 		cfg.FaultTolerance = true
 		cfg.DeadlineQuantile = sp.quantile
 	}
-	return l.simulate(sp.key(workers, rounds), fam, cfg)
+	return fam, cfg, sp.key(workers, rounds), nil
+}
+
+// simulateSpec builds the core config for a spec and runs (or fetches) it.
+func (l *lab) simulateSpec(sp runSpec) (*core.Result, error) {
+	fam, cfg, key, err := l.specConfig(sp)
+	if err != nil {
+		return nil, err
+	}
+	return l.simulate(key, fam, cfg)
 }
 
 // parallelism returns the grid-cell worker count.

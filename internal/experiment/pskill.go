@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"fmt"
+
+	"fedmp/internal/core"
+	"fedmp/internal/metrics"
+	"fedmp/internal/zoo"
+)
+
+// extra-pskill is the simulation-level analogue of the wire runtime's
+// checkpoint/restart recovery: a FedMP run is "killed" at round K by running
+// K rounds, exporting the engine state (global model, virtual clock, bandit
+// statistics), and resuming it with core.RunFrom to the full round budget.
+// The artefact reports how a mid-training parameter-server restart moves the
+// final and budgeted accuracy against the uninterrupted run — the durability
+// layer's convergence cost, isolated from TCP mechanics.
+func init() {
+	registry = append(registry,
+		struct {
+			id    string
+			title string
+			fn    runnerFn
+		}{"extra-pskill", "Extra: convergence after a PS kill/restart at round K", runPSKill},
+	)
+}
+
+// killRounds places the simulated kills across the schedule: one mid-run
+// kill in quick mode, kills at ¼, ½ and ¾ of the budget in full mode.
+func killRounds(rounds int, quick bool) []int {
+	mid := rounds / 2
+	if mid < 1 {
+		mid = 1
+	}
+	if quick {
+		return []int{mid}
+	}
+	ks := []int{rounds / 4, mid, 3 * rounds / 4}
+	out := ks[:0]
+	for _, k := range ks {
+		if k >= 1 && k < rounds && (len(out) == 0 || k > out[len(out)-1]) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// runPSKill regenerates the kill/restart table: FedMP on the small CNN,
+// one row per kill round plus the uninterrupted baseline.
+func runPSKill(l *lab) (*Report, error) {
+	model := zoo.ModelCNN
+	p := l.params(model)
+	full := runSpec{model: model, strategy: core.StrategyFedMP, rounds: p.rounds}
+
+	kills := killRounds(p.rounds, l.opts.Quick)
+	grid := []runSpec{full}
+	for _, k := range kills {
+		part := full
+		part.rounds = k
+		grid = append(grid, part)
+	}
+	if err := l.prefetch(grid); err != nil {
+		return nil, err
+	}
+
+	base, err := l.simulateSpec(full)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := &metrics.Table{
+		Title:   "Final/budgeted accuracy after a kill at round K vs the uninterrupted run",
+		Columns: []string{"kill round", "final acc", fmt.Sprintf("best acc ≤ %s", metrics.FormatDuration(p.budget)), "Δ final vs uninterrupted"},
+	}
+	tab.AddRow("(none)",
+		metrics.FormatPercent(base.FinalAcc),
+		metrics.FormatPercent(base.BestAccWithin(p.budget)),
+		"—")
+
+	for _, k := range kills {
+		partSpec := full
+		partSpec.rounds = k
+		part, err := l.simulateSpec(partSpec)
+		if err != nil {
+			return nil, err
+		}
+		if part.State == nil {
+			return nil, fmt.Errorf("pskill: %d-round run exported no resume state", k)
+		}
+		fam, cfg, _, err := l.specConfig(full)
+		if err != nil {
+			return nil, err
+		}
+		l.logf("resuming %s from a kill at round %d", full.key(cfg.Workers, cfg.Rounds), k)
+		resumed, err := core.RunFrom(fam, cfg, part.State)
+		if err != nil {
+			return nil, fmt.Errorf("pskill: resuming from round %d: %w", k, err)
+		}
+		if resumed.Rounds != p.rounds {
+			return nil, fmt.Errorf("pskill: resume from round %d finished at round %d, want %d", k, resumed.Rounds, p.rounds)
+		}
+		tab.AddRow(fmt.Sprintf("%d", k),
+			metrics.FormatPercent(resumed.FinalAcc),
+			metrics.FormatPercent(resumed.BestAccWithin(p.budget)),
+			fmt.Sprintf("%+.2f pp", 100*(resumed.FinalAcc-base.FinalAcc)))
+	}
+
+	return &Report{
+		Tables: []*metrics.Table{tab},
+		Notes: []string{
+			"the kill is simulated by exporting the engine state at round K and resuming with core.RunFrom — the same state the wire runtime checkpoints to disk",
+			"resumed trajectories re-seed their RNG streams at the restart, so small deltas against the uninterrupted run are expected",
+			"round numbering and the virtual clock continue across the kill; no completed round is re-run",
+		},
+	}, nil
+}

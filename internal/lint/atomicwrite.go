@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// atomicwriteOKDirective suppresses a finding on its own line or the line
+// above — the reviewed escape hatch for a file that genuinely may be written
+// non-atomically (e.g. an append-only log whose recovery path tolerates a
+// torn tail).
+const atomicwriteOKDirective = "//fedmp:atomicwrite-ok"
+
+// atomicwriteHelperDirective, placed in a function's doc comment, marks the
+// package's blessed fsync+rename helper: the one place allowed to touch the
+// raw file-creation APIs, because it is the implementation of the atomic
+// write everything else must route through.
+const atomicwriteHelperDirective = "//fedmp:atomicwrite-helper"
+
+const atomicwriteHint = "route the write through the package's fsync+rename helper (temp file, Sync, Close, Rename, directory sync); a bare create can leave a torn state file after a crash"
+
+var analyzerAtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc: "requires durable-state packages (the checkpoint layer) to write state " +
+		"files only through their fsync+rename helper: direct os.Create / " +
+		"os.WriteFile / os.OpenFile calls outside a function whose doc carries " +
+		atomicwriteHelperDirective + " are flagged, because a bare create " +
+		"truncates in place and a crash mid-write leaves a torn snapshot the " +
+		"recovery path then has to distrust. Test files are exempt. " +
+		atomicwriteOKDirective + " on the preceding or same line suppresses.",
+	Run: runAtomicWrite,
+}
+
+func runAtomicWrite(pass *Pass) {
+	inScope := false
+	for _, prefix := range pass.Opts.AtomicWriteScope {
+		if hasPathPrefix(pass.Pkg.Path, prefix) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	fset := pass.Pkg.Fset
+	for _, f := range pass.Pkg.Files {
+		okLines := directiveLines(fset, f, atomicwriteOKDirective)
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && hasDirective(fn.Doc, atomicwriteHelperDirective) {
+				continue // the blessed helper owns the raw calls
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := pkgSel(pass.Pkg.Info, call.Fun, "os")
+				switch name {
+				case "Create", "WriteFile", "OpenFile":
+				default:
+					return true
+				}
+				if suppressed(fset, okLines, call.Pos()) {
+					return true
+				}
+				pass.ReportHint(call.Pos(), atomicwriteHint,
+					"os.%s writes a state file directly in %s: durable state must go through the fsync+rename helper", name, pass.Pkg.Path)
+				return true
+			})
+		}
+	}
+}

@@ -135,6 +135,12 @@ func TestSeedFlowGolden(t *testing.T) {
 	checkGolden(t, "testdata/seedflow", DefaultOptions())
 }
 
+func TestAtomicWriteGolden(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AtomicWriteScope = append(opts.AtomicWriteScope, "fedmp/internal/lint/testdata/atomicwrite")
+	checkGolden(t, "testdata/atomicwrite", opts)
+}
+
 // TestAllocFreeInventory pins a fixture function in RequiredAllocFree and
 // checks that its missing annotation is reported — the gate that makes
 // deleting a //fedmp:allocfree comment from a real hot path fail `make

@@ -14,9 +14,11 @@
 //	errdiscard  — no error result discarded with _ or stored and never read
 //	lockbalance — every Lock/RLock is unlocked on every path to return
 //	seedflow    — fresh rand.New/NewSource results flow onward, not stay confined
+//	atomicwrite — durability layers write state files only via the fsync+rename helper
 //
-// The last four are flow-sensitive: they run over the intraprocedural CFGs
-// of cfg.go and the worklist analyses of dataflow.go rather than bare syntax.
+// maporder, errdiscard, lockbalance and seedflow are flow-sensitive: they
+// run over the intraprocedural CFGs of cfg.go and the worklist analyses of
+// dataflow.go rather than bare syntax.
 // Findings are reported as "file:line: [rule] message"; cmd/fedmp-lint exits
 // nonzero on any finding, and `make check` runs it between vet and build.
 package lint
@@ -69,6 +71,11 @@ type Options struct {
 	// bans encoding/gob imports — the wire layers, which moved to the
 	// binary frame codec and must not regress to reflective encoding.
 	GobDeny []string
+	// AtomicWriteScope lists the import-path prefixes in which the
+	// atomicwrite analyzer requires state files to be written through the
+	// package's fsync+rename helper — the durability layers, whose crash
+	// guarantees evaporate the moment a snapshot is created in place.
+	AtomicWriteScope []string
 }
 
 // DefaultOptions returns the repo's production configuration.
@@ -106,6 +113,9 @@ func DefaultOptions() *Options {
 		},
 		GobDeny: []string{
 			"fedmp/internal/transport",
+		},
+		AtomicWriteScope: []string{
+			"fedmp/internal/transport/checkpoint",
 		},
 	}
 }
@@ -160,6 +170,7 @@ func Analyzers() []*Analyzer {
 		analyzerErrDiscard,
 		analyzerLockBalance,
 		analyzerSeedFlow,
+		analyzerAtomicWrite,
 	}
 }
 

@@ -78,13 +78,14 @@ func TestDefaultOptionsPinHotPaths(t *testing.T) {
 	}
 }
 
-// TestAnalyzerInventory pins the pipeline itself: all ten rules must stay
+// TestAnalyzerInventory pins the pipeline itself: all eleven rules must stay
 // registered, in reporting order, so dropping one from Analyzers() fails the
 // suite rather than silently weakening the gate.
 func TestAnalyzerInventory(t *testing.T) {
 	want := []string{
 		"randsource", "wallclock", "floateq", "synccopy", "allocfree",
 		"maporder", "gobdeny", "errdiscard", "lockbalance", "seedflow",
+		"atomicwrite",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {

@@ -1,0 +1,46 @@
+// Package atomicwrite is a deliberately-bad fixture for the atomicwrite
+// analyzer. Every `want` comment is a golden expectation checked by
+// internal/lint's golden tests; sanctioned.go pins the escape hatches.
+package atomicwrite
+
+import "os"
+
+// saveSnapshot creates the state file in place — the pattern the durability
+// layers must never use: a crash mid-write leaves a torn snapshot.
+func saveSnapshot(path string, b []byte) error {
+	f, err := os.Create(path) // want "os.Create writes a state file directly"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// saveConfig is the one-liner variant of the same mistake.
+func saveConfig(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want "os.WriteFile writes a state file directly"
+}
+
+// reopenState truncates durable state without the temp-file dance.
+func reopenState(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644) // want "os.OpenFile writes a state file directly"
+}
+
+// readState only reads; os.Open is not a write and is never flagged.
+func readState(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, st.Size())
+	_, err = f.Read(b)
+	return b, err
+}

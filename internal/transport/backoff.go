@@ -10,10 +10,17 @@ import (
 // attempt and capped at max, with uniform jitter in [0.5, 1.5)× so a fleet
 // of workers restarting together does not hammer the server in lockstep.
 // Safe for concurrent use.
+//
+// The schedule is stateful across dial loops: consecutive failures keep
+// escalating through next() until reset() declares the link healthy again.
+// A worker only calls reset() after completing a round — merely getting a
+// TCP connection is not health (a flapping server accepts and dies), which
+// is why the reset lives at round granularity.
 type backoff struct {
 	base, max time.Duration
 	mu        sync.Mutex
 	rng       *rand.Rand
+	attempt   int
 }
 
 // Default reconnect/dial backoff parameters.
@@ -64,4 +71,23 @@ func (b *backoff) delay(attempt int) time.Duration {
 	f := 0.5 + b.rng.Float64()
 	b.mu.Unlock()
 	return time.Duration(float64(raw) * f)
+}
+
+// next returns the jittered delay for the current consecutive-failure count
+// and advances it. The count persists across dial loops and sessions until
+// reset().
+func (b *backoff) next() time.Duration {
+	b.mu.Lock()
+	attempt := b.attempt
+	b.attempt++
+	b.mu.Unlock()
+	return b.delay(attempt)
+}
+
+// reset returns the schedule to the base interval; called once a round
+// completes over the connection, proving the link healthy.
+func (b *backoff) reset() {
+	b.mu.Lock()
+	b.attempt = 0
+	b.mu.Unlock()
 }

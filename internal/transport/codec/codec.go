@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fedmp/internal/bandit"
 	"fedmp/internal/tensor"
 )
 
@@ -40,7 +41,12 @@ import (
 // on-the-wire protocol, shared by every PS and worker build.
 type Kind byte
 
-// Message kinds.
+// Message kinds. KindSnapshot and KindRoundClose never cross the wire: they
+// are the on-disk record kinds of the PS durability layer
+// (internal/transport/checkpoint) — a full-state checkpoint file and the
+// write-ahead log's per-round record. Giving them distinct kinds in the same
+// frame format means a WAL fed to the snapshot reader (or vice versa) is
+// rejected by the header, not misparsed.
 const (
 	KindHello Kind = iota + 1
 	KindAssign
@@ -48,8 +54,10 @@ const (
 	KindShutdown
 	KindPing
 	KindPong
+	KindSnapshot
+	KindRoundClose
 
-	kindMax = KindPong
+	kindMax = KindRoundClose
 )
 
 // Frame geometry and decode limits.
@@ -71,16 +79,24 @@ const (
 	maxElems   = 1 << 24
 	maxTensors = 1 << 16
 	maxLayers  = 1 << 12
+
+	// maxWorkers and maxBanditItems bound the durability payloads the same
+	// way: worker-table entries, bandit regions/pulls/arms.
+	maxWorkers     = 1 << 16
+	maxBanditItems = 1 << 20
 )
 
 // Envelope is the single wire frame; exactly one payload field matching
-// Kind is set (Ping/Pong carry no payload).
+// Kind is set (Ping/Pong carry no payload). Snapshot serves both
+// KindSnapshot and KindRoundClose — the two durability records share one
+// payload shape and differ only in where they live (checkpoint file vs WAL).
 type Envelope struct {
 	Kind     Kind
 	Hello    *Hello
 	Assign   *Assign
 	Result   *Result
 	Shutdown *Shutdown
+	Snapshot *Snapshot
 }
 
 // Hello introduces a worker to the server.
@@ -123,6 +139,46 @@ type Result struct {
 // Shutdown ends a worker's session.
 type Shutdown struct {
 	Reason string
+}
+
+// Snapshot is the parameter server's complete durable state at the close of
+// a round: everything a restarted PS needs to resume from round Round+1
+// without re-running completed work. It is the payload of both durability
+// record kinds; the tensors round-trip bit-exactly (NaN payloads, negative
+// zero and infinities included) through the same slab/sparse encoding the
+// wire uses.
+type Snapshot struct {
+	// Round is the last completed round.
+	Round int
+	// Global is the aggregated global model after Round.
+	Global []*tensor.Tensor
+	// PrevLoss is the mean local training loss of Round (NaN before the
+	// first aggregation — the encoding preserves it).
+	PrevLoss float64
+	// RoundSum is the accumulated wall-clock round time, feeding the
+	// MeanRoundTime the strategies see.
+	RoundSum float64
+	// PrevTimes and PrevComm are each worker's most recent total and
+	// communication times (indexed by slot).
+	PrevTimes []float64
+	PrevComm  []float64
+	// Workers is the identity/ratio table: one entry per occupied slot.
+	Workers []WorkerState
+}
+
+// WorkerState is one worker's durable identity and per-worker server state.
+type WorkerState struct {
+	// Slot is the registry slot the worker occupies; ID its stable identity
+	// (empty for workers that never presented one — they cannot rejoin
+	// across a restart); Name the human-readable label.
+	Slot int
+	ID   string
+	Name string
+	// Ratio is the last pruning ratio assigned to this worker.
+	Ratio float64
+	// Bandit is the worker's pruning-ratio policy state (nil for strategies
+	// without per-worker bandits).
+	Bandit *bandit.State
 }
 
 // errTruncated reports a payload shorter than its own length fields claim.
@@ -169,6 +225,10 @@ func checkKind(e *Envelope) error {
 		}
 	case KindPing, KindPong:
 		// No payload.
+	case KindSnapshot, KindRoundClose:
+		if e.Snapshot == nil {
+			return fmt.Errorf("codec: durability envelope without payload")
+		}
 	default:
 		return fmt.Errorf("codec: unknown message kind %d", e.Kind)
 	}

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"fedmp/internal/bandit"
 	"fedmp/internal/tensor"
 	"fedmp/internal/zoo"
 )
@@ -52,6 +53,50 @@ func sampleSpec() *zoo.Spec {
 	}
 }
 
+// sampleBandit builds a populated policy state exercising every field,
+// including non-finite rewards.
+func sampleBandit(rng *rand.Rand) *bandit.State {
+	return &bandit.State{
+		Kind:  "eucb",
+		Round: 12,
+		Regions: []bandit.Region{
+			{Lo: 0, Hi: 0.4},
+			{Lo: 0.4, Hi: 0.8},
+		},
+		Pulls: []bandit.PullRecord{
+			{Round: 1, Ratio: 0.3, Reward: 0.9},
+			{Round: 2, Ratio: 0.7, Reward: math.Inf(-1)},
+			{Round: 3, Ratio: 0.5, Reward: math.NaN()},
+		},
+		Arms:   []float64{0.2, 0.4, 0.6},
+		Counts: []int{3, 0, 9},
+		Sums:   []float64{1.5, 0, rng.Float64()},
+		Eps:    0.1,
+		Ratio:  0.5,
+	}
+}
+
+// sampleSnapshot builds a durability payload with a populated worker table,
+// nil and non-nil bandit states, and special float values throughout.
+func sampleSnapshot(rng *rand.Rand) *Snapshot {
+	return &Snapshot{
+		Round: 7,
+		Global: []*tensor.Tensor{
+			randTensor(rng, 0, 4, 1, 3, 3),
+			randTensor(rng, 0.9, 17, 9),
+		},
+		PrevLoss:  math.NaN(), // pre-first-aggregation sentinel must survive
+		RoundSum:  12.5,
+		PrevTimes: []float64{1.5, math.Inf(1), 0.25},
+		PrevComm:  []float64{0.1, 0.2, math.Copysign(0, -1)},
+		Workers: []WorkerState{
+			{Slot: 0, ID: "id-a", Name: "w0", Ratio: 0.4, Bandit: sampleBandit(rng)},
+			{Slot: 1, Name: "w1", Ratio: 0.8}, // no ID, no bandit
+			{Slot: 2, ID: "id-c", Name: "w2", Bandit: &bandit.State{Kind: "fixed", Ratio: 0.3}},
+		},
+	}
+}
+
 // sampleEnvelopes covers every kind and payload shape once.
 func sampleEnvelopes(rng *rand.Rand) []*Envelope {
 	dense := []*tensor.Tensor{
@@ -84,6 +129,83 @@ func sampleEnvelopes(rng *rand.Rand) []*Envelope {
 		{Kind: KindShutdown, Shutdown: &Shutdown{Reason: "done"}},
 		{Kind: KindPing},
 		{Kind: KindPong},
+		{Kind: KindSnapshot, Snapshot: sampleSnapshot(rng)},
+		{Kind: KindRoundClose, Snapshot: sampleSnapshot(rng)},
+		{Kind: KindRoundClose, Snapshot: &Snapshot{}}, // empty state
+	}
+}
+
+// f64sBitEqual compares float64 lists bit-exactly.
+func f64sBitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// banditsEqual compares policy states bit-exactly (NaN rewards count).
+func banditsEqual(a, b *bandit.State) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Kind != b.Kind || a.Round != b.Round ||
+		len(a.Regions) != len(b.Regions) || len(a.Pulls) != len(b.Pulls) ||
+		!reflect.DeepEqual(a.Counts, b.Counts) ||
+		!f64sBitEqual(a.Arms, b.Arms) || !f64sBitEqual(a.Sums, b.Sums) ||
+		math.Float64bits(a.Eps) != math.Float64bits(b.Eps) ||
+		math.Float64bits(a.Ratio) != math.Float64bits(b.Ratio) {
+		return false
+	}
+	for i := range a.Regions {
+		if a.Regions[i] != b.Regions[i] {
+			return false
+		}
+	}
+	for i := range a.Pulls {
+		p, q := a.Pulls[i], b.Pulls[i]
+		if p.Round != q.Round ||
+			math.Float64bits(p.Ratio) != math.Float64bits(q.Ratio) ||
+			math.Float64bits(p.Reward) != math.Float64bits(q.Reward) {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshotsEqual compares durability payloads bit-exactly.
+func snapshotsEqual(t *testing.T, want, got *Snapshot) {
+	t.Helper()
+	if want.Round != got.Round ||
+		math.Float64bits(want.PrevLoss) != math.Float64bits(got.PrevLoss) ||
+		math.Float64bits(want.RoundSum) != math.Float64bits(got.RoundSum) {
+		t.Errorf("snapshot scalars round-trip: %+v != %+v", got, want)
+	}
+	if !tensorsBitEqual(want.Global, got.Global) {
+		t.Errorf("snapshot global tensors round-trip lost bits")
+	}
+	if !f64sBitEqual(want.PrevTimes, got.PrevTimes) || !f64sBitEqual(want.PrevComm, got.PrevComm) {
+		t.Errorf("snapshot per-worker times round-trip lost bits")
+	}
+	if len(want.Workers) != len(got.Workers) {
+		t.Fatalf("snapshot round-trip: %d workers, want %d", len(got.Workers), len(want.Workers))
+	}
+	for i := range want.Workers {
+		w, g := &want.Workers[i], &got.Workers[i]
+		if w.Slot != g.Slot || w.ID != g.ID || w.Name != g.Name ||
+			math.Float64bits(w.Ratio) != math.Float64bits(g.Ratio) {
+			t.Errorf("worker %d round-trip: %+v != %+v", i, g, w)
+		}
+		if !banditsEqual(w.Bandit, g.Bandit) {
+			t.Errorf("worker %d bandit state round-trip differs", i)
+		}
 	}
 }
 
@@ -142,6 +264,8 @@ func envelopesEqual(t *testing.T, want, got *Envelope) {
 		if *want.Shutdown != *got.Shutdown {
 			t.Errorf("shutdown round-trip: %+v != %+v", got.Shutdown, want.Shutdown)
 		}
+	case KindSnapshot, KindRoundClose:
+		snapshotsEqual(t, want.Snapshot, got.Snapshot)
 	}
 }
 
@@ -234,6 +358,11 @@ func TestEncodeErrors(t *testing.T) {
 		{Kind: KindResult, Result: &Result{
 			Delta:  []*tensor.Tensor{tensor.New(1)},
 			Update: []*tensor.Tensor{tensor.New(1)}, // both payloads set
+		}},
+		{Kind: KindSnapshot},   // missing payload
+		{Kind: KindRoundClose}, // missing payload
+		{Kind: KindSnapshot, Snapshot: &Snapshot{
+			Global: []*tensor.Tensor{nil},
 		}},
 	}
 	for i, e := range bad {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 
+	"fedmp/internal/bandit"
 	"fedmp/internal/tensor"
 	"fedmp/internal/zoo"
 )
@@ -268,6 +269,176 @@ func decodeLayers(r *reader, depth int) ([]zoo.LayerSpec, error) {
 	return layers, nil
 }
 
+// decodeF64s reads a float64 list, bounds-checking the announced length
+// against both the cap and the bytes actually present.
+func decodeF64s(r *reader, what string) ([]float64, error) {
+	cnt, err := r.getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if cnt > maxWorkers || cnt*8 > uint64(r.rem()) {
+		return nil, fmt.Errorf("codec: implausible %s count %d", what, cnt)
+	}
+	if cnt == 0 {
+		return nil, nil // canonical: empty lists decode to nil
+	}
+	vs := make([]float64, cnt)
+	for i := range vs {
+		if vs[i], err = r.getF64(); err != nil {
+			return nil, err
+		}
+	}
+	return vs, nil
+}
+
+// banditCount validates a bandit list length against its cap, the remaining
+// bytes and the per-entry minimum size.
+func (r *reader) banditCount(minEntry int, what string) (int, error) {
+	cnt, err := r.getUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if cnt > maxBanditItems || cnt*uint64(minEntry) > uint64(r.rem()) {
+		return 0, fmt.Errorf("codec: implausible bandit %s count %d", what, cnt)
+	}
+	return int(cnt), nil
+}
+
+// decodeBandit reads one policy state (encodeBandit's inverse).
+func decodeBandit(r *reader) (*bandit.State, error) {
+	s := &bandit.State{}
+	var err error
+	if s.Kind, err = r.getString(); err != nil {
+		return nil, err
+	}
+	if s.Round, err = r.getInt(); err != nil {
+		return nil, err
+	}
+	n, err := r.banditCount(16, "region")
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		s.Regions = make([]bandit.Region, n)
+	}
+	for i := range s.Regions {
+		if s.Regions[i].Lo, err = r.getF64(); err != nil {
+			return nil, err
+		}
+		if s.Regions[i].Hi, err = r.getF64(); err != nil {
+			return nil, err
+		}
+	}
+	if n, err = r.banditCount(17, "pull"); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		s.Pulls = make([]bandit.PullRecord, n)
+	}
+	for i := range s.Pulls {
+		p := &s.Pulls[i]
+		if p.Round, err = r.getInt(); err != nil {
+			return nil, err
+		}
+		if p.Ratio, err = r.getF64(); err != nil {
+			return nil, err
+		}
+		if p.Reward, err = r.getF64(); err != nil {
+			return nil, err
+		}
+	}
+	if s.Arms, err = decodeF64s(r, "arm"); err != nil {
+		return nil, err
+	}
+	if n, err = r.banditCount(1, "count"); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		s.Counts = make([]int, n)
+	}
+	for i := range s.Counts {
+		if s.Counts[i], err = r.getInt(); err != nil {
+			return nil, err
+		}
+	}
+	if s.Sums, err = decodeF64s(r, "sum"); err != nil {
+		return nil, err
+	}
+	if s.Eps, err = r.getF64(); err != nil {
+		return nil, err
+	}
+	if s.Ratio, err = r.getF64(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// decodeSnapshot reads the durability payload (encodeSnapshot's inverse).
+func decodeSnapshot(r *reader) (*Snapshot, error) {
+	s := &Snapshot{}
+	var err error
+	if s.Round, err = r.getInt(); err != nil {
+		return nil, err
+	}
+	if s.Global, err = decodeTensors(r); err != nil {
+		return nil, err
+	}
+	if s.PrevLoss, err = r.getF64(); err != nil {
+		return nil, err
+	}
+	if s.RoundSum, err = r.getF64(); err != nil {
+		return nil, err
+	}
+	if s.PrevTimes, err = decodeF64s(r, "worker-time"); err != nil {
+		return nil, err
+	}
+	if s.PrevComm, err = decodeF64s(r, "worker-time"); err != nil {
+		return nil, err
+	}
+	cnt, err := r.getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Every worker entry costs at least 12 bytes (slot, two empty strings,
+	// ratio, bandit flag).
+	if cnt > maxWorkers || cnt*12 > uint64(r.rem()) {
+		return nil, fmt.Errorf("codec: implausible worker count %d", cnt)
+	}
+	s.Workers = make([]WorkerState, cnt)
+	for i := range s.Workers {
+		w := &s.Workers[i]
+		if w.Slot, err = r.getInt(); err != nil {
+			return nil, err
+		}
+		if w.Slot < 0 {
+			return nil, fmt.Errorf("codec: negative worker slot %d", w.Slot)
+		}
+		if w.ID, err = r.getString(); err != nil {
+			return nil, err
+		}
+		if w.Name, err = r.getString(); err != nil {
+			return nil, err
+		}
+		if w.Ratio, err = r.getF64(); err != nil {
+			return nil, err
+		}
+		has, err := r.getByte()
+		if err != nil {
+			return nil, err
+		}
+		switch has {
+		case 0:
+		case 1:
+			if w.Bandit, err = decodeBandit(r); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("codec: unknown bandit presence tag %d", has)
+		}
+	}
+	return s, nil
+}
+
 // decodePayload parses the payload for e.Kind into e.
 func decodePayload(r *reader, e *Envelope) error {
 	var err error
@@ -340,6 +511,10 @@ func decodePayload(r *reader, e *Envelope) error {
 			return err
 		}
 		e.Shutdown = s
+	case KindSnapshot, KindRoundClose:
+		if e.Snapshot, err = decodeSnapshot(r); err != nil {
+			return err
+		}
 	case KindPing, KindPong:
 		// No payload.
 	}

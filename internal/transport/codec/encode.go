@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 
+	"fedmp/internal/bandit"
 	"fedmp/internal/tensor"
 	"fedmp/internal/zoo"
 )
@@ -132,6 +133,64 @@ func encodeLayers(w *writer, layers []zoo.LayerSpec) {
 	}
 }
 
+// encodeF64s writes a float64 list with a uvarint length prefix.
+func encodeF64s(w *writer, vs []float64) {
+	w.putUvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.putF64(v)
+	}
+}
+
+// encodeBandit writes one policy state (mirrored by banditSize).
+func encodeBandit(w *writer, s *bandit.State) {
+	w.putString(s.Kind)
+	w.putSvarint(int64(s.Round))
+	w.putUvarint(uint64(len(s.Regions)))
+	for _, r := range s.Regions {
+		w.putF64(r.Lo)
+		w.putF64(r.Hi)
+	}
+	w.putUvarint(uint64(len(s.Pulls)))
+	for _, p := range s.Pulls {
+		w.putSvarint(int64(p.Round))
+		w.putF64(p.Ratio)
+		w.putF64(p.Reward)
+	}
+	encodeF64s(w, s.Arms)
+	w.putUvarint(uint64(len(s.Counts)))
+	for _, c := range s.Counts {
+		w.putSvarint(int64(c))
+	}
+	encodeF64s(w, s.Sums)
+	w.putF64(s.Eps)
+	w.putF64(s.Ratio)
+}
+
+// encodeSnapshot writes the durability payload shared by KindSnapshot and
+// KindRoundClose frames.
+func encodeSnapshot(w *writer, s *Snapshot) {
+	w.putSvarint(int64(s.Round))
+	encodeTensors(w, s.Global)
+	w.putF64(s.PrevLoss)
+	w.putF64(s.RoundSum)
+	encodeF64s(w, s.PrevTimes)
+	encodeF64s(w, s.PrevComm)
+	w.putUvarint(uint64(len(s.Workers)))
+	for i := range s.Workers {
+		ws := &s.Workers[i]
+		w.putSvarint(int64(ws.Slot))
+		w.putString(ws.ID)
+		w.putString(ws.Name)
+		w.putF64(ws.Ratio)
+		if ws.Bandit == nil {
+			w.putByte(0)
+			continue
+		}
+		w.putByte(1)
+		encodeBandit(w, ws.Bandit)
+	}
+}
+
 // encodePayload writes e's payload; the envelope has already passed
 // payloadSize's validation.
 func encodePayload(w *writer, e *Envelope) {
@@ -165,6 +224,8 @@ func encodePayload(w *writer, e *Envelope) {
 		w.putF64(r.CompSeconds)
 	case KindShutdown:
 		w.putString(e.Shutdown.Reason)
+	case KindSnapshot, KindRoundClose:
+		encodeSnapshot(w, e.Snapshot)
 	}
 }
 

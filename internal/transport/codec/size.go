@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"fedmp/internal/bandit"
 	"fedmp/internal/tensor"
 	"fedmp/internal/zoo"
 )
@@ -171,6 +172,71 @@ func layersSize(layers []zoo.LayerSpec, depth int) (int, error) {
 	return size, nil
 }
 
+// f64sSize returns the encoded size of a float64 list, validating its
+// length cap.
+func f64sSize(vs []float64, what string) (int, error) {
+	if len(vs) > maxWorkers {
+		return 0, fmt.Errorf("codec: %d %s entries exceed %d", len(vs), what, maxWorkers)
+	}
+	return uvarintLen(uint64(len(vs))) + 8*len(vs), nil
+}
+
+// banditSize returns the encoded size of one policy state (encodeBandit's
+// twin).
+func banditSize(s *bandit.State) (int, error) {
+	if len(s.Regions) > maxBanditItems || len(s.Pulls) > maxBanditItems ||
+		len(s.Arms) > maxBanditItems || len(s.Counts) > maxBanditItems ||
+		len(s.Sums) > maxBanditItems {
+		return 0, fmt.Errorf("codec: bandit state lists exceed %d entries", maxBanditItems)
+	}
+	size := stringLen(s.Kind) + svarintLen(int64(s.Round))
+	size += uvarintLen(uint64(len(s.Regions))) + 16*len(s.Regions)
+	size += uvarintLen(uint64(len(s.Pulls)))
+	for _, p := range s.Pulls {
+		size += svarintLen(int64(p.Round)) + 16
+	}
+	size += uvarintLen(uint64(len(s.Arms))) + 8*len(s.Arms)
+	size += uvarintLen(uint64(len(s.Counts)))
+	for _, c := range s.Counts {
+		size += svarintLen(int64(c))
+	}
+	size += uvarintLen(uint64(len(s.Sums))) + 8*len(s.Sums)
+	return size + 8 + 8, nil // Eps, Ratio
+}
+
+// snapshotSize returns the encoded size of a durability payload
+// (encodeSnapshot's twin).
+func snapshotSize(s *Snapshot) (int, error) {
+	global, err := tensorsSize(s.Global)
+	if err != nil {
+		return 0, err
+	}
+	size := svarintLen(int64(s.Round)) + global + 8 + 8 // PrevLoss, RoundSum
+	for _, vs := range [][]float64{s.PrevTimes, s.PrevComm} {
+		n, err := f64sSize(vs, "worker-time")
+		if err != nil {
+			return 0, err
+		}
+		size += n
+	}
+	if len(s.Workers) > maxWorkers {
+		return 0, fmt.Errorf("codec: %d worker entries exceed %d", len(s.Workers), maxWorkers)
+	}
+	size += uvarintLen(uint64(len(s.Workers)))
+	for i := range s.Workers {
+		w := &s.Workers[i]
+		size += svarintLen(int64(w.Slot)) + stringLen(w.ID) + stringLen(w.Name) + 8 + 1
+		if w.Bandit != nil {
+			n, err := banditSize(w.Bandit)
+			if err != nil {
+				return 0, err
+			}
+			size += n
+		}
+	}
+	return size, nil
+}
+
 // payloadSize returns the encoded payload size for an envelope.
 func payloadSize(e *Envelope) (int, error) {
 	if err := checkKind(e); err != nil {
@@ -210,6 +276,8 @@ func payloadSize(e *Envelope) (int, error) {
 		return size + ts, nil
 	case KindShutdown:
 		return stringLen(e.Shutdown.Reason), nil
+	case KindSnapshot, KindRoundClose:
+		return snapshotSize(e.Snapshot)
 	default: // KindPing, KindPong — checkKind rejected everything else.
 		return 0, nil
 	}

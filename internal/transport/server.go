@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -10,6 +11,8 @@ import (
 	"fedmp/internal/core"
 	"fedmp/internal/nn"
 	"fedmp/internal/tensor"
+	"fedmp/internal/transport/checkpoint"
+	"fedmp/internal/transport/codec"
 )
 
 // ServerConfig parameterises a parameter server.
@@ -40,6 +43,21 @@ type ServerConfig struct {
 	// AcceptTimeout bounds the initial wait for Workers workers to join
 	// (default 2 minutes).
 	AcceptTimeout time.Duration
+	// CheckpointDir enables durability: the server checkpoints its full
+	// state there (global model, round counter, bandit statistics, worker
+	// identity table) and, when the directory already holds state from a
+	// previous incarnation, resumes from the round after the last one it
+	// closed instead of starting over. Empty disables checkpointing.
+	CheckpointDir string
+	// SnapshotEvery is the full-snapshot cadence in rounds (default 5).
+	// Rounds in between are appended to a write-ahead log that a snapshot
+	// resets; recovery replays the log on top of the latest snapshot.
+	SnapshotEvery int
+	// Abort, when non-nil, stops the server as a crash would when the
+	// channel closes: every worker connection is severed without the
+	// shutdown handshake and Serve returns ErrAborted. Used by recovery
+	// tests and process supervisors; orderly completion ignores it.
+	Abort <-chan struct{}
 	// Core carries the strategy and hyper-parameters; its Workers field is
 	// overwritten by this config's.
 	Core core.Config
@@ -72,6 +90,12 @@ func (cfg ServerConfig) withDefaults() (ServerConfig, error) {
 	}
 	if cfg.AcceptTimeout == 0 {
 		cfg.AcceptTimeout = 2 * time.Minute
+	}
+	if cfg.SnapshotEvery < 0 {
+		return cfg, fmt.Errorf("transport: snapshot cadence %d rounds", cfg.SnapshotEvery)
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 5
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -116,7 +140,11 @@ type registry struct {
 
 	events chan event
 	joined chan struct{} // one token per successful (re)join
-	done   chan struct{} // closed on server shutdown
+
+	// done is closed exactly once — by shutdown (orderly) or kill (abort) —
+	// whichever runs first; the other becomes a no-op on the channel.
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
 func newRegistry(n int, logf func(string, ...any)) *registry {
@@ -138,6 +166,14 @@ func newRegistry(n int, logf func(string, ...any)) *registry {
 // its old slot (rejoin), a new identity takes the next free slot, and a
 // stranger arriving at a full server is turned away.
 func (r *registry) admit(c *conn, hello *helloMsg) {
+	select {
+	case <-r.done:
+		// Shutdown raced the accept loop: a connection hello'd after the
+		// registry closed must not resurrect a slot.
+		closeLogged(c, r.logf, "late connection")
+		return
+	default:
+	}
 	r.mu.Lock()
 	slot := -1
 	if hello.ID != "" {
@@ -292,9 +328,15 @@ func (r *registry) connected() int {
 	return cnt
 }
 
+// closeDone closes the done channel at most once, so the orderly shutdown
+// path and the abort path can both run without racing a double close.
+func (r *registry) closeDone() {
+	r.doneOnce.Do(func() { close(r.done) })
+}
+
 // shutdown closes every live connection after sending a shutdown frame.
 func (r *registry) shutdown(reason string) {
-	close(r.done)
+	r.closeDone()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i, c := range r.conns {
@@ -371,6 +413,47 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 		return nil, err
 	}
 
+	global := fam.InitWeights(coreCfg.Seed)
+
+	// Durability: open the checkpoint directory and recover any prior
+	// incarnation's state before accepting workers, so a restarted server
+	// resumes the schedule instead of starting over and rejoining workers
+	// are preseeded back into their old slots from the first hello.
+	var ckpt *checkpoint.Manager
+	var resume *codec.Snapshot
+	if cfg.CheckpointDir != "" {
+		ckpt, err = checkpoint.Open(cfg.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			if cerr := ckpt.Close(); cerr != nil {
+				logf("closing checkpoint state: %v", cerr)
+			}
+		}()
+		snap, info, rerr := ckpt.Recover()
+		if rerr != nil {
+			return nil, fmt.Errorf("transport: recovering checkpoint: %w", rerr)
+		}
+		if info.TornTail {
+			logf("checkpoint WAL had a torn tail (crash mid-append); truncated to the last closed round")
+		}
+		if info.UsedFallback {
+			logf("current snapshot unreadable; recovered from the previous one")
+		}
+		if snap != nil {
+			if err := checkResume(snap, cfg.Workers, coreCfg.Rounds, global); err != nil {
+				return nil, err
+			}
+			if err := resumeBandits(snap, cfg.Workers, strategy); err != nil {
+				return nil, err
+			}
+			resume = snap
+			logf("recovered checkpoint: snapshot at round %d plus %d WAL rounds; resuming at round %d",
+				info.SnapshotRound, info.WALRounds, snap.Round+1)
+		}
+	}
+
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -379,8 +462,26 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 	logf("parameter server listening on %s, waiting for %d workers", ln.Addr(), cfg.Workers)
 
 	reg := newRegistry(cfg.Workers, logf)
+	if resume != nil {
+		if err := reg.preseed(resume.Workers); err != nil {
+			return nil, err
+		}
+	}
 	defer reg.shutdown("done")
 	go acceptLoop(ln, reg, cfg.HelloTimeout, logf)
+	if cfg.Abort != nil {
+		go func() {
+			select {
+			case <-cfg.Abort:
+				logf("abort: severing worker connections and closing the listener")
+				reg.kill()
+				if cerr := ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+					logf("closing listener on abort: %v", cerr)
+				}
+			case <-reg.done:
+			}
+		}()
+	}
 
 	// Startup: wait (boundedly) until every slot has joined once.
 	acceptDeadline := time.NewTimer(cfg.AcceptTimeout)
@@ -388,13 +489,14 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 	for reg.connected() < cfg.Workers {
 		select {
 		case <-reg.joined:
+		case <-reg.done:
+			return nil, ErrAborted
 		case <-acceptDeadline.C:
 			return nil, fmt.Errorf("transport: only %d of %d workers joined within %v",
 				reg.connected(), cfg.Workers, cfg.AcceptTimeout)
 		}
 	}
 
-	global := fam.InitWeights(coreCfg.Seed)
 	evalNet, err := fam.BuildNet(fam.FullDesc(), coreCfg.Seed)
 	if err != nil {
 		return nil, err
@@ -410,7 +512,21 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 	prevLoss := math.NaN()
 	prevTimes := make([]float64, cfg.Workers)
 	prevComm := make([]float64, cfg.Workers)
+	lastRatio := make([]float64, cfg.Workers)
 	var roundSum float64
+	startRound := 1
+	if resume != nil {
+		global = resume.Global
+		prevLoss = resume.PrevLoss
+		roundSum = resume.RoundSum
+		copy(prevTimes, resume.PrevTimes)
+		copy(prevComm, resume.PrevComm)
+		for _, w := range resume.Workers {
+			lastRatio[w.Slot] = w.Ratio
+		}
+		startRound = resume.Round + 1
+		res.Rounds = resume.Round
+	}
 
 	evaluate := func(round int) core.Point {
 		nn.SetWeights(evalNet, global)
@@ -419,11 +535,40 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 		res.Points = append(res.Points, p)
 		return p
 	}
-	evaluate(0)
+	evaluate(startRound - 1)
+
+	// snapshotState assembles the durable view of the server after a round:
+	// the registry's identity table plus the model, the scheduler scalars
+	// and the strategy's per-worker bandit state.
+	snapshotState := func(round int) *codec.Snapshot {
+		snap := &codec.Snapshot{
+			Round:     round,
+			Global:    global,
+			PrevLoss:  prevLoss,
+			RoundSum:  roundSum,
+			PrevTimes: prevTimes,
+			PrevComm:  prevComm,
+			Workers:   reg.workerTable(),
+		}
+		bandits := exportBandits(strategy)
+		for i := range snap.Workers {
+			slot := snap.Workers[i].Slot
+			snap.Workers[i].Ratio = lastRatio[slot]
+			if slot < len(bandits) {
+				snap.Workers[i].Bandit = bandits[slot]
+			}
+		}
+		return snap
+	}
 
 	s := &server{cfg: cfg, reg: reg, logf: logf}
 	barren := 0
-	for round := 1; round <= coreCfg.Rounds; round++ {
+	for round := startRound; round <= coreCfg.Rounds; round++ {
+		select {
+		case <-reg.done:
+			return nil, ErrAborted
+		default:
+		}
 		reg.pingSuspects()
 		workerIDs, err := s.awaitLiveWorkers(round)
 		if err != nil {
@@ -446,7 +591,10 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 			return nil, err
 		}
 		roundStart := time.Now()
-		rs := s.runRound(round, assignments)
+		rs, err := s.runRound(round, assignments)
+		if err != nil {
+			return nil, err
+		}
 		if len(rs.outs) == 0 {
 			barren++
 			if barren >= maxBarrenRounds {
@@ -462,6 +610,7 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 			o := &rs.outs[i]
 			prevTimes[o.Worker] = o.Total
 			prevComm[o.Worker] = o.CommTime
+			lastRatio[o.Worker] = o.Ratio
 		}
 		global, err = strategy.Aggregate(info, rs.outs, rs.dropped)
 		if err != nil {
@@ -500,6 +649,20 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 			logf("round %d: loss %.4f acc %.3f (%d/%d workers, %d dropped, %.2fs)",
 				round, p.Loss, p.Acc, len(rs.outs), cfg.Workers, len(rs.dropped), roundTime)
 		}
+
+		// The round is durable once its record is fsync'd: a full snapshot
+		// every SnapshotEvery rounds (which resets the WAL), a WAL append in
+		// between. A durability failure is fatal — continuing would silently
+		// demote the recovery guarantee this server was configured for.
+		if ckpt != nil {
+			if round%cfg.SnapshotEvery == 0 {
+				if err := ckpt.WriteSnapshot(snapshotState(round)); err != nil {
+					return nil, fmt.Errorf("transport: checkpointing round %d: %w", round, err)
+				}
+			} else if err := ckpt.AppendRound(snapshotState(round)); err != nil {
+				return nil, fmt.Errorf("transport: journaling round %d: %w", round, err)
+			}
+		}
 	}
 	if len(res.Points) > 0 {
 		last := res.Points[len(res.Points)-1]
@@ -516,7 +679,11 @@ func acceptLoop(ln net.Listener, reg *registry, helloTimeout time.Duration, logf
 	for {
 		raw, err := ln.Accept()
 		if err != nil {
-			return // listener closed on shutdown
+			if errors.Is(err, net.ErrClosed) {
+				return // orderly: the listener closed on shutdown
+			}
+			logf("accept loop stopping: %v", err)
+			return
 		}
 		go func(raw net.Conn) {
 			c := newConn(raw)
@@ -546,6 +713,8 @@ func (s *server) awaitLiveWorkers(round int) ([]int, error) {
 		case ev := <-s.reg.events:
 			s.handleEvent(ev, nil)
 		case <-s.reg.joined:
+		case <-s.reg.done:
+			return nil, ErrAborted
 		case <-deadline.C:
 			return nil, fmt.Errorf("transport: every worker has disconnected")
 		}
@@ -558,8 +727,10 @@ func (s *server) awaitLiveWorkers(round int) ([]int, error) {
 // runRound fans the assignments out to their workers and collects results
 // until everyone answered, the quorum-plus-grace closes the round, or the
 // round deadline expires. Workers that do not deliver are marked suspect and
-// their assignments reported as dropped.
-func (s *server) runRound(round int, assignments []core.Assignment) *roundState {
+// their assignments reported as dropped. An abort mid-collection surfaces as
+// ErrAborted; the round's results are discarded (its WAL record was never
+// written, so recovery replays the round).
+func (s *server) runRound(round int, assignments []core.Assignment) (*roundState, error) {
 	rs := &roundState{
 		round:     round,
 		pending:   make(map[int]core.Assignment, len(assignments)),
@@ -622,6 +793,8 @@ collect:
 		select {
 		case ev := <-s.reg.events:
 			s.handleEvent(ev, rs)
+		case <-s.reg.done:
+			return nil, ErrAborted
 		case <-graceC:
 			s.logf("round %d: quorum %d reached, grace expired with %d still in flight",
 				round, needed, len(rs.pending))
@@ -637,7 +810,7 @@ collect:
 		s.reg.markSuspect(w)
 		rs.dropped = append(rs.dropped, a)
 	}
-	return rs
+	return rs, nil
 }
 
 // handleEvent folds one session event into the round state. rs may be nil

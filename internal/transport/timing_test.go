@@ -65,7 +65,7 @@ func TestHeartbeatAndResultOverPipe(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		lastRound := 0
-		done <- serveConn(worker, fam, srcs[0], cfg, &lastRound, func(string, ...any) {})
+		done <- serveConn(worker, fam, srcs[0], cfg, &lastRound, newBackoff(0, 0, 1), func(string, ...any) {})
 	}()
 
 	// Heartbeat: ping must come back as pong.

@@ -47,10 +47,14 @@ var errShutdown = errors.New("transport: server shutdown")
 // descriptions; src supplies this worker's local data.
 //
 // The worker is fault tolerant: a dropped connection is re-established with
-// exponential backoff and jitter, the hello carries a stable identity so the
-// server restores the worker into its old slot, and assignments for rounds
-// the worker already served (or missed while away) are discarded instead of
-// trained.
+// exponential backoff and jitter (escalating across consecutive failures,
+// reset to the base interval once a round completes), the hello carries a
+// stable identity so the server restores the worker into its old slot, and
+// assignments for rounds the worker already served (or missed while away)
+// are discarded instead of trained. One exception: the first assignment of
+// a fresh session may rewind the round counter — a server restarted from a
+// checkpoint legitimately resumes one round behind where this worker last
+// trained, and refusing the rewind would deadlock the recovery.
 func RunWorker(fam core.Family, src core.Source, cfg WorkerConfig) error {
 	if cfg.LR == 0 {
 		cfg.LR = 0.05
@@ -84,7 +88,7 @@ func RunWorker(fam core.Family, src core.Source, cfg WorkerConfig) error {
 			return fmt.Errorf("transport: hello: %w", err)
 		}
 		logf("connected to %s (session %d)", cfg.Addr, session)
-		err = serveConn(c, fam, src, cfg, &lastRound, logf)
+		err = serveConn(c, fam, src, cfg, &lastRound, bo, logf)
 		closeLogged(c, logf, "session connection")
 		if errors.Is(err, errShutdown) {
 			return nil
@@ -99,8 +103,12 @@ func RunWorker(fam core.Family, src core.Source, cfg WorkerConfig) error {
 // serveConn runs one session: it answers heartbeats and trains assignments
 // until the connection breaks or the server shuts the worker down.
 // lastRound persists across sessions so stale assignments — work orders for
-// rounds the worker already served before a reconnect — are discarded.
-func serveConn(c *conn, fam core.Family, src core.Source, cfg WorkerConfig, lastRound *int, logf func(string, ...any)) error {
+// rounds the worker already served before a reconnect — are discarded. The
+// session's first assignment is exempt: a lower round number there means the
+// server restarted from a checkpoint and rewound, and the worker follows it.
+// Completing a round (result sent) resets the shared backoff schedule.
+func serveConn(c *conn, fam core.Family, src core.Source, cfg WorkerConfig, lastRound *int, bo *backoff, logf func(string, ...any)) error {
+	firstAssign := true
 	for {
 		e, _, err := c.recv(idleTimeout)
 		if err != nil {
@@ -116,9 +124,18 @@ func serveConn(c *conn, fam core.Family, src core.Source, cfg WorkerConfig, last
 			}
 		case kindAssign:
 			if e.Assign.Round <= *lastRound {
-				logf("discarding stale assignment for round %d (already at %d)", e.Assign.Round, *lastRound)
-				continue
+				if !firstAssign {
+					logf("discarding stale assignment for round %d (already at %d)", e.Assign.Round, *lastRound)
+					continue
+				}
+				// First assignment of a fresh session: the server restarted
+				// from a checkpoint and legitimately rewound the round
+				// counter. Accept it — its weights carry the recovered
+				// global state, so retraining is correct, not duplicate work.
+				logf("accepting round rewind %d -> %d (server recovered from checkpoint)",
+					*lastRound, e.Assign.Round)
 			}
+			firstAssign = false
 			res, err := trainAssignment(fam, src, e.Assign, cfg)
 			if err != nil {
 				return err
@@ -127,6 +144,7 @@ func serveConn(c *conn, fam core.Family, src core.Source, cfg WorkerConfig, last
 			if _, err := c.send(&envelope{Kind: kindResult, Result: res}); err != nil {
 				return fmt.Errorf("transport: sending result: %w", err)
 			}
+			bo.reset()
 			logf("round %d done: loss %.4f (ratio %.2f, %d params)",
 				e.Assign.Round, res.TrainLoss, e.Assign.Ratio, nn.WeightsSize(e.Assign.Weights))
 		default:
@@ -187,7 +205,9 @@ func trainAssignment(fam core.Family, src core.Source, a *assignMsg, cfg WorkerC
 
 // dial connects to the server, retrying on the shared backoff-with-jitter
 // schedule so workers can start before the server finishes binding (and can
-// ride out brief server restarts when reconnecting).
+// ride out brief server restarts when reconnecting). The schedule's attempt
+// counter carries over between dial loops — a flapping server that accepts
+// connections and dies keeps escalating the delay until a round completes.
 func dial(addr string, bo *backoff, attempts int) (*conn, error) {
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -196,7 +216,7 @@ func dial(addr string, bo *backoff, attempts int) (*conn, error) {
 			return newConn(raw), nil
 		}
 		lastErr = err
-		time.Sleep(bo.delay(attempt))
+		time.Sleep(bo.next())
 	}
 	return nil, fmt.Errorf("transport: dialing %s: %w", addr, lastErr)
 }
