@@ -1,6 +1,6 @@
 # Developer entry points. The Go toolchain is the only dependency.
 
-.PHONY: build test vet lint lint-fix-hints race check bench ci
+.PHONY: build test vet lint lint-fix-hints race check bench ci test-kernels
 
 build:
 	go build ./...
@@ -39,7 +39,16 @@ bench:
 	go run ./cmd/fedmp-bench -bench-json BENCH_kernels.json
 	go run ./cmd/fedmp-bench -wire-json BENCH_wire.json
 
-check: vet lint build test race
+# test-kernels runs the tensor suite once per micro-kernel tier. FEDMP_KERNEL
+# forces the tier; a tier the host lacks falls back to the best available one
+# (the tier-specific tests check KernelName and skip themselves), so the same
+# loop passes on every machine.
+test-kernels:
+	FEDMP_KERNEL=generic go test ./internal/tensor
+	FEDMP_KERNEL=sse go test ./internal/tensor
+	FEDMP_KERNEL=avx2 go test ./internal/tensor
+
+check: vet lint build test test-kernels race
 
 # ci is the offline continuous-integration entry point: the full check
 # pipeline, a race-checked transport smoke (two-worker loopback round over

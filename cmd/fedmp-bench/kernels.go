@@ -51,10 +51,17 @@ type kernelResult struct {
 }
 
 type kernelReport struct {
-	GeneratedBy string         `json:"generated_by"`
-	SeedCommit  string         `json:"seed_commit"`
-	GoVersion   string         `json:"go_version"`
-	GOMAXPROCS  int            `json:"gomaxprocs"`
+	GeneratedBy string `json:"generated_by"`
+	SeedCommit  string `json:"seed_commit"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// KernelTier is the micro-kernel tier the numbers were measured with
+	// (the start-up default unless FEDMP_KERNEL forced another);
+	// KernelTiers lists every tier this machine offers and KernelFused
+	// records whether they use fused multiply-add accumulation.
+	KernelTier  string         `json:"kernel_tier"`
+	KernelTiers []string       `json:"kernel_tiers"`
+	KernelFused bool           `json:"kernel_fused"`
 	Kernels     []kernelResult `json:"kernels"`
 }
 
@@ -170,7 +177,12 @@ func writeKernelBench(path string) error {
 		SeedCommit:  "0cdb44a",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		KernelTier:  tensor.KernelName(),
+		KernelTiers: tensor.Kernels(),
+		KernelFused: tensor.KernelFused(),
 	}
+	fmt.Fprintf(os.Stderr, "kernel tier %s (available %v, fused=%v)\n",
+		rep.KernelTier, rep.KernelTiers, rep.KernelFused)
 	for _, kb := range kernelBenches() {
 		fmt.Fprintf(os.Stderr, "benchmarking %-13s ... ", kb.name)
 		r := testing.Benchmark(kb.run)

@@ -48,6 +48,14 @@ type wireTrafficRow struct {
 	UpBytes    int64   `json:"up_bytes"`
 	RoundBytes int64   `json:"round_bytes"`
 	PctOfDense float64 `json:"pct_of_dense"`
+	// The quant_* columns reprice the same frames with Quantize set — the
+	// -quantize-wire deployment — and QuantPctOfRow compares against this
+	// row's own float32 round trip (so the quantization saving reads
+	// independently of the pruning saving).
+	QuantDownBytes  int64   `json:"quant_down_bytes"`
+	QuantUpBytes    int64   `json:"quant_up_bytes"`
+	QuantRoundBytes int64   `json:"quant_round_bytes"`
+	QuantPctOfRow   float64 `json:"quant_pct_of_row"`
 }
 
 // wireSparseRow is one zero-fraction cell of the sparse-mode table: the
@@ -69,7 +77,13 @@ type wireReport struct {
 	BenchGobBytes   int64            `json:"bench_gob_bytes"`
 	Encode          wireSide         `json:"encode"`
 	Decode          wireSide         `json:"decode"`
-	TrafficModel    string           `json:"traffic_model"`
+	// DecodeReuse* measure the recycling codec.Decoder the worker receive
+	// loop runs on — same frames as Decode, but the envelope's object graph
+	// is reused across reads, so the steady state decodes with zero heap
+	// allocations where the one-shot ReadFrame paid one per tensor slab.
+	DecodeReuseNsPerOp     float64          `json:"decode_reuse_ns_per_op"`
+	DecodeReuseAllocsPerOp int64            `json:"decode_reuse_allocs_per_op"`
+	TrafficModel           string           `json:"traffic_model"`
 	BytesPerRound   []wireTrafficRow `json:"bytes_per_round"`
 	SparseUpload    []wireSparseRow  `json:"sparse_upload"`
 }
@@ -138,6 +152,32 @@ func benchWireDecode(env *codec.Envelope) func(b *testing.B) {
 	}
 }
 
+// benchWireDecodeReuse measures a long-lived codec.Decoder over the same
+// pre-encoded frame: the worker's receive-loop steady state, where every
+// round delivers the same model shapes and the recycled object graph
+// absorbs them without allocating.
+func benchWireDecodeReuse(env *codec.Envelope) func(b *testing.B) {
+	return func(b *testing.B) {
+		var buf bytes.Buffer
+		if _, err := codec.WriteFrame(&buf, env); err != nil {
+			b.Fatal(err)
+		}
+		frame := buf.Bytes()
+		rd := bytes.NewReader(frame)
+		dec := codec.NewDecoder(rd)
+		if _, _, err := dec.ReadFrame(); err != nil { // prime the recycled graph
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset(frame)
+			if _, _, err := dec.ReadFrame(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // benchGobEncode measures the old transport's steady state: one long-lived
 // encoder per connection, so type descriptors are amortised away.
 func benchGobEncode(env *codec.Envelope) func(b *testing.B) {
@@ -200,14 +240,14 @@ func wireTraffic(spec *zoo.Spec) ([]wireTrafficRow, error) {
 	}
 	weights := nn.GetWeights(net)
 
-	roundTrip := func(desc *zoo.Spec, w []*tensor.Tensor, ratio float64) (down, up, params int64, err error) {
-		d, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindAssign, Assign: &codec.Assign{
-			Round: 1, Desc: desc, Weights: w, Iters: 4, Ratio: ratio,
+	roundTrip := func(desc *zoo.Spec, w []*tensor.Tensor, ratio float64, quantize bool) (down, up, params int64, err error) {
+		d, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindAssign, Quantize: quantize, Assign: &codec.Assign{
+			Round: 1, Desc: desc, Weights: w, Iters: 4, Ratio: ratio, Quantize: quantize,
 		}})
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		u, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindResult, Result: &codec.Result{
+		u, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindResult, Quantize: quantize, Result: &codec.Result{
 			Round: 1, Delta: w, TrainLoss: 1,
 		}})
 		if err != nil {
@@ -233,18 +273,24 @@ func wireTraffic(spec *zoo.Spec) ([]wireTrafficRow, error) {
 				return nil, err
 			}
 		}
-		down, up, params, err := roundTrip(desc, w, 1-keep)
+		down, up, params, err := roundTrip(desc, w, 1-keep, false)
+		if err != nil {
+			return nil, err
+		}
+		qdown, qup, _, err := roundTrip(desc, w, 1-keep, true)
 		if err != nil {
 			return nil, err
 		}
 		row := wireTrafficRow{
 			KeepRatio: keep, Params: params,
 			DownBytes: down, UpBytes: up, RoundBytes: down + up,
+			QuantDownBytes: qdown, QuantUpBytes: qup, QuantRoundBytes: qdown + qup,
 		}
 		if keep == 1 {
 			dense = row.RoundBytes
 		}
 		row.PctOfDense = 100 * float64(row.RoundBytes) / float64(dense)
+		row.QuantPctOfRow = 100 * float64(row.QuantRoundBytes) / float64(row.RoundBytes)
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -342,6 +388,13 @@ func writeWireBench(path string) error {
 	rep.Encode = measure("encode", benchWireEncode(env), benchGobEncode(env))
 	rep.Decode = measure("decode", benchWireDecode(env), benchGobDecode(env))
 
+	fmt.Fprintf(os.Stderr, "benchmarking wire reuse  ... ")
+	rr := testing.Benchmark(benchWireDecodeReuse(env))
+	rep.DecodeReuseNsPerOp = float64(rr.NsPerOp())
+	rep.DecodeReuseAllocsPerOp = rr.AllocsPerOp()
+	fmt.Fprintf(os.Stderr, "codec %9.0f ns/op (%3d allocs)\n",
+		rep.DecodeReuseNsPerOp, rep.DecodeReuseAllocsPerOp)
+
 	if rep.BytesPerRound, err = wireTraffic(zoo.AlexNetSpec()); err != nil {
 		return err
 	}
@@ -349,8 +402,8 @@ func writeWireBench(path string) error {
 		return err
 	}
 	for _, r := range rep.BytesPerRound {
-		fmt.Fprintf(os.Stderr, "keep %.1f: %8d params  %9d B/round  %5.1f%% of dense\n",
-			r.KeepRatio, r.Params, r.RoundBytes, r.PctOfDense)
+		fmt.Fprintf(os.Stderr, "keep %.1f: %8d params  %9d B/round  %5.1f%% of dense  quant %9d B  %5.1f%% of row\n",
+			r.KeepRatio, r.Params, r.RoundBytes, r.PctOfDense, r.QuantRoundBytes, r.QuantPctOfRow)
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")

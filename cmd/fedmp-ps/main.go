@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for durable snapshots and the round WAL (empty = no durability)")
 	snapshotEvery := flag.Int("snapshot-every", 5, "rounds between full snapshots; other rounds append to the WAL")
+	quantizeWire := flag.Bool("quantize-wire", false, "ship assignment and result tensors int8-quantized when byte-cheaper")
 	flag.Parse()
 
 	var fam fedmp.Family
@@ -54,9 +55,10 @@ func main() {
 		CheckpointDir:  *checkpointDir,
 		SnapshotEvery:  *snapshotEvery,
 		Core: fedmp.Config{
-			Strategy: fedmp.StrategyID(*strategy),
-			Rounds:   *rounds,
-			Seed:     *seed,
+			Strategy:     fedmp.StrategyID(*strategy),
+			Rounds:       *rounds,
+			Seed:         *seed,
+			QuantizeWire: *quantizeWire,
 		},
 		Logf: log.Printf,
 	})

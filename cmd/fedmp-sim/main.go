@@ -44,6 +44,7 @@ type simOptions struct {
 	straggle, straggleFactor     float64
 	blackout                     float64
 	fixedClock                   bool
+	quantizeWire                 bool
 }
 
 // defaultSimOptions returns the flag defaults; main overrides from the
@@ -87,6 +88,7 @@ func main() {
 	flag.Float64Var(&o.straggleFactor, "straggle-factor", d.straggleFactor, "straggler completion-time multiplier")
 	flag.Float64Var(&o.blackout, "blackout", d.blackout, "per-round link blackout probability")
 	flag.BoolVar(&o.fixedClock, "fixed-clock", d.fixedClock, "charge overhead from a fixed clock for byte-reproducible output")
+	flag.BoolVar(&o.quantizeWire, "quantize-wire", d.quantizeWire, "price and train with int8-quantized wire tensors when byte-cheaper")
 	flag.Parse()
 
 	if err := runSim(o, os.Stdout); err != nil {
@@ -118,6 +120,7 @@ func runSim(o simOptions, w io.Writer) error {
 		TimeBudget:     o.budget,
 		EvalEvery:      o.evalEvery,
 		Seed:           o.seed,
+		QuantizeWire:   o.quantizeWire,
 	}
 	if o.fixedClock {
 		cfg.Clock = simclock.Fixed{}

@@ -92,6 +92,15 @@ type Config struct {
 	// quantization on the PS, the §III-C memory optimisation. Aggregation
 	// then adds the dequantized residuals.
 	QuantizeResiduals bool
+	// QuantizeWire ships assignment and result tensors over the wire with
+	// 8-bit symmetric quantization whenever that is byte-cheaper than the
+	// float32 encodings (per tensor; the codec falls back to full precision
+	// otherwise). Both runtimes honour it identically: the TCP transport
+	// sets the frame's quantize flag, and the simulation mirrors the same
+	// lossy round trip on the values it trains and aggregates, so traffic
+	// and model trajectories stay comparable across runtimes. Checkpoints
+	// are never quantized.
+	QuantizeWire bool
 	// PlanJitter adds multiplicative log-normal noise to the importance
 	// scores when the pruning strategies build per-worker plans, giving
 	// every structure a chance to be trained (the §III-C premise of R2SP).

@@ -105,6 +105,72 @@ func TestTrainingImprovesAccuracy(t *testing.T) {
 	}
 }
 
+// TestQuantizeWireConvergence pins the accuracy cost of int8 wire
+// quantization (the tolerance EXPERIMENTS.md documents): the quantized run
+// must still clearly train, its final metrics must track the float32 run
+// within the tolerance, and its traffic must come in well under — the
+// compression is the point of the knob.
+func TestQuantizeWireConvergence(t *testing.T) {
+	fam := tinyFamily()
+	plain := quickCfg(StrategySynFL, 10)
+	plain.LocalIters = 4
+	quant := plain
+	quant.QuantizeWire = true
+	resP, err := Run(fam, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resQ, err := Run(fam, quant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resQ.FinalAcc < resP.Points[0].Acc+0.2 {
+		t.Errorf("quantized run barely trained: %v -> %v", resP.Points[0].Acc, resQ.FinalAcc)
+	}
+	if d := math.Abs(resQ.FinalAcc - resP.FinalAcc); d > 0.10 {
+		t.Errorf("final accuracy gap %.3f (quantized %.3f vs float32 %.3f) exceeds the 0.10 tolerance",
+			d, resQ.FinalAcc, resP.FinalAcc)
+	}
+	if d := math.Abs(resQ.FinalLoss - resP.FinalLoss); d > 0.25 {
+		t.Errorf("final loss gap %.3f (quantized %.3f vs float32 %.3f) exceeds the 0.25 tolerance",
+			d, resQ.FinalLoss, resP.FinalLoss)
+	}
+	var downP, downQ int64
+	for i := range resP.Stats {
+		downP += resP.Stats[i].DownBytes
+		downQ += resQ.Stats[i].DownBytes
+	}
+	if downQ*10 > downP*4 {
+		t.Errorf("quantized downlink %d bytes vs %d float32; want < 40%%", downQ, downP)
+	}
+}
+
+// TestQuantizeWireFlexCom exercises the sparse-update path under wire
+// quantization: the top-K update round-trips through the int8 modes, the
+// leftover error feedback absorbs the quantization error, and the run still
+// trains.
+func TestQuantizeWireFlexCom(t *testing.T) {
+	fam := tinyFamily()
+	cfg := quickCfg(StrategyFlexCom, 5)
+	cfg.QuantizeWire = true
+	res, err := Run(fam, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("ran %d rounds, want 5", res.Rounds)
+	}
+	if math.IsNaN(res.FinalLoss) || res.FinalLoss >= res.Points[0].Loss {
+		t.Errorf("loss did not improve under quantized FlexCom: %v -> %v",
+			res.Points[0].Loss, res.FinalLoss)
+	}
+	for _, st := range res.Stats {
+		if st.DownBytes <= 0 || st.UpBytes <= 0 {
+			t.Errorf("round %d has non-positive bytes", st.Round)
+		}
+	}
+}
+
 func TestFixedRatioZeroMatchesSynFL(t *testing.T) {
 	// With ratio 0 the plan keeps everything, so recover+residual is the
 	// identity and FedMP aggregation degenerates to FedAvg. The two runs

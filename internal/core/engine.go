@@ -392,14 +392,22 @@ func (r *runner) runWorker(a Assignment, round int) (Output, error) {
 	if err != nil {
 		return Output{}, fmt.Errorf("core: building worker %d model: %w", a.Worker, err)
 	}
-	nn.SetWeights(net, a.Weights)
+	// With wire quantization on, the TCP worker trains on the codec's
+	// dequantized reconstruction of the assignment, not the weights the
+	// server holds; mirror that single round trip here so both runtimes
+	// optimise from bit-identical starting points.
+	aw := a.Weights
+	if r.cfg.QuantizeWire {
+		aw = codec.Dequantized(a.Weights)
+	}
+	nn.SetWeights(net, aw)
 	opt := nn.NewSGD(r.cfg.LR, r.cfg.Momentum, r.cfg.WeightDecay)
 	var lossSum float64
 	for it := 0; it < a.Iters; it++ {
 		b := r.sources[a.Worker].Next()
 		loss, _ := net.TrainStep(b)
 		if a.ProxMu > 0 {
-			nn.AddProximal(net.Params(), a.Weights, a.ProxMu)
+			nn.AddProximal(net.Params(), aw, a.ProxMu)
 		}
 		opt.Step(net.Params())
 		lossSum += loss
@@ -417,14 +425,15 @@ func (r *runner) runWorker(a Assignment, round int) (Output, error) {
 	// sizes the TCP runtime would measure for this assignment and its
 	// result — so Figs. 5 and 9 report real encoded bytes, sparse-mode
 	// compression included, not a parameter-count estimate.
-	down, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindAssign, Assign: &codec.Assign{
-		Round:   round,
-		Desc:    a.Desc,
-		Weights: a.Weights,
-		Iters:   a.Iters,
-		ProxMu:  a.ProxMu,
-		UploadK: a.UploadK,
-		Ratio:   a.Ratio,
+	down, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindAssign, Quantize: r.cfg.QuantizeWire, Assign: &codec.Assign{
+		Round:    round,
+		Desc:     a.Desc,
+		Weights:  a.Weights,
+		Iters:    a.Iters,
+		ProxMu:   a.ProxMu,
+		UploadK:  a.UploadK,
+		Ratio:    a.Ratio,
+		Quantize: r.cfg.QuantizeWire,
 	}})
 	if err != nil {
 		return Output{}, fmt.Errorf("core: sizing worker %d assignment: %w", a.Worker, err)
@@ -441,30 +450,47 @@ func (r *runner) runWorker(a Assignment, round int) (Output, error) {
 		// selection, the standard fix for top-K compression stalls.
 		delta := nn.CloneWeights(newW)
 		for i := range delta {
-			delta[i].Sub(a.Weights[i])
+			delta[i].Sub(aw[i])
 			if a.Feedback != nil {
 				delta[i].Add(a.Feedback[i])
 			}
 		}
 		update, _ := topKOf(delta, a.UploadK)
-		out.Update = update
+		result.Update = update
+		// The server aggregates what the wire delivers; with quantization on
+		// that is the int8 reconstruction of the update, and the leftover the
+		// worker carries forward compensates the quantization error too.
+		sent := update
+		if r.cfg.QuantizeWire {
+			sent = codec.Dequantized(update)
+		}
+		out.Update = sent
 		leftover := delta
 		for i := range leftover {
-			leftover[i].Sub(update[i])
+			leftover[i].Sub(sent[i])
 		}
 		out.Leftover = leftover
-		result.Update = update
 	} else {
-		out.NewWeights = newW
 		// The wire runtime uploads only the trained-minus-assigned delta
 		// (the server reconstructs); price the same message here.
 		delta := nn.CloneWeights(newW)
 		for i := range delta {
-			delta[i].Sub(a.Weights[i])
+			delta[i].Sub(aw[i])
 		}
 		result.Delta = delta
+		if r.cfg.QuantizeWire {
+			// Mirror the server-side reconstruction: the weights the strategy
+			// kept plus the delta as it survives the quantized upload.
+			nw := nn.CloneWeights(a.Weights)
+			for i, d := range codec.Dequantized(delta) {
+				nw[i].Add(d)
+			}
+			out.NewWeights = nw
+		} else {
+			out.NewWeights = newW
+		}
 	}
-	up, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindResult, Result: result})
+	up, err := codec.FrameBytes(&codec.Envelope{Kind: codec.KindResult, Quantize: r.cfg.QuantizeWire, Result: result})
 	if err != nil {
 		return Output{}, fmt.Errorf("core: sizing worker %d result: %w", a.Worker, err)
 	}

@@ -91,6 +91,9 @@ func DefaultOptions() *Options {
 			"fedmp/internal/tensor.packA",
 			"fedmp/internal/tensor.packB",
 			"fedmp/internal/tensor.microTileGo",
+			"fedmp/internal/tensor.microTileFMA",
+			"fedmp/internal/tensor.mergeTile",
+			"fedmp/internal/tensor.fmaf32",
 			"fedmp/internal/tensor.gemmDirect",
 			"fedmp/internal/tensor.gemmBlocked",
 			"fedmp/internal/tensor.matVec",
@@ -100,9 +103,12 @@ func DefaultOptions() *Options {
 			"fedmp/internal/nn.MaxPool2D.Backward",
 			"fedmp/internal/nn.GlobalAvgPool.Backward",
 			"fedmp/internal/nn.AddProximal",
+			"fedmp/internal/prune.SymmetricScale",
+			"fedmp/internal/prune.QuantizeElem",
 			"fedmp/internal/transport/codec.putF32s",
 			"fedmp/internal/transport/codec.getF32s",
 			"fedmp/internal/transport/codec.nonzeroCount",
+			"fedmp/internal/transport/codec.quantNonzeroCount",
 		},
 		MapOrderDeny: []string{
 			"fedmp/internal/core",

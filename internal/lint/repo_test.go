@@ -58,9 +58,15 @@ func TestDefaultOptionsPinHotPaths(t *testing.T) {
 		t.Errorf("MapOrderDeny shrank to %v; the deterministic layers must stay covered", opts.MapOrderDeny)
 	}
 	for _, key := range []string{
+		"fedmp/internal/tensor.microTileFMA",
+		"fedmp/internal/tensor.mergeTile",
+		"fedmp/internal/tensor.fmaf32",
+		"fedmp/internal/prune.SymmetricScale",
+		"fedmp/internal/prune.QuantizeElem",
 		"fedmp/internal/transport/codec.putF32s",
 		"fedmp/internal/transport/codec.getF32s",
 		"fedmp/internal/transport/codec.nonzeroCount",
+		"fedmp/internal/transport/codec.quantNonzeroCount",
 	} {
 		found := false
 		for _, k := range opts.RequiredAllocFree {

@@ -18,7 +18,61 @@ type Quantized struct {
 	data   [][]int8
 }
 
-// QuantizeResiduals quantizes a residual model to int8.
+// nonFiniteMask is the float32 exponent field: all ones marks NaN and ±Inf.
+const nonFiniteMask = 0x7f800000
+
+// SymmetricScale returns the symmetric int8 quantization scale for vals —
+// the largest finite magnitude divided by 127 — and whether every element
+// is finite. Non-finite elements (NaN, ±Inf) are excluded from the scale so
+// a single stray Inf cannot blow the scale up to Inf and silently zero the
+// whole tensor; callers that need lossless treatment (the wire codec) use
+// the finite flag to refuse quantization outright.
+//
+//fedmp:allocfree
+func SymmetricScale(vals []float32) (scale float32, finite bool) {
+	finite = true
+	var maxAbs float32
+	for _, v := range vals {
+		if math.Float32bits(v)&nonFiniteMask == nonFiniteMask {
+			finite = false
+			continue
+		}
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return maxAbs / 127, finite
+}
+
+// QuantizeElem quantizes one value against the inverse scale: round(v/scale)
+// clamped to [-127, 127]. The clamp also pins down the non-finite inputs a
+// hardened caller may feed through: ±Inf saturates to ±127 and NaN maps to
+// zero, so the conversion to int8 is never fed an out-of-range float (whose
+// result Go leaves implementation-defined). inv is float64 so it cannot
+// overflow even for subnormal scales.
+//
+//fedmp:allocfree
+func QuantizeElem(v float32, inv float64) int8 {
+	r := math.Round(float64(v) * inv)
+	switch {
+	case math.IsNaN(r):
+		return 0
+	case r > 127:
+		return 127
+	case r < -127:
+		return -127
+	}
+	return int8(r)
+}
+
+// QuantizeResiduals quantizes a residual model to int8. Non-finite elements
+// are tolerated, not propagated: the scale comes from the finite magnitudes
+// only, infinities saturate to ±127 and NaNs quantize to zero (an all-zero
+// or all-non-finite tensor gets scale 0 and zero codes).
 func QuantizeResiduals(ws []*tensor.Tensor) *Quantized {
 	q := &Quantized{
 		shapes: make([][]int, len(ws)),
@@ -27,19 +81,13 @@ func QuantizeResiduals(ws []*tensor.Tensor) *Quantized {
 	}
 	for i, w := range ws {
 		q.shapes[i] = append([]int(nil), w.Shape...)
-		scale := w.MaxAbs() / 127
+		scale, _ := SymmetricScale(w.Data)
 		q.scales[i] = scale
 		d := make([]int8, len(w.Data))
 		if scale > 0 {
-			inv := 1 / scale
+			inv := 1 / float64(scale)
 			for j, v := range w.Data {
-				r := math.Round(float64(v * inv))
-				if r > 127 {
-					r = 127
-				} else if r < -127 {
-					r = -127
-				}
-				d[j] = int8(r)
+				d[j] = QuantizeElem(v, inv)
 			}
 		}
 		q.data[i] = d

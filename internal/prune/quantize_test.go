@@ -1,6 +1,7 @@
 package prune
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -70,6 +71,71 @@ func TestQuantizeErrorBoundProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestQuantizeNonFinite pins the hardened behavior on special values: the
+// scale ignores NaN/Inf instead of becoming NaN/Inf itself, infinities
+// saturate to the clamp, NaNs and negative zero quantize to zero, and an
+// all-zero tensor keeps scale 0 without dividing by it.
+func TestQuantizeNonFinite(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	negZero := float32(math.Copysign(0, -1))
+	w := tensor.New(6)
+	copy(w.Data, []float32{nan, inf, -inf, negZero, 0.5, -1})
+
+	q := QuantizeResiduals([]*tensor.Tensor{w})
+	if got := q.scales[0]; math.IsNaN(float64(got)) || math.IsInf(float64(got), 0) {
+		t.Fatalf("scale = %v, want finite (computed from finite elements only)", got)
+	}
+	wantScale := float32(1) / 127 // largest finite magnitude is 1
+	if d := q.scales[0] - wantScale; d > 1e-9 || d < -1e-9 {
+		t.Errorf("scale = %v, want %v", q.scales[0], wantScale)
+	}
+	wantCodes := []int8{0, 127, -127, 0, 64, -127}
+	for i, want := range wantCodes {
+		if got := q.data[0][i]; got != want {
+			t.Errorf("code[%d] = %d, want %d", i, got, want)
+		}
+	}
+	rec := q.Dequantize()[0]
+	for i, v := range rec.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Errorf("dequantized[%d] = %v, want finite", i, v)
+		}
+	}
+
+	// All-zero and all-non-finite tensors: scale 0, zero codes, zero output.
+	for name, data := range map[string][]float32{
+		"all-zero":       {0, 0, negZero},
+		"all-non-finite": {nan, inf, -inf},
+	} {
+		w := tensor.New(len(data))
+		copy(w.Data, data)
+		q := QuantizeResiduals([]*tensor.Tensor{w})
+		if q.scales[0] != 0 {
+			t.Errorf("%s: scale = %v, want 0", name, q.scales[0])
+		}
+		for i, v := range q.Dequantize()[0].Data {
+			if math.Float32bits(v) != 0 {
+				t.Errorf("%s: dequantized[%d] = %v, want +0", name, i, v)
+			}
+		}
+	}
+}
+
+// TestSymmetricScale pins the scale/finiteness contract the codec's
+// quantizable predicate depends on.
+func TestSymmetricScale(t *testing.T) {
+	if s, fin := SymmetricScale([]float32{1, -2.54, 0}); !fin || s != float32(2.54)/127 {
+		t.Errorf("SymmetricScale = %v, %v; want %v, true", s, fin, float32(2.54)/127)
+	}
+	if s, fin := SymmetricScale([]float32{1, float32(math.NaN())}); fin || s != float32(1)/127 {
+		t.Errorf("SymmetricScale with NaN = %v, %v; want %v, false", s, fin, float32(1)/127)
+	}
+	if s, fin := SymmetricScale(nil); !fin || s != 0 {
+		t.Errorf("SymmetricScale(nil) = %v, %v; want 0, true", s, fin)
 	}
 }
 

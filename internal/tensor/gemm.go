@@ -8,18 +8,21 @@ import (
 // This file is the matrix-multiplication engine behind MatMul, MatMulTA,
 // MatMulTB and MatVec. All four variants funnel into one cache-blocked GEMM
 // (gemm below) that packs panels of A and B into contiguous tile buffers and
-// runs a register-blocked 4×8 micro-kernel over them, so the transposed
-// variants pay no stride penalty: transposition is absorbed by the packing
-// routines.
+// runs a register-blocked micro-kernel over them, so the transposed variants
+// pay no stride penalty: transposition is absorbed by the packing routines.
 //
-// Blocking parameters (see DESIGN.md, "Kernel layer"):
+// The micro-kernel and its blocking geometry come from the tier registry in
+// kernel.go (selected by a CPUID probe at start-up, FEDMP_KERNEL overrides):
 //
-//	mr×nr = 4×8   micro-tile held in SIMD registers while streaming the K
-//	              dimension (SSE assembly on amd64, portable Go elsewhere and
-//	              on partial edge tiles)
-//	kc    = 256   depth of a packed panel pair (A micro-panel mr·kc ≈ 4 KiB, L1)
-//	mc    = 128   rows of A packed per panel (mc·kc ≈ 128 KiB, L2)
-//	nc    = 512   columns of B packed per panel (kc·nc ≈ 512 KiB, outer level)
+//	mr×nr         micro-tile held in SIMD registers while streaming the K
+//	              dimension — 4×8 for the SSE/generic tiers, 6×16 for the
+//	              AVX2+FMA tier; edge tiles are staged through the same
+//	              kernel into a scratch tile
+//	kc    = 256   depth of a packed panel pair, shared by every tier (the K
+//	              chunking decides rounding boundaries, so it must not vary
+//	              per kernel — see kernel.go)
+//	mc            rows of A packed per panel (mc·kc ≈ 120–128 KiB, L2)
+//	nc            columns of B packed per panel (kc·nc ≈ 512 KiB, outer level)
 //
 // Products below smallGEMMFLOPs skip packing entirely and run direct loops —
 // for tiny operands the pack traffic costs more than it saves. Products at or
@@ -35,6 +38,9 @@ import (
 // panels of the operands are still unread.
 
 const (
+	// Geometry of the generic (portable Go) tier; the assembly tiers carry
+	// their own mr/nr/mc/nc in the kernel registry. kcGEMM is shared by
+	// every tier — see kernel.go for why it must not vary.
 	mrGEMM = 4
 	nrGEMM = 8
 	kcGEMM = 256
@@ -157,13 +163,16 @@ func gemm(c, a, b []float32, aT, bT bool, m, k, n int, accumulate bool) {
 		gemmDirect(c, a, b, aT, bT, m, k, n, accumulate)
 		return
 	}
+	// Snapshot the active kernel once: a concurrent ForceKernel (tests only)
+	// must not switch geometry between the shards of one call.
+	kern := activeKernel.Load()
 	if flops >= parallelMinFLOPs && m >= 2*parallelMinRows && runtime.GOMAXPROCS(0) > 1 {
 		gemmParallel.run(m, func(lo, hi int) {
-			gemmBlocked(c, a, b, aT, bT, m, k, n, lo, hi, accumulate)
+			gemmBlocked(kern, c, a, b, aT, bT, m, k, n, lo, hi, accumulate)
 		})
 		return
 	}
-	gemmBlocked(c, a, b, aT, bT, m, k, n, 0, m, accumulate)
+	gemmBlocked(kern, c, a, b, aT, bT, m, k, n, 0, m, accumulate)
 }
 
 // gemmBlocked runs the packed blocked kernel over C rows [rlo, rhi). Shards
@@ -172,36 +181,56 @@ func gemm(c, a, b []float32, aT, bT bool, m, k, n int, accumulate bool) {
 // mutable state.
 //
 //fedmp:allocfree
-func gemmBlocked(c, a, b []float32, aT, bT bool, m, k, n, rlo, rhi int, accumulate bool) {
-	nc := ncGEMM
+func gemmBlocked(kern *gemmKernel, c, a, b []float32, aT, bT bool, m, k, n, rlo, rhi int, accumulate bool) {
+	mr, nr := kern.mr, kern.nr
+	nc := kern.nc
 	if nc > n {
-		nc = roundUp(n, nrGEMM)
+		nc = roundUp(n, nr)
 	}
 	bbuf := Scratch.Get(kcGEMM * nc)
-	abuf := Scratch.Get(mcGEMM * kcGEMM)
+	abuf := Scratch.Get(kern.mc * kcGEMM)
 	defer Scratch.Put(abuf)
 	defer Scratch.Put(bbuf)
+	// Edge tiles are computed full-size (panels are zero-padded) into a
+	// pooled scratch tile and merged; it needs no clearing because the
+	// kernel overwrites the mr·nr region it uses before mergeTile reads it.
+	// (Pooled rather than a stack array: its address crosses the indirect
+	// kern.asm call, which would force a heap allocation per GEMM call.)
+	var edge []float32
+	if kern.asm != nil {
+		ebuf := Scratch.Get(mrMax * nrMax)
+		defer Scratch.Put(ebuf)
+		edge = ebuf.Data
+	}
 
 	for jc := 0; jc < n; jc += nc {
 		nb := min(nc, n-jc)
 		for pc := 0; pc < k; pc += kcGEMM {
 			kb := min(kcGEMM, k-pc)
-			packB(bbuf.Data, b, bT, k, n, pc, kb, jc, nb)
+			packB(bbuf.Data, b, bT, k, n, pc, kb, jc, nb, nr)
 			acc := accumulate || pc > 0
-			for ic := rlo; ic < rhi; ic += mcGEMM {
-				mb := min(mcGEMM, rhi-ic)
-				packA(abuf.Data, a, aT, m, k, ic, mb, pc, kb)
-				for jr := 0; jr < nb; jr += nrGEMM {
-					bp := bbuf.Data[(jr/nrGEMM)*kb*nrGEMM:]
-					jn := min(nrGEMM, nb-jr)
-					for ir := 0; ir < mb; ir += mrGEMM {
-						ap := abuf.Data[(ir/mrGEMM)*kb*mrGEMM:]
-						im := min(mrGEMM, mb-ir)
+			for ic := rlo; ic < rhi; ic += kern.mc {
+				mb := min(kern.mc, rhi-ic)
+				packA(abuf.Data, a, aT, m, k, ic, mb, pc, kb, mr)
+				for jr := 0; jr < nb; jr += nr {
+					bp := bbuf.Data[(jr/nr)*kb*nr:]
+					jn := min(nr, nb-jr)
+					for ir := 0; ir < mb; ir += mr {
+						ap := abuf.Data[(ir/mr)*kb*mr:]
+						im := min(mr, mb-ir)
 						cc := c[(ic+ir)*n+jc+jr:]
-						if useAsmKernel && im == mrGEMM && jn == nrGEMM {
-							gemmKernel4x8(&cc[0], uintptr(n*4), &ap[0], &bp[0], uint64(kb), boolToUint64(acc))
-						} else {
-							microTileGo(cc, n, ap, bp, kb, acc, im, jn)
+						switch {
+						case kern.asm == nil:
+							if kern.fused {
+								microTileFMA(cc, n, ap, bp, kb, acc, im, jn)
+							} else {
+								microTileGo(cc, n, ap, bp, kb, acc, im, jn)
+							}
+						case im == mr && jn == nr:
+							kern.asm(&cc[0], uintptr(n*4), &ap[0], &bp[0], uint64(kb), boolToUint64(acc))
+						default:
+							kern.asm(&edge[0], uintptr(nr*4), &ap[0], &bp[0], uint64(kb), 0)
+							mergeTile(cc, n, edge, nr, im, jn, acc)
 						}
 					}
 				}
@@ -211,37 +240,38 @@ func gemmBlocked(c, a, b []float32, aT, bT bool, m, k, n, rlo, rhi int, accumula
 }
 
 // packA copies the logical block A[rlo:rlo+mb, p0:p0+kb] into dst as
-// micro-panels of mr rows: panel t holds, for each p, the mr values of rows
-// rlo+t·mr .. rlo+t·mr+mr−1 at column p, zero-padded when mb is not a
-// multiple of mr. The micro-kernel then streams each panel sequentially.
+// micro-panels of mr rows (the active kernel's tile height): panel t holds,
+// for each p, the mr values of rows rlo+t·mr .. rlo+t·mr+mr−1 at column p,
+// zero-padded when mb is not a multiple of mr. The micro-kernel then streams
+// each panel sequentially.
 //
 //fedmp:allocfree
-func packA(dst, a []float32, aT bool, m, k, rlo, mb, p0, kb int) {
-	for t := 0; t*mrGEMM < mb; t++ {
-		panel := dst[t*kb*mrGEMM : (t+1)*kb*mrGEMM]
-		rows := min(mrGEMM, mb-t*mrGEMM)
-		base := rlo + t*mrGEMM
+func packA(dst, a []float32, aT bool, m, k, rlo, mb, p0, kb, mr int) {
+	for t := 0; t*mr < mb; t++ {
+		panel := dst[t*kb*mr : (t+1)*kb*mr]
+		rows := min(mr, mb-t*mr)
+		base := rlo + t*mr
 		if aT {
 			// A stored [k,m]: column p of the block is contiguous.
 			for p := 0; p < kb; p++ {
 				src := a[(p0+p)*m+base : (p0+p)*m+base+rows]
-				d := panel[p*mrGEMM : p*mrGEMM+mrGEMM]
+				d := panel[p*mr : p*mr+mr]
 				copy(d, src)
-				for r := rows; r < mrGEMM; r++ {
+				for r := rows; r < mr; r++ {
 					d[r] = 0
 				}
 			}
 		} else {
-			for r := 0; r < mrGEMM; r++ {
+			for r := 0; r < mr; r++ {
 				if r >= rows {
 					for p := 0; p < kb; p++ {
-						panel[p*mrGEMM+r] = 0
+						panel[p*mr+r] = 0
 					}
 					continue
 				}
 				src := a[(base+r)*k+p0 : (base+r)*k+p0+kb]
 				for p, v := range src {
-					panel[p*mrGEMM+r] = v
+					panel[p*mr+r] = v
 				}
 			}
 		}
@@ -249,35 +279,36 @@ func packA(dst, a []float32, aT bool, m, k, rlo, mb, p0, kb int) {
 }
 
 // packB copies the logical block B[p0:p0+kb, jlo:jlo+nb] into dst as
-// micro-panels of nr columns: panel u holds, for each p, the nr values of
-// columns jlo+u·nr .. jlo+u·nr+nr−1 at row p, zero-padded on the right edge.
+// micro-panels of nr columns (the active kernel's tile width): panel u
+// holds, for each p, the nr values of columns jlo+u·nr .. jlo+u·nr+nr−1 at
+// row p, zero-padded on the right edge.
 //
 //fedmp:allocfree
-func packB(dst, b []float32, bT bool, k, n, p0, kb, jlo, nb int) {
-	for u := 0; u*nrGEMM < nb; u++ {
-		panel := dst[u*kb*nrGEMM : (u+1)*kb*nrGEMM]
-		cols := min(nrGEMM, nb-u*nrGEMM)
-		base := jlo + u*nrGEMM
+func packB(dst, b []float32, bT bool, k, n, p0, kb, jlo, nb, nr int) {
+	for u := 0; u*nr < nb; u++ {
+		panel := dst[u*kb*nr : (u+1)*kb*nr]
+		cols := min(nr, nb-u*nr)
+		base := jlo + u*nr
 		if bT {
 			// B stored [n,k]: row j of storage is logical column j.
-			for j := 0; j < nrGEMM; j++ {
+			for j := 0; j < nr; j++ {
 				if j >= cols {
 					for p := 0; p < kb; p++ {
-						panel[p*nrGEMM+j] = 0
+						panel[p*nr+j] = 0
 					}
 					continue
 				}
 				src := b[(base+j)*k+p0 : (base+j)*k+p0+kb]
 				for p, v := range src {
-					panel[p*nrGEMM+j] = v
+					panel[p*nr+j] = v
 				}
 			}
 		} else {
 			for p := 0; p < kb; p++ {
 				src := b[(p0+p)*n+base : (p0+p)*n+base+cols]
-				d := panel[p*nrGEMM : p*nrGEMM+nrGEMM]
+				d := panel[p*nr : p*nr+nr]
 				copy(d, src)
-				for j := cols; j < nrGEMM; j++ {
+				for j := cols; j < nr; j++ {
 					d[j] = 0
 				}
 			}
@@ -286,10 +317,11 @@ func packB(dst, b []float32, bT bool, k, n, p0, kb, jlo, nb int) {
 }
 
 // microTileGo accumulates an mb×nb (≤ 4×8) tile of C from packed panels ap
-// (mr·kb) and bp (nr·kb). It is the portable micro-kernel: architectures
-// without the assembly kernel run every tile through it, and amd64 uses it
-// for partial edge tiles only. Panels are zero-padded, so the full 4×8 tile
-// is always computed and the invalid fringe merely discarded on write-back.
+// (mr·kb) and bp (nr·kb). It is the portable micro-kernel of the generic
+// tier on machines without FMA (fused machines use microTileFMA so results
+// match the hardware kernels bit-for-bit). Panels are zero-padded, so the
+// full 4×8 tile is always computed and the invalid fringe merely discarded
+// on write-back.
 //
 //fedmp:allocfree
 func microTileGo(c []float32, ldc int, ap, bp []float32, kb int, acc bool, mb, nb int) {

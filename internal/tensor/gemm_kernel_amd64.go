@@ -2,9 +2,24 @@
 
 package tensor
 
-// useAsmKernel selects the SSE micro-kernel for full 4×8 tiles. amd64's
-// floating-point baseline is SSE2, so no runtime feature detection is needed.
-const useAsmKernel = true
+// amd64 micro-kernel tiers. The non-fused machines (no AVX2/FMA, or an OS
+// that does not save YMM state) get the original SSE 4×8 kernel; fused
+// machines get a 4×8 XMM-FMA variant under the same "sse" tier name plus the
+// wide 6×16 AVX2+FMA tier. Both groups are internally bit-identical across
+// their tiers (see kernel.go).
+func archKernels() []*gemmKernel {
+	sse := &gemmKernel{name: "sse", mr: 4, nr: 8, mc: 128, nc: 512, asm: gemmKernel4x8}
+	if !cpuFused {
+		return []*gemmKernel{sse}
+	}
+	sse.asm = gemmKernel4x8fma
+	sse.fused = true
+	// mc is a multiple of mr (the packed A panel must fit mc·kc exactly);
+	// 120·256·4 B ≈ 120 KiB keeps the A panel L2-resident like the 4×8
+	// tier's 128. nc stays 512 (a multiple of 16).
+	avx2 := &gemmKernel{name: "avx2", mr: 6, nr: 16, mc: 120, nc: 512, asm: gemmKernel6x16fma, fused: true}
+	return []*gemmKernel{sse, avx2}
+}
 
 // gemmKernel4x8 computes the full 4×8 micro-tile update
 //
@@ -15,7 +30,23 @@ const useAsmKernel = true
 // stride in bytes. acc selects accumulate (1) or overwrite (0).
 //
 // The 32 partial sums live in SSE registers X0–X7 for the whole K loop;
-// see gemm_kernel_amd64.s.
+// see gemm_kernel_amd64.s. Multiply-then-add semantics (non-fused machines).
 //
 //go:noescape
 func gemmKernel4x8(c *float32, ldcBytes uintptr, ap, bp *float32, kb, acc uint64)
+
+// gemmKernel4x8fma is gemmKernel4x8 with VFMADD231PS accumulation: the same
+// tile geometry, but each step rounds once. It backs the "sse" tier on fused
+// machines so forcing that tier still matches the avx2 tier bit-for-bit.
+//
+//go:noescape
+func gemmKernel4x8fma(c *float32, ldcBytes uintptr, ap, bp *float32, kb, acc uint64)
+
+// gemmKernel6x16fma computes the full 6×16 micro-tile update with AVX2+FMA:
+// ap holds kb groups of 6 A values, bp holds kb groups of 16 B values. The
+// 96 partial sums live in YMM4–YMM15 for the whole K loop; each step is one
+// 16-wide B load pair, six broadcasts and twelve VFMADD231PS, which keeps
+// the FMA ports saturated (12 FMAs per 8 load-port uops).
+//
+//go:noescape
+func gemmKernel6x16fma(c *float32, ldcBytes uintptr, ap, bp *float32, kb, acc uint64)

@@ -1,5 +1,10 @@
-// SSE 4x8 SGEMM micro-kernel. See gemm_kernel_amd64.go for the contract and
-// gemm.go for the packing layout it consumes.
+// amd64 SGEMM micro-kernels. See gemm_kernel_amd64.go for the contracts and
+// gemm.go for the packing layout they consume. Three routines share the
+// argument frame and loop shape:
+//
+//	gemmKernel4x8     SSE multiply-then-add (non-FMA machines)
+//	gemmKernel4x8fma  same 4x8 tile, VFMADD231PS accumulation
+//	gemmKernel6x16fma AVX2 6x16 tile, VFMADD231PS accumulation
 //
 // Register plan:
 //
@@ -105,4 +110,198 @@ store:
 	MOVUPS X5, 16(R9)
 	MOVUPS X6, (R9)(R8*1)
 	MOVUPS X7, 16(R9)(R8*1)
+	RET
+
+// func gemmKernel4x8fma(c *float32, ldcBytes uintptr, ap, bp *float32, kb, acc uint64)
+//
+// Register plan as gemmKernel4x8 (X0..X7 hold the tile), but each step is a
+// VBROADCASTSS plus two fused multiply-adds: one rounding per accumulation,
+// matching fmaf32 and the 6x16 kernel bit-for-bit. VEX.128 encodings zero
+// the upper YMM lanes, so no VZEROUPPER is needed.
+TEXT ·gemmKernel4x8fma(SB), NOSPLIT, $0-48
+	MOVQ c+0(FP), DX
+	MOVQ ldcBytes+8(FP), R8
+	MOVQ ap+16(FP), SI
+	MOVQ bp+24(FP), DI
+	MOVQ kb+32(FP), CX
+	MOVQ acc+40(FP), AX
+
+	VXORPS X0, X0, X0
+	VXORPS X1, X1, X1
+	VXORPS X2, X2, X2
+	VXORPS X3, X3, X3
+	VXORPS X4, X4, X4
+	VXORPS X5, X5, X5
+	VXORPS X6, X6, X6
+	VXORPS X7, X7, X7
+
+fmaloop:
+	VMOVUPS (DI), X8
+	VMOVUPS 16(DI), X9
+
+	VBROADCASTSS (SI), X10
+	VFMADD231PS  X8, X10, X0
+	VFMADD231PS  X9, X10, X1
+
+	VBROADCASTSS 4(SI), X11
+	VFMADD231PS  X8, X11, X2
+	VFMADD231PS  X9, X11, X3
+
+	VBROADCASTSS 8(SI), X10
+	VFMADD231PS  X8, X10, X4
+	VFMADD231PS  X9, X10, X5
+
+	VBROADCASTSS 12(SI), X11
+	VFMADD231PS  X8, X11, X6
+	VFMADD231PS  X9, X11, X7
+
+	ADDQ $16, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  fmaloop
+
+	LEAQ  (DX)(R8*2), R9
+	TESTQ AX, AX
+	JZ    fmastore
+
+	VMOVUPS (DX), X8
+	VADDPS  X8, X0, X0
+	VMOVUPS 16(DX), X8
+	VADDPS  X8, X1, X1
+	VMOVUPS (DX)(R8*1), X8
+	VADDPS  X8, X2, X2
+	VMOVUPS 16(DX)(R8*1), X8
+	VADDPS  X8, X3, X3
+	VMOVUPS (R9), X8
+	VADDPS  X8, X4, X4
+	VMOVUPS 16(R9), X8
+	VADDPS  X8, X5, X5
+	VMOVUPS (R9)(R8*1), X8
+	VADDPS  X8, X6, X6
+	VMOVUPS 16(R9)(R8*1), X8
+	VADDPS  X8, X7, X7
+
+fmastore:
+	VMOVUPS X0, (DX)
+	VMOVUPS X1, 16(DX)
+	VMOVUPS X2, (DX)(R8*1)
+	VMOVUPS X3, 16(DX)(R8*1)
+	VMOVUPS X4, (R9)
+	VMOVUPS X5, 16(R9)
+	VMOVUPS X6, (R9)(R8*1)
+	VMOVUPS X7, 16(R9)(R8*1)
+	RET
+
+// func gemmKernel6x16fma(c *float32, ldcBytes uintptr, ap, bp *float32, kb, acc uint64)
+//
+// Register plan:
+//
+//	SI  ap   packed A panel: kb groups of 6 floats (one per C row)
+//	DI  bp   packed B panel: kb groups of 16 floats (one per C column)
+//	DX  c    top-left of the 6x16 C tile
+//	R8  ldc  C row stride in bytes
+//	CX  kb   shared K depth
+//	AX  acc  1 = accumulate into C, 0 = overwrite
+//
+//	Y4..Y15  the 6x16 tile: row r is Y(4+2r) (cols 0-7), Y(5+2r) (cols 8-15)
+//	Y0,Y1    current 16 B values
+//	Y2,Y3    broadcast A values (alternating, to break dependency chains)
+TEXT ·gemmKernel6x16fma(SB), NOSPLIT, $0-48
+	MOVQ c+0(FP), DX
+	MOVQ ldcBytes+8(FP), R8
+	MOVQ ap+16(FP), SI
+	MOVQ bp+24(FP), DI
+	MOVQ kb+32(FP), CX
+	MOVQ acc+40(FP), AX
+
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+	VXORPS Y12, Y12, Y12
+	VXORPS Y13, Y13, Y13
+	VXORPS Y14, Y14, Y14
+	VXORPS Y15, Y15, Y15
+
+wideloop:
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+
+	VBROADCASTSS (SI), Y2
+	VFMADD231PS  Y0, Y2, Y4
+	VFMADD231PS  Y1, Y2, Y5
+
+	VBROADCASTSS 4(SI), Y3
+	VFMADD231PS  Y0, Y3, Y6
+	VFMADD231PS  Y1, Y3, Y7
+
+	VBROADCASTSS 8(SI), Y2
+	VFMADD231PS  Y0, Y2, Y8
+	VFMADD231PS  Y1, Y2, Y9
+
+	VBROADCASTSS 12(SI), Y3
+	VFMADD231PS  Y0, Y3, Y10
+	VFMADD231PS  Y1, Y3, Y11
+
+	VBROADCASTSS 16(SI), Y2
+	VFMADD231PS  Y0, Y2, Y12
+	VFMADD231PS  Y1, Y2, Y13
+
+	VBROADCASTSS 20(SI), Y3
+	VFMADD231PS  Y0, Y3, Y14
+	VFMADD231PS  Y1, Y3, Y15
+
+	ADDQ $24, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  wideloop
+
+	LEAQ  (DX)(R8*2), R9
+	LEAQ  (R9)(R8*2), R10
+	TESTQ AX, AX
+	JZ    widestore
+
+	VMOVUPS (DX), Y0
+	VADDPS  Y0, Y4, Y4
+	VMOVUPS 32(DX), Y1
+	VADDPS  Y1, Y5, Y5
+	VMOVUPS (DX)(R8*1), Y2
+	VADDPS  Y2, Y6, Y6
+	VMOVUPS 32(DX)(R8*1), Y3
+	VADDPS  Y3, Y7, Y7
+	VMOVUPS (R9), Y0
+	VADDPS  Y0, Y8, Y8
+	VMOVUPS 32(R9), Y1
+	VADDPS  Y1, Y9, Y9
+	VMOVUPS (R9)(R8*1), Y2
+	VADDPS  Y2, Y10, Y10
+	VMOVUPS 32(R9)(R8*1), Y3
+	VADDPS  Y3, Y11, Y11
+	VMOVUPS (R10), Y0
+	VADDPS  Y0, Y12, Y12
+	VMOVUPS 32(R10), Y1
+	VADDPS  Y1, Y13, Y13
+	VMOVUPS (R10)(R8*1), Y2
+	VADDPS  Y2, Y14, Y14
+	VMOVUPS 32(R10)(R8*1), Y3
+	VADDPS  Y3, Y15, Y15
+
+widestore:
+	VMOVUPS Y4, (DX)
+	VMOVUPS Y5, 32(DX)
+	VMOVUPS Y6, (DX)(R8*1)
+	VMOVUPS Y7, 32(DX)(R8*1)
+	VMOVUPS Y8, (R9)
+	VMOVUPS Y9, 32(R9)
+	VMOVUPS Y10, (R9)(R8*1)
+	VMOVUPS Y11, 32(R9)(R8*1)
+	VMOVUPS Y12, (R10)
+	VMOVUPS Y13, 32(R10)
+	VMOVUPS Y14, (R10)(R8*1)
+	VMOVUPS Y15, 32(R10)(R8*1)
+	VZEROUPPER
 	RET

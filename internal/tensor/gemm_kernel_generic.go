@@ -2,12 +2,10 @@
 
 package tensor
 
-// useAsmKernel is false on architectures without an assembly micro-kernel;
-// every tile then runs through the portable microTileGo path.
-const useAsmKernel = false
+// cpuFused is false off amd64: the only tier is the portable Go micro-tile
+// with multiply-then-add semantics, so there is nothing to match fused
+// results against.
+const cpuFused = false
 
-// gemmKernel4x8 is unreachable when useAsmKernel is false; the stub keeps the
-// package compiling on non-amd64 targets.
-func gemmKernel4x8(c *float32, ldcBytes uintptr, ap, bp *float32, kb, acc uint64) {
-	panic("tensor: gemmKernel4x8 is amd64-only")
-}
+// archKernels reports no assembly tiers; kernel.go registers only "generic".
+func archKernels() []*gemmKernel { return nil }

@@ -26,7 +26,7 @@ func TestGEMMParallelMatchesSerial(t *testing.T) {
 		b := RandN(rng, k, n)
 		got := RandN(rng, m, n)
 		want := got.Clone()
-		gemmBlocked(want.Data, a.Data, b.Data, false, false, m, k, n, 0, m, accumulate)
+		gemmBlocked(activeKernel.Load(), want.Data, a.Data, b.Data, false, false, m, k, n, 0, m, accumulate)
 		MatMulInto(got, a, b, accumulate)
 		if d := maxAbsDiff(got.Data, want.Data); d > 1e-4 {
 			t.Errorf("accumulate=%v: parallel vs serial max |diff| %g", accumulate, d)
@@ -51,7 +51,7 @@ func TestGEMMParallelTransposedVariants(t *testing.T) {
 	gotTA := New(m, n)
 	MatMulTAInto(gotTA, at, b, false)
 	wantTA := New(m, n)
-	gemmBlocked(wantTA.Data, at.Data, b.Data, true, false, m, k, n, 0, m, false)
+	gemmBlocked(activeKernel.Load(), wantTA.Data, at.Data, b.Data, true, false, m, k, n, 0, m, false)
 	if d := maxAbsDiff(gotTA.Data, wantTA.Data); d > 1e-4 {
 		t.Errorf("TA: parallel vs serial max |diff| %g", d)
 	}
@@ -59,7 +59,7 @@ func TestGEMMParallelTransposedVariants(t *testing.T) {
 	gotTB := New(m, n)
 	MatMulTBInto(gotTB, a, bt, false)
 	wantTB := New(m, n)
-	gemmBlocked(wantTB.Data, a.Data, bt.Data, false, true, m, k, n, 0, m, false)
+	gemmBlocked(activeKernel.Load(), wantTB.Data, a.Data, bt.Data, false, true, m, k, n, 0, m, false)
 	if d := maxAbsDiff(gotTB.Data, wantTB.Data); d > 1e-4 {
 		t.Errorf("TB: parallel vs serial max |diff| %g", d)
 	}

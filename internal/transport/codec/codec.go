@@ -15,11 +15,19 @@
 // simulation can price communication with the exact same size model the TCP
 // runtime measures (FrameBytes is byte-exact against WriteFrame).
 //
+// Version 2 adds two lossy int8 tensor modes (§III-C's "fewer bits per
+// parameter", pushed onto the wire): a quantized slab — one float32 scale
+// plus one signed byte per element — and its sparse composition with the
+// presence bitmask. They are opt-in per envelope (Envelope.Quantize) and
+// chosen per tensor only when strictly byte-cheaper than the best float32
+// mode; durability snapshots never use them, so checkpoints stay lossless.
+// Version-1 frames still decode.
+//
 // Frame layout (all multi-byte integers little-endian):
 //
 //	offset size field
 //	0      2    magic "FM"
-//	2      1    format version (1)
+//	2      1    format version (1 or 2)
 //	3      1    message kind
 //	4      4    payload length N
 //	8      N    payload (kind-specific, see encode.go)
@@ -63,7 +71,13 @@ const (
 // Frame geometry and decode limits.
 const (
 	magic0, magic1 = 'F', 'M'
-	version        = 1
+
+	// version is what the encoder stamps on every frame; minVersion is the
+	// oldest frame format the decoder still accepts. Version 1 lacks the
+	// int8 tensor modes and the Assign.Quantize field — a v1 assign payload
+	// simply ends after Ratio, and decode leaves Quantize false.
+	version    = 2
+	minVersion = 1
 
 	// HeaderLen is the fixed frame-header size in bytes.
 	HeaderLen = 8
@@ -97,6 +111,14 @@ type Envelope struct {
 	Result   *Result
 	Shutdown *Shutdown
 	Snapshot *Snapshot
+
+	// Quantize is an encoder directive, not a wire field: when set, assign
+	// and result tensors may ship in the lossy int8 modes wherever that is
+	// strictly byte-cheaper (FrameBytes prices the same choice, so the size
+	// model stays byte-exact). It has no effect on durability payloads —
+	// snapshots always round-trip bit-exactly — and decoding never sets it;
+	// the on-the-wire instruction to a worker is Assign.Quantize.
+	Quantize bool
 }
 
 // Hello introduces a worker to the server.
@@ -121,6 +143,10 @@ type Assign struct {
 	ProxMu  float32
 	UploadK float64
 	Ratio   float64
+	// Quantize tells the worker to quantize its result tensors on the wire
+	// (and to absorb the quantization error locally, e.g. into the FlexCom
+	// leftover). New in format version 2; decodes as false from v1 frames.
+	Quantize bool
 }
 
 // Result is a worker's round result. At most one of Delta and Update is

@@ -2,12 +2,14 @@ package codec
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"fedmp/internal/bandit"
+	"fedmp/internal/prune"
 	"fedmp/internal/tensor"
 	"fedmp/internal/zoo"
 )
@@ -372,6 +374,294 @@ func TestEncodeErrors(t *testing.T) {
 		if _, err := FrameBytes(e); err == nil {
 			t.Errorf("envelope %d sized without error", i)
 		}
+	}
+}
+
+// expectedQuantized returns the values a tensor should decode to after an
+// Envelope.Quantize encode: the int8 round trip when the planner picked a
+// quantized mode, the original bits otherwise.
+func expectedQuantized(t *tensor.Tensor) []float32 {
+	p := planTensor(t.Data, len(t.Data), true)
+	out := make([]float32, len(t.Data))
+	if p.mode != modeQuant8 && p.mode != modeQuantSparse8 {
+		copy(out, t.Data)
+		return out
+	}
+	inv := 1 / float64(p.scale)
+	for i, v := range t.Data {
+		out[i] = float32(prune.QuantizeElem(v, inv)) * p.scale
+	}
+	return out
+}
+
+// TestQuantizedRoundTrip pins the lossy contract: with Envelope.Quantize
+// set, every tensor decodes to exactly the int8 reconstruction the shared
+// quantization helpers predict (or to its original bits where quantization
+// was refused or not cheaper), the frame still matches its size model to the
+// byte, and Assign.Quantize survives the wire.
+func TestQuantizedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	finite := func(zeroFrac float64, shape ...int) *tensor.Tensor {
+		t := tensor.New(shape...)
+		for i := range t.Data {
+			if rng.Float64() >= zeroFrac {
+				t.Data[i] = rng.Float32()*2 - 1
+			}
+		}
+		return t
+	}
+	weights := []*tensor.Tensor{
+		finite(0, 32, 16),  // dense: quant-dense should win
+		finite(0.9, 64, 8), // sparse: quant-sparse should win
+		finite(1.0, 33),    // all-zero: not quantizable, stays sparse
+		tensor.New(3),      // tiny all-zero
+		tensor.New(0),      // zero-length
+		{Shape: []int{4}, Data: []float32{1, float32(math.NaN()), 2, -3}}, // non-finite: refused
+	}
+	e := &Envelope{Kind: KindAssign, Quantize: true, Assign: &Assign{
+		Round: 5, Desc: sampleSpec(), Weights: weights,
+		Iters: 2, ProxMu: 0.01, UploadK: 0.1, Ratio: 0.3, Quantize: true,
+	}}
+	var buf bytes.Buffer
+	wrote, err := WriteFrame(&buf, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := FrameBytes(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(wrote) != predicted {
+		t.Fatalf("wrote %d bytes, size model says %d", wrote, predicted)
+	}
+	got, _, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Assign.Quantize {
+		t.Error("Assign.Quantize lost on the wire")
+	}
+	if got.Quantize {
+		t.Error("decode set the encoder-side Envelope.Quantize directive")
+	}
+	sawQuant := false
+	for i, w := range weights {
+		want := expectedQuantized(w)
+		g := got.Assign.Weights[i].Data
+		if len(g) != len(want) {
+			t.Fatalf("tensor %d: %d elements, want %d", i, len(g), len(want))
+		}
+		for j := range want {
+			if math.Float32bits(g[j]) != math.Float32bits(want[j]) {
+				t.Fatalf("tensor %d elem %d: %x, want %x", i, j,
+					math.Float32bits(g[j]), math.Float32bits(want[j]))
+			}
+		}
+		p := planTensor(w.Data, len(w.Data), true)
+		if p.mode == modeQuant8 || p.mode == modeQuantSparse8 {
+			sawQuant = true
+		}
+	}
+	if !sawQuant {
+		t.Error("no tensor picked a quantized mode; test inputs too weak")
+	}
+	// The non-finite and all-zero tensors must have kept full precision.
+	for _, i := range []int{2, 5} {
+		p := planTensor(weights[i].Data, len(weights[i].Data), true)
+		if p.mode == modeQuant8 || p.mode == modeQuantSparse8 {
+			t.Errorf("tensor %d quantized despite being unquantizable", i)
+		}
+	}
+}
+
+// TestQuantizedFramesShrink pins the payoff: a quantized result frame costs
+// roughly a quarter of its float32 encoding, in both the dense and the
+// sparse (FlexCom keep-0.2) regimes.
+func TestQuantizedFramesShrink(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, zeroFrac := range []float64{0, 0.8} {
+		upd := []*tensor.Tensor{tensor.New(64, 64)}
+		for i := range upd[0].Data {
+			if rng.Float64() >= zeroFrac {
+				upd[0].Data[i] = rng.Float32()*2 - 1
+			}
+		}
+		res := &Result{Round: 1, Update: upd}
+		plain, err := FrameBytes(&Envelope{Kind: KindResult, Result: res})
+		if err != nil {
+			t.Fatal(err)
+		}
+		quant, err := FrameBytes(&Envelope{Kind: KindResult, Result: res, Quantize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if quant*10 > plain*4 {
+			t.Errorf("zeroFrac %.1f: quantized frame %d bytes vs %d float32; want < 40%%",
+				zeroFrac, quant, plain)
+		}
+	}
+}
+
+// TestDequantizedMatchesWire pins the simulation's mirror: Dequantized must
+// deliver bit-for-bit the values a real encode/decode round trip of a
+// Quantize-enabled frame produces, alias tensors the plan keeps at full
+// precision, and never touch its inputs.
+func TestDequantizedMatchesWire(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	weights := []*tensor.Tensor{
+		tensor.New(16, 8),
+		tensor.New(128),
+		tensor.New(33), // stays all-zero: unquantizable, must alias
+		tensor.New(0),
+	}
+	for _, w := range weights[:2] {
+		for i := range w.Data {
+			if rng.Float64() >= 0.3 {
+				w.Data[i] = rng.Float32()*2 - 1
+			}
+		}
+	}
+	orig := make([][]float32, len(weights))
+	for i, w := range weights {
+		orig[i] = append([]float32(nil), w.Data...)
+	}
+
+	var buf bytes.Buffer
+	e := &Envelope{Kind: KindResult, Quantize: true, Result: &Result{Round: 1, Update: weights}}
+	if _, err := WriteFrame(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := Dequantized(weights)
+	if !tensorsBitEqual(got.Result.Update, mirror) {
+		t.Error("Dequantized disagrees with the wire round trip")
+	}
+	for i, w := range weights {
+		p := planTensor(w.Data, len(w.Data), true)
+		quantized := p.mode == modeQuant8 || p.mode == modeQuantSparse8
+		if quantized && mirror[i] == w {
+			t.Errorf("tensor %d: quantized mode but Dequantized aliased the input", i)
+		}
+		if !quantized && mirror[i] != w {
+			t.Errorf("tensor %d: full-precision mode but Dequantized copied", i)
+		}
+		for j, v := range orig[i] {
+			if math.Float32bits(w.Data[j]) != math.Float32bits(v) {
+				t.Fatalf("tensor %d elem %d mutated", i, j)
+			}
+		}
+	}
+	if p := planTensor(weights[0].Data, len(weights[0].Data), true); p.mode != modeQuant8 && p.mode != modeQuantSparse8 {
+		t.Error("dense test tensor did not pick a quantized mode; inputs too weak")
+	}
+}
+
+// TestVersion1Compat pins backward compatibility: a version-1 assign frame
+// (no trailing Quantize flag) still decodes, with Quantize false — old WALs
+// and checkpoints stay readable — while a v1 frame carrying v2 bytes or an
+// unknown version is rejected.
+func TestVersion1Compat(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	e := &Envelope{Kind: KindAssign, Assign: &Assign{
+		Round: 3, Weights: []*tensor.Tensor{randTensor(rng, 0.5, 9, 4)},
+		Iters: 2, Ratio: 0.5,
+	}}
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	if frame[2] != version {
+		t.Fatalf("encoder stamped version %d, want %d", frame[2], version)
+	}
+
+	// Rewrite as v1: drop the trailing Quantize byte, fix length and version.
+	v1 := append([]byte(nil), frame[:len(frame)-1]...)
+	v1[2] = 1
+	binary.LittleEndian.PutUint32(v1[4:], uint32(len(v1)-HeaderLen))
+	got, _, err := ReadFrame(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	if got.Assign.Quantize {
+		t.Error("v1 frame decoded with Quantize set")
+	}
+	if !tensorsBitEqual(e.Assign.Weights, got.Assign.Weights) {
+		t.Error("v1 weights round-trip lost bits")
+	}
+
+	// A v1 header on the full v2 payload has a trailing byte: rejected.
+	v1full := append([]byte(nil), frame...)
+	v1full[2] = 1
+	if _, _, err := ReadFrame(bytes.NewReader(v1full)); err == nil {
+		t.Error("v1 frame with v2 payload accepted")
+	}
+	// Versions beyond the encoder's are rejected outright.
+	v3 := append([]byte(nil), frame...)
+	v3[2] = 3
+	if _, _, err := ReadFrame(bytes.NewReader(v3)); err == nil {
+		t.Error("version-3 frame accepted")
+	}
+}
+
+// TestDecoderReuse runs every sample envelope through one Decoder twice, in
+// sequence, comparing each decode against the one-shot path. Shapes, tensor
+// counts and string sets vary frame to frame, so this exercises the recycled
+// object graph's resizing and clearing.
+func TestDecoderReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	samples := sampleEnvelopes(rng)
+	var stream bytes.Buffer
+	for range 2 {
+		for _, e := range samples {
+			if _, err := WriteFrame(&stream, e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d := NewDecoder(&stream)
+	for pass := range 2 {
+		for i, want := range samples {
+			got, _, err := d.ReadFrame()
+			if err != nil {
+				t.Fatalf("pass %d envelope %d: %v", pass, i, err)
+			}
+			envelopesEqual(t, want, got)
+		}
+	}
+	if _, _, err := d.ReadFrame(); err == nil {
+		t.Fatal("decoder read past the stream end")
+	}
+}
+
+// TestDecoderSteadyStateAllocs pins the decode-side allocation fix: once the
+// Decoder has seen a round's assign frame, decoding the next round's (same
+// shapes, same spec — the worker's steady state) allocates nothing.
+func TestDecoderSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	e := &Envelope{Kind: KindAssign, Assign: &Assign{
+		Round: 2, Desc: sampleSpec(),
+		Weights: []*tensor.Tensor{randTensor(rng, 0, 32, 16), randTensor(rng, 0.9, 512)},
+		Iters:   3,
+	}}
+	var frame bytes.Buffer
+	if _, err := WriteFrame(&frame, e); err != nil {
+		t.Fatal(err)
+	}
+	raw := frame.Bytes()
+	rd := bytes.NewReader(raw)
+	d := NewDecoder(rd)
+	avg := testing.AllocsPerRun(50, func() {
+		rd.Reset(raw)
+		if _, _, err := d.ReadFrame(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("Decoder.ReadFrame allocates %.1f objects per frame in steady state, want 0", avg)
 	}
 }
 

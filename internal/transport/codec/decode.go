@@ -15,9 +15,15 @@ import (
 // field is validated against the bytes actually present before anything is
 // allocated, so a corrupt frame yields an error — never a panic, and never
 // an allocation much larger than the frame itself.
+//
+// ver is the frame's format version (version-2 payloads carry fields v1
+// lacks). d, when non-nil, is the owning Decoder: destination objects are
+// recycled from it instead of freshly allocated, and strings are interned.
 type reader struct {
 	buf []byte
 	off int
+	ver byte
+	d   *Decoder
 }
 
 func (r *reader) rem() int { return len(r.buf) - r.off }
@@ -91,12 +97,84 @@ func (r *reader) getString() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if r.d != nil {
+		return r.d.intern(b), nil
+	}
 	return string(b), nil
 }
 
-// decodeTensor reads one tensor in either mode, validating rank, element
-// count and — for sparse payloads — that the mask's set-bit population
-// matches the announced nonzero count exactly.
+// newTensor returns the destination for one decoded tensor: recycled from
+// the Decoder when there is one, fresh otherwise.
+func (r *reader) newTensor() *tensor.Tensor {
+	if r.d != nil {
+		return r.d.nextTensor()
+	}
+	return &tensor.Tensor{}
+}
+
+// resizeInts returns s resliced to length n, reallocating only when its
+// capacity is too small. Contents are unspecified.
+func resizeInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+// resizeF32s is resizeInts for float32 slices. Contents are unspecified —
+// callers either overwrite every element or clear first.
+func resizeF32s(s []float32, n int) []float32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float32, n)
+}
+
+// quantScale reads and validates an int8-mode scale: it must be finite and
+// positive (the encoder never quantizes otherwise), so a hostile scale
+// cannot smuggle NaN/Inf into every reconstructed element.
+func (r *reader) quantScale() (float32, error) {
+	scale, err := r.getF32()
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(float64(scale)) || math.IsInf(float64(scale), 0) || scale <= 0 {
+		return 0, fmt.Errorf("codec: invalid quantization scale %v", scale)
+	}
+	return scale, nil
+}
+
+// sparseCount reads the announced nonzero count of a sparse-mode tensor and
+// validates it against the element count (shared by the float32 and int8
+// sparse modes); the mask's set-bit population is checked against it by the
+// caller's fill loop.
+func (r *reader) sparseCount(n int) (int, error) {
+	nnzU, err := r.getUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if nnzU > uint64(n) {
+		return 0, fmt.Errorf("codec: %d nonzeros in a %d-element tensor", nnzU, n)
+	}
+	return int(nnzU), nil
+}
+
+// takeMask consumes the (n+7)/8-byte presence bitmask and rejects bits set
+// past the last element.
+func (r *reader) takeMask(n int) ([]byte, error) {
+	mask, err := r.take((n + 7) / 8)
+	if err != nil {
+		return nil, err
+	}
+	if n%8 != 0 && len(mask) > 0 && mask[len(mask)-1]>>(n%8) != 0 {
+		return nil, fmt.Errorf("codec: sparse mask has bits set past the last element")
+	}
+	return mask, nil
+}
+
+// decodeTensor reads one tensor in any mode, validating rank, element
+// count, quantization scale and — for sparse payloads — that the mask's
+// set-bit population matches the announced nonzero count exactly.
 func decodeTensor(r *reader) (*tensor.Tensor, error) {
 	rank, err := r.getUvarint()
 	if err != nil {
@@ -105,9 +183,10 @@ func decodeTensor(r *reader) (*tensor.Tensor, error) {
 	if rank > maxRank {
 		return nil, fmt.Errorf("codec: tensor rank %d exceeds %d", rank, maxRank)
 	}
-	dims := make([]int, rank)
+	t := r.newTensor()
+	t.Shape = resizeInts(t.Shape, int(rank))
 	n64 := int64(1) // bounded multiplies: ≤ maxElems² ≪ 2⁶³ even on 32-bit ints
-	for i := range dims {
+	for i := range t.Shape {
 		d, err := r.getUvarint()
 		if err != nil {
 			return nil, err
@@ -115,7 +194,7 @@ func decodeTensor(r *reader) (*tensor.Tensor, error) {
 		if d > maxElems {
 			return nil, fmt.Errorf("codec: dimension %d exceeds %d", d, maxElems)
 		}
-		dims[i] = int(d)
+		t.Shape[i] = int(d)
 		n64 *= int64(d)
 		if n64 > maxElems {
 			return nil, fmt.Errorf("codec: tensor with over %d elements", maxElems)
@@ -132,19 +211,15 @@ func decodeTensor(r *reader) (*tensor.Tensor, error) {
 		if err != nil {
 			return nil, err
 		}
-		t := &tensor.Tensor{Shape: dims, Data: make([]float32, n)}
+		t.Data = resizeF32s(t.Data, n)
 		getF32s(t.Data, b)
 		return t, nil
 	case modeSparse:
-		nnzU, err := r.getUvarint()
+		nnz, err := r.sparseCount(n)
 		if err != nil {
 			return nil, err
 		}
-		if nnzU > uint64(n) {
-			return nil, fmt.Errorf("codec: %d nonzeros in a %d-element tensor", nnzU, n)
-		}
-		nnz := int(nnzU)
-		mask, err := r.take((n + 7) / 8)
+		mask, err := r.takeMask(n)
 		if err != nil {
 			return nil, err
 		}
@@ -152,10 +227,8 @@ func decodeTensor(r *reader) (*tensor.Tensor, error) {
 		if err != nil {
 			return nil, err
 		}
-		if n%8 != 0 && len(mask) > 0 && mask[len(mask)-1]>>(n%8) != 0 {
-			return nil, fmt.Errorf("codec: sparse mask has bits set past the last element")
-		}
-		t := &tensor.Tensor{Shape: dims, Data: make([]float32, n)}
+		t.Data = resizeF32s(t.Data, n)
+		clear(t.Data)
 		vi := 0
 		for i := 0; i < n; i++ {
 			if mask[i>>3]&(1<<(i&7)) != 0 {
@@ -163,6 +236,53 @@ func decodeTensor(r *reader) (*tensor.Tensor, error) {
 					return nil, fmt.Errorf("codec: sparse mask has more than %d set bits", nnz)
 				}
 				t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(vals[4*vi:]))
+				vi++
+			}
+		}
+		if vi != nnz {
+			return nil, fmt.Errorf("codec: sparse mask has %d set bits, header says %d", vi, nnz)
+		}
+		return t, nil
+	case modeQuant8:
+		scale, err := r.quantScale()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.take(n)
+		if err != nil {
+			return nil, err
+		}
+		t.Data = resizeF32s(t.Data, n)
+		for i := range t.Data {
+			t.Data[i] = float32(int8(b[i])) * scale
+		}
+		return t, nil
+	case modeQuantSparse8:
+		nnz, err := r.sparseCount(n)
+		if err != nil {
+			return nil, err
+		}
+		scale, err := r.quantScale()
+		if err != nil {
+			return nil, err
+		}
+		mask, err := r.takeMask(n)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := r.take(nnz)
+		if err != nil {
+			return nil, err
+		}
+		t.Data = resizeF32s(t.Data, n)
+		clear(t.Data)
+		vi := 0
+		for i := 0; i < n; i++ {
+			if mask[i>>3]&(1<<(i&7)) != 0 {
+				if vi >= nnz {
+					return nil, fmt.Errorf("codec: sparse mask has more than %d set bits", nnz)
+				}
+				t.Data[i] = float32(int8(vals[vi])) * scale
 				vi++
 			}
 		}
@@ -185,7 +305,12 @@ func decodeTensors(r *reader) ([]*tensor.Tensor, error) {
 	if cnt > maxTensors || cnt > uint64(r.rem()) {
 		return nil, fmt.Errorf("codec: implausible tensor count %d", cnt)
 	}
-	ts := make([]*tensor.Tensor, cnt)
+	var ts []*tensor.Tensor
+	if r.d != nil {
+		ts = r.d.nextTensorList(int(cnt))
+	} else {
+		ts = make([]*tensor.Tensor, cnt)
+	}
 	for i := range ts {
 		if ts[i], err = decodeTensor(r); err != nil {
 			return nil, err
@@ -203,7 +328,13 @@ func decodeDesc(r *reader) (any, error) {
 	case descNil:
 		return nil, nil
 	case descSpec:
-		s := &zoo.Spec{}
+		var s *zoo.Spec
+		if r.d != nil {
+			s = &r.d.spec
+			*s = zoo.Spec{}
+		} else {
+			s = &zoo.Spec{}
+		}
 		if s.Name, err = r.getString(); err != nil {
 			return nil, err
 		}
@@ -243,7 +374,12 @@ func decodeLayers(r *reader, depth int) ([]zoo.LayerSpec, error) {
 	if cnt > maxLayers || cnt > uint64(r.rem()) {
 		return nil, fmt.Errorf("codec: implausible layer count %d", cnt)
 	}
-	layers := make([]zoo.LayerSpec, cnt)
+	var layers []zoo.LayerSpec
+	if r.d != nil {
+		layers = r.d.nextLayerList(int(cnt))
+	} else {
+		layers = make([]zoo.LayerSpec, cnt)
+	}
 	for i := range layers {
 		l := &layers[i]
 		kind, err := r.getInt()
@@ -444,7 +580,13 @@ func decodePayload(r *reader, e *Envelope) error {
 	var err error
 	switch e.Kind {
 	case KindHello:
-		h := &Hello{}
+		var h *Hello
+		if r.d != nil {
+			h = &r.d.hello
+			*h = Hello{}
+		} else {
+			h = &Hello{}
+		}
 		if h.Name, err = r.getString(); err != nil {
 			return err
 		}
@@ -453,7 +595,13 @@ func decodePayload(r *reader, e *Envelope) error {
 		}
 		e.Hello = h
 	case KindAssign:
-		a := &Assign{}
+		var a *Assign
+		if r.d != nil {
+			a = &r.d.assign
+			*a = Assign{}
+		} else {
+			a = &Assign{}
+		}
 		if a.Round, err = r.getInt(); err != nil {
 			return err
 		}
@@ -475,9 +623,28 @@ func decodePayload(r *reader, e *Envelope) error {
 		if a.Ratio, err = r.getF64(); err != nil {
 			return err
 		}
+		if r.ver >= 2 {
+			q, err := r.getByte()
+			if err != nil {
+				return err
+			}
+			switch q {
+			case 0:
+			case 1:
+				a.Quantize = true
+			default:
+				return fmt.Errorf("codec: unknown assign quantize flag %d", q)
+			}
+		}
 		e.Assign = a
 	case KindResult:
-		res := &Result{}
+		var res *Result
+		if r.d != nil {
+			res = &r.d.result
+			*res = Result{}
+		} else {
+			res = &Result{}
+		}
 		if res.Round, err = r.getInt(); err != nil {
 			return err
 		}
@@ -506,7 +673,13 @@ func decodePayload(r *reader, e *Envelope) error {
 		}
 		e.Result = res
 	case KindShutdown:
-		s := &Shutdown{}
+		var s *Shutdown
+		if r.d != nil {
+			s = &r.d.shutdown
+			*s = Shutdown{}
+		} else {
+			s = &Shutdown{}
+		}
 		if s.Reason, err = r.getString(); err != nil {
 			return err
 		}
@@ -521,42 +694,64 @@ func decodePayload(r *reader, e *Envelope) error {
 	return nil
 }
 
-// ReadFrame reads and decodes one frame from rd, returning the envelope and
-// the total bytes consumed. Any malformed input — bad magic, unknown kind,
-// truncated or oversized payloads, corrupt tensor encodings — is reported as
-// an error; ReadFrame never panics on wire data.
-func ReadFrame(rd io.Reader) (*Envelope, int, error) {
-	var hdr [HeaderLen]byte
-	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
-		return nil, 0, err
-	}
+// parseHeader validates a frame header and returns the message kind,
+// payload length and format version.
+func parseHeader(hdr []byte) (Kind, int, byte, error) {
 	if hdr[0] != magic0 || hdr[1] != magic1 {
-		return nil, HeaderLen, fmt.Errorf("codec: bad frame magic %#02x%02x", hdr[0], hdr[1])
+		return 0, 0, 0, fmt.Errorf("codec: bad frame magic %#02x%02x", hdr[0], hdr[1])
 	}
-	if hdr[2] != version {
-		return nil, HeaderLen, fmt.Errorf("codec: unsupported format version %d", hdr[2])
+	if hdr[2] < minVersion || hdr[2] > version {
+		return 0, 0, 0, fmt.Errorf("codec: unsupported format version %d", hdr[2])
 	}
 	kind := Kind(hdr[3])
 	if kind < KindHello || kind > kindMax {
-		return nil, HeaderLen, fmt.Errorf("codec: unknown message kind %d", kind)
+		return 0, 0, 0, fmt.Errorf("codec: unknown message kind %d", kind)
 	}
 	n := binary.LittleEndian.Uint32(hdr[4:])
 	if n > MaxFrame {
-		return nil, HeaderLen, fmt.Errorf("codec: %d-byte payload exceeds the %d-byte frame limit", n, MaxFrame)
+		return 0, 0, 0, fmt.Errorf("codec: %d-byte payload exceeds the %d-byte frame limit", n, MaxFrame)
 	}
-	f := getBuf(int(n))
+	return kind, int(n), hdr[2], nil
+}
+
+// decodeFrameBody parses a complete payload into e, rejecting trailing
+// bytes.
+func decodeFrameBody(r *reader, e *Envelope) error {
+	if err := decodePayload(r, e); err != nil {
+		return err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("codec: %d trailing bytes after payload", r.rem())
+	}
+	return nil
+}
+
+// ReadFrame reads and decodes one frame from rd, returning the envelope and
+// the total bytes consumed. Any malformed input — bad magic, unknown kind,
+// truncated or oversized payloads, corrupt tensor encodings — is reported as
+// an error; ReadFrame never panics on wire data. Every returned object is
+// freshly allocated; a receive loop that fully consumes each envelope before
+// the next read should use a Decoder instead.
+func ReadFrame(rd io.Reader) (*Envelope, int, error) {
+	hb := getBuf(HeaderLen)
+	defer putBuf(hb)
+	if _, err := io.ReadFull(rd, hb.b); err != nil {
+		return nil, 0, err
+	}
+	kind, n, ver, err := parseHeader(hb.b)
+	if err != nil {
+		return nil, HeaderLen, err
+	}
+	f := getBuf(n)
 	defer putBuf(f)
 	if _, err := io.ReadFull(rd, f.b); err != nil {
 		return nil, HeaderLen, err
 	}
-	total := HeaderLen + int(n)
+	total := HeaderLen + n
 	e := &Envelope{Kind: kind}
-	r := &reader{buf: f.b}
-	if err := decodePayload(r, e); err != nil {
+	r := &reader{buf: f.b, ver: ver}
+	if err := decodeFrameBody(r, e); err != nil {
 		return nil, total, err
-	}
-	if r.off != len(r.buf) {
-		return nil, total, fmt.Errorf("codec: %d trailing bytes after payload", r.rem())
 	}
 	return e, total, nil
 }

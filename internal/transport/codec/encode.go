@@ -7,14 +7,19 @@ import (
 	"math"
 
 	"fedmp/internal/bandit"
+	"fedmp/internal/prune"
 	"fedmp/internal/tensor"
 	"fedmp/internal/zoo"
 )
 
-// Tensor payload modes.
+// Tensor payload modes. The int8 modes (format version 2) are lossy: the
+// decoder reconstructs code·scale, so they are only ever chosen when the
+// envelope opted in via Envelope.Quantize.
 const (
-	modeDense  byte = 0 // raw little-endian float32 slab
-	modeSparse byte = 1 // nonzero count, presence bitmask, surviving values
+	modeDense        byte = 0 // raw little-endian float32 slab
+	modeSparse       byte = 1 // nonzero count, presence bitmask, surviving values
+	modeQuant8       byte = 2 // float32 scale, one int8 code per element
+	modeQuantSparse8 byte = 3 // code count, scale, presence bitmask, nonzero codes
 )
 
 // writer fills a pre-sized frame buffer. The buffer's length comes from the
@@ -57,39 +62,61 @@ func (w *writer) putString(s string) {
 	w.off += copy(w.buf[w.off:], s)
 }
 
-// encodeTensor writes one tensor: rank, dimensions, mode byte, then either
-// the dense float slab or the sparse mask + surviving values. The mode is
-// chosen per tensor by exact cost, mirroring tensorWireSize.
-func encodeTensor(w *writer, t *tensor.Tensor) {
+// encodeTensor writes one tensor: rank, dimensions, mode byte, then the
+// mode's payload. The mode comes from planTensor — the exact cost choice the
+// size model made for this tensor.
+func encodeTensor(w *writer, t *tensor.Tensor, quantize bool) {
 	n := len(t.Data)
 	w.putUvarint(uint64(len(t.Shape)))
 	for _, d := range t.Shape {
 		w.putUvarint(uint64(d))
 	}
-	nnz := nonzeroCount(t.Data)
-	if tensorSparseSize(n, nnz) >= 4*n {
-		w.putByte(modeDense)
+	p := planTensor(t.Data, n, quantize)
+	w.putByte(p.mode)
+	switch p.mode {
+	case modeDense:
 		putF32s(w.buf[w.off:], t.Data)
 		w.off += 4 * n
-		return
-	}
-	w.putByte(modeSparse)
-	w.putUvarint(uint64(nnz))
-	mask := w.buf[w.off : w.off+(n+7)/8]
-	clear(mask)
-	w.off += len(mask)
-	for i, v := range t.Data {
-		if math.Float32bits(v) != 0 {
-			mask[i>>3] |= 1 << (i & 7)
-			w.putF32(v)
+	case modeSparse:
+		w.putUvarint(uint64(p.nnz))
+		mask := w.buf[w.off : w.off+(n+7)/8]
+		clear(mask)
+		w.off += len(mask)
+		for i, v := range t.Data {
+			if math.Float32bits(v) != 0 {
+				mask[i>>3] |= 1 << (i & 7)
+				w.putF32(v)
+			}
+		}
+	case modeQuant8:
+		w.putF32(p.scale)
+		inv := 1 / float64(p.scale)
+		dst := w.buf[w.off : w.off+n]
+		for i, v := range t.Data {
+			dst[i] = byte(prune.QuantizeElem(v, inv))
+		}
+		w.off += n
+	case modeQuantSparse8:
+		w.putUvarint(uint64(p.nnz))
+		w.putF32(p.scale)
+		inv := 1 / float64(p.scale)
+		mask := w.buf[w.off : w.off+(n+7)/8]
+		clear(mask)
+		w.off += len(mask)
+		for i, v := range t.Data {
+			if q := prune.QuantizeElem(v, inv); q != 0 {
+				mask[i>>3] |= 1 << (i & 7)
+				w.buf[w.off] = byte(q)
+				w.off++
+			}
 		}
 	}
 }
 
-func encodeTensors(w *writer, ts []*tensor.Tensor) {
+func encodeTensors(w *writer, ts []*tensor.Tensor, quantize bool) {
 	w.putUvarint(uint64(len(ts)))
 	for _, t := range ts {
-		encodeTensor(w, t)
+		encodeTensor(w, t, quantize)
 	}
 }
 
@@ -170,7 +197,7 @@ func encodeBandit(w *writer, s *bandit.State) {
 // KindRoundClose frames.
 func encodeSnapshot(w *writer, s *Snapshot) {
 	w.putSvarint(int64(s.Round))
-	encodeTensors(w, s.Global)
+	encodeTensors(w, s.Global, false) // checkpoints are always lossless
 	w.putF64(s.PrevLoss)
 	w.putF64(s.RoundSum)
 	encodeF64s(w, s.PrevTimes)
@@ -202,21 +229,26 @@ func encodePayload(w *writer, e *Envelope) {
 		a := e.Assign
 		w.putSvarint(int64(a.Round))
 		encodeDesc(w, a.Desc)
-		encodeTensors(w, a.Weights)
+		encodeTensors(w, a.Weights, e.Quantize)
 		w.putSvarint(int64(a.Iters))
 		w.putF32(a.ProxMu)
 		w.putF64(a.UploadK)
 		w.putF64(a.Ratio)
+		if a.Quantize {
+			w.putByte(1)
+		} else {
+			w.putByte(0)
+		}
 	case KindResult:
 		r := e.Result
 		w.putSvarint(int64(r.Round))
 		switch {
 		case r.Delta != nil:
 			w.putByte(resultDelta)
-			encodeTensors(w, r.Delta)
+			encodeTensors(w, r.Delta, e.Quantize)
 		case r.Update != nil:
 			w.putByte(resultUpdate)
-			encodeTensors(w, r.Update)
+			encodeTensors(w, r.Update, e.Quantize)
 		default:
 			w.putByte(resultNone)
 		}

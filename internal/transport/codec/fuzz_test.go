@@ -11,8 +11,10 @@ import (
 
 // FuzzReadFrame throws arbitrary bytes at the decoder. The only contract is
 // totality: ReadFrame returns an envelope or an error, it never panics and
-// never allocates unboundedly — and any frame it does accept must re-encode
-// to the same byte count its own size model predicts.
+// never allocates unboundedly — any frame it does accept must re-encode to
+// the same byte count its own size model predicts, and the recycling Decoder
+// must agree with the one-shot path bit for bit (checked by comparing their
+// re-encodings, which also covers NaN payloads DeepEqual cannot).
 func FuzzReadFrame(f *testing.F) {
 	rng := rand.New(rand.NewSource(5))
 	for _, e := range sampleEnvelopes(rng) {
@@ -21,23 +23,44 @@ func FuzzReadFrame(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(buf.Bytes())
+		// The same payload again with quantization on, seeding the int8
+		// tensor modes and the assign quantize flag.
+		if e.Kind == KindAssign || e.Kind == KindResult {
+			q := *e
+			q.Quantize = true
+			buf.Reset()
+			if _, err := WriteFrame(&buf, &q); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.Bytes())
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte("not a frame at all"))
 	f.Add([]byte{magic0, magic1, version, byte(KindPing), 0xff, 0xff, 0xff, 0x7f})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, _, err := ReadFrame(bytes.NewReader(data))
+		e2, _, err2 := NewDecoder(bytes.NewReader(data)).ReadFrame()
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("one-shot err %v, Decoder err %v", err, err2)
+		}
 		if err != nil {
 			return
 		}
 		// Accepted frames must be internally consistent: re-encoding yields
 		// a frame the size model agrees with (WriteFrame asserts that), and
 		// that frame decodes again.
-		var buf bytes.Buffer
+		var buf, buf2 bytes.Buffer
 		if _, err := WriteFrame(&buf, e); err != nil {
 			t.Fatalf("decoded frame does not re-encode: %v", err)
 		}
-		if _, _, err := ReadFrame(&buf); err != nil {
+		if _, err := WriteFrame(&buf2, e2); err != nil {
+			t.Fatalf("Decoder-decoded frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("one-shot and Decoder decodes re-encode differently")
+		}
+		if _, _, err := ReadFrame(bytes.NewReader(buf.Bytes())); err != nil {
 			t.Fatalf("re-encoded frame does not decode: %v", err)
 		}
 	})

@@ -1,0 +1,39 @@
+package codec
+
+import (
+	"fedmp/internal/prune"
+	"fedmp/internal/tensor"
+)
+
+// Dequantized returns the tensor values a Quantize-enabled frame delivers
+// for ts: every tensor the size model would ship in an int8 mode comes back
+// as a fresh dequantized reconstruction (code·scale, exactly what the
+// decoder computes), and every tensor the plan keeps in float32 aliases the
+// input unchanged. The simulation engine mirrors the wire runtime's lossy
+// round trip with it, so both runtimes see bit-identical post-transfer
+// values without ever framing a byte. The inputs are never modified;
+// callers must not mutate aliased outputs.
+func Dequantized(ts []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = dequantized(t)
+	}
+	return out
+}
+
+// dequantized reconstructs one tensor through the encoder's own plan. The
+// plan, scale and per-element codes are computed by the same helpers the
+// encoder and size model share, so the reconstruction matches a real
+// encode/decode round trip bit for bit (pinned by TestDequantizedMatchesWire).
+func dequantized(t *tensor.Tensor) *tensor.Tensor {
+	p := planTensor(t.Data, len(t.Data), true)
+	if p.mode != modeQuant8 && p.mode != modeQuantSparse8 {
+		return t
+	}
+	q := tensor.New(t.Shape...)
+	inv := 1 / float64(p.scale)
+	for i, v := range t.Data {
+		q.Data[i] = float32(prune.QuantizeElem(v, inv)) * p.scale
+	}
+	return q
+}

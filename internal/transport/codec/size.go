@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"fedmp/internal/bandit"
+	"fedmp/internal/prune"
 	"fedmp/internal/tensor"
 	"fedmp/internal/zoo"
 )
@@ -65,10 +66,71 @@ func tensorSparseSize(n, nnz int) int {
 	return uvarintLen(uint64(nnz)) + (n+7)/8 + 4*nnz
 }
 
-// tensorWireSize returns the encoded size of one tensor, choosing the
-// cheaper of dense and sparse mode exactly as the encoder does, and
-// validates everything the encoder relies on.
-func tensorWireSize(t *tensor.Tensor) (int, error) {
+// tensorQuantSparseSize returns the quantized-sparse payload size for n
+// elements with nnz nonzero codes: the code count, the float32 scale, the
+// presence mask and one signed byte per surviving code.
+func tensorQuantSparseSize(n, nnz int) int {
+	return uvarintLen(uint64(nnz)) + 4 + (n+7)/8 + nnz
+}
+
+// quantNonzeroCount counts the elements whose quantized code is nonzero —
+// the population the quantized-sparse mask marks. It must agree element for
+// element with the codes the encoder emits, so both call prune.QuantizeElem.
+//
+//fedmp:allocfree
+func quantNonzeroCount(vals []float32, inv float64) int {
+	n := 0
+	for _, v := range vals {
+		if prune.QuantizeElem(v, inv) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// tensorPlan is the per-tensor encoding decision shared by the size model
+// and the encoder: the mode, the sparse-mode element count, the quantization
+// scale, and the payload size after the mode byte. Deciding once, here, is
+// what keeps FrameBytes byte-exact against WriteFrame with four modes in
+// play.
+type tensorPlan struct {
+	mode  byte
+	nnz   int
+	scale float32
+	size  int
+}
+
+// planTensor picks the cheapest encoding for n elements. The float32 modes
+// are always candidates; the lossy int8 modes join only when the envelope
+// asked for quantization and the tensor is quantizable — every element
+// finite and the symmetric scale nonzero — and win only when strictly
+// cheaper, so a tie keeps full precision.
+func planTensor(data []float32, n int, quantize bool) tensorPlan {
+	p := tensorPlan{mode: modeDense, size: 4 * n}
+	if nnz := nonzeroCount(data); tensorSparseSize(n, nnz) < p.size {
+		p = tensorPlan{mode: modeSparse, nnz: nnz, size: tensorSparseSize(n, nnz)}
+	}
+	if !quantize {
+		return p
+	}
+	scale, finite := prune.SymmetricScale(data)
+	if !finite || scale == 0 {
+		return p
+	}
+	if s := 4 + n; s < p.size {
+		p = tensorPlan{mode: modeQuant8, scale: scale, size: s}
+	}
+	qnnz := quantNonzeroCount(data, 1/float64(scale))
+	if s := tensorQuantSparseSize(n, qnnz); s < p.size {
+		p = tensorPlan{mode: modeQuantSparse8, nnz: qnnz, scale: scale, size: s}
+	}
+	return p
+}
+
+// tensorWireSize returns the encoded size of one tensor, choosing the mode
+// exactly as the encoder does, and validates everything the encoder relies
+// on.
+func tensorWireSize(t *tensor.Tensor, quantize bool) (int, error) {
 	if t == nil {
 		return 0, fmt.Errorf("codec: nil tensor in payload")
 	}
@@ -91,20 +153,17 @@ func tensorWireSize(t *tensor.Tensor) (int, error) {
 		return 0, fmt.Errorf("codec: tensor with %d elements exceeds %d", n, maxElems)
 	}
 	size++ // mode byte
-	if sparse := tensorSparseSize(n, nonzeroCount(t.Data)); sparse < 4*n {
-		return size + sparse, nil
-	}
-	return size + 4*n, nil
+	return size + planTensor(t.Data, n, quantize).size, nil
 }
 
 // tensorsSize returns the encoded size of a tensor list.
-func tensorsSize(ts []*tensor.Tensor) (int, error) {
+func tensorsSize(ts []*tensor.Tensor, quantize bool) (int, error) {
 	if len(ts) > maxTensors {
 		return 0, fmt.Errorf("codec: %d tensors exceed %d", len(ts), maxTensors)
 	}
 	size := uvarintLen(uint64(len(ts)))
 	for _, t := range ts {
-		n, err := tensorWireSize(t)
+		n, err := tensorWireSize(t, quantize)
 		if err != nil {
 			return 0, err
 		}
@@ -205,9 +264,10 @@ func banditSize(s *bandit.State) (int, error) {
 }
 
 // snapshotSize returns the encoded size of a durability payload
-// (encodeSnapshot's twin).
+// (encodeSnapshot's twin). Snapshots never quantize: a checkpoint must
+// restore the exact global model.
 func snapshotSize(s *Snapshot) (int, error) {
-	global, err := tensorsSize(s.Global)
+	global, err := tensorsSize(s.Global, false)
 	if err != nil {
 		return 0, err
 	}
@@ -251,12 +311,12 @@ func payloadSize(e *Envelope) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		ws, err := tensorsSize(a.Weights)
+		ws, err := tensorsSize(a.Weights, e.Quantize)
 		if err != nil {
 			return 0, err
 		}
 		return svarintLen(int64(a.Round)) + desc + ws +
-			svarintLen(int64(a.Iters)) + 4 + 8 + 8, nil
+			svarintLen(int64(a.Iters)) + 4 + 8 + 8 + 1, nil // +1: Quantize flag
 	case KindResult:
 		r := e.Result
 		size := svarintLen(int64(r.Round)) + 1 + 8 + 8
@@ -269,7 +329,7 @@ func payloadSize(e *Envelope) (int, error) {
 		default:
 			return size, nil
 		}
-		ts, err := tensorsSize(payload)
+		ts, err := tensorsSize(payload, e.Quantize)
 		if err != nil {
 			return 0, err
 		}

@@ -13,6 +13,7 @@ import (
 
 	"fedmp/internal/core"
 	"fedmp/internal/data"
+	"fedmp/internal/nn"
 )
 
 // reservePort grabs an ephemeral port deterministically.
@@ -333,6 +334,26 @@ func TestAcceptTimeoutBoundsStartup(t *testing.T) {
 	}
 }
 
+// gatedSource serves a number of batches normally and then blocks until
+// release is closed. It pins the training schedule mid-round so the kill in
+// TestPSKillRestartRecovery cannot race the server finishing the whole
+// schedule first — on fast hardware all six tiny rounds complete between two
+// polls of the checkpoint directory.
+type gatedSource struct {
+	src     core.Source
+	free    int
+	served  int
+	release <-chan struct{}
+}
+
+func (g *gatedSource) Next() *nn.Batch {
+	g.served++
+	if g.served > g.free {
+		<-g.release
+	}
+	return g.src.Next()
+}
+
 // TestPSKillRestartRecovery is the durability acceptance test: the
 // parameter server is killed mid-schedule without any shutdown handshake,
 // then restarted on the same address and checkpoint directory while its
@@ -367,11 +388,18 @@ func TestPSKillRestartRecovery(t *testing.T) {
 	}
 
 	// Same partition, loaders and seed as launch(), so the uninterrupted
-	// baseline below trains on identical data.
+	// baseline below trains on identical data. Each worker trains the first
+	// two rounds freely and then stalls until released, holding the schedule
+	// open for the kill below.
+	release := make(chan struct{})
 	part := data.PartitionIID(fam.DS, 2, rand.New(rand.NewSource(9)))
 	workerErrs := make(chan error, 2)
 	for i := 0; i < 2; i++ {
-		src := data.NewLoader(fam.DS, part[i], 4, rand.New(rand.NewSource(int64(i)+100)))
+		src := &gatedSource{
+			src:     data.NewLoader(fam.DS, part[i], 4, rand.New(rand.NewSource(int64(i)+100))),
+			free:    2 * 2, // two rounds of LocalIters batches
+			release: release,
+		}
 		go func(i int, src core.Source) {
 			workerErrs <- RunWorker(fam, src, WorkerConfig{
 				Addr:            addr,
@@ -383,9 +411,10 @@ func TestPSKillRestartRecovery(t *testing.T) {
 		}(i, src)
 	}
 
-	// First incarnation: run until at least one round is durable (the WAL
-	// holds its first record), then abort — connections severed without the
-	// shutdown handshake, exactly like a crash.
+	// First incarnation: run until a round is durable — a WAL record (round
+	// 1) or a full snapshot (round 2); the workers stall in round 3 — then
+	// abort: connections severed without the shutdown handshake, exactly
+	// like a crash.
 	abort := make(chan struct{})
 	serveErr := make(chan error, 1)
 	go func() {
@@ -393,9 +422,13 @@ func TestPSKillRestartRecovery(t *testing.T) {
 		serveErr <- err
 	}()
 	wal := filepath.Join(dir, "wal.log")
+	snap := filepath.Join(dir, "snapshot.ckpt")
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		if st, err := os.Stat(wal); err == nil && st.Size() > 0 {
+			break
+		}
+		if _, err := os.Stat(snap); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -407,6 +440,9 @@ func TestPSKillRestartRecovery(t *testing.T) {
 	if err := <-serveErr; !errors.Is(err, ErrAborted) {
 		t.Fatalf("killed server returned %v, want ErrAborted", err)
 	}
+	// Unblock the stalled round-3 training; the workers' result sends hit
+	// the severed connections and they reconnect to the next incarnation.
+	close(release)
 
 	// Second incarnation: same address, same checkpoint directory, no
 	// abort. The still-running workers reconnect and training resumes.

@@ -372,9 +372,10 @@ type roundState struct {
 
 // server bundles the round loop's fixed parts.
 type server struct {
-	cfg  ServerConfig
-	reg  *registry
-	logf func(string, ...any)
+	cfg      ServerConfig
+	reg      *registry
+	logf     func(string, ...any)
+	quantize bool // ship assignments int8-quantized and ask for quantized results
 }
 
 // maxBarrenRounds bounds how many consecutive rounds may complete with zero
@@ -561,7 +562,7 @@ func Serve(fam core.Family, cfg ServerConfig) (*core.Result, error) {
 		return snap
 	}
 
-	s := &server{cfg: cfg, reg: reg, logf: logf}
+	s := &server{cfg: cfg, reg: reg, logf: logf, quantize: coreCfg.QuantizeWire}
 	barren := 0
 	for round := startRound; round <= coreCfg.Rounds; round++ {
 		select {
@@ -745,17 +746,22 @@ func (s *server) runRound(round int, assignments []core.Assignment) (*roundState
 		wg.Add(1)
 		go func(a core.Assignment) {
 			defer wg.Done()
+			// With quantization on, the codec encodes each tensor int8
+			// whenever that is cheaper; the worker then trains on the
+			// dequantized reconstruction while this server keeps (and later
+			// reconstructs against) the full-precision weights.
 			msg := &assignMsg{
-				Round:   round,
-				Desc:    a.Desc,
-				Weights: a.Weights,
-				Iters:   a.Iters,
-				ProxMu:  a.ProxMu,
-				UploadK: a.UploadK,
-				Ratio:   a.Ratio,
+				Round:    round,
+				Desc:     a.Desc,
+				Weights:  a.Weights,
+				Iters:    a.Iters,
+				ProxMu:   a.ProxMu,
+				UploadK:  a.UploadK,
+				Ratio:    a.Ratio,
+				Quantize: s.quantize,
 			}
 			sent := time.Now()
-			n, err := s.reg.send(a.Worker, &envelope{Kind: kindAssign, Assign: msg})
+			n, err := s.reg.send(a.Worker, &envelope{Kind: kindAssign, Assign: msg, Quantize: s.quantize})
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -38,6 +38,12 @@ func testFamily() *core.ImageFamily {
 // returns the server result.
 func launch(t *testing.T, strategy core.StrategyID, workers, rounds int) *core.Result {
 	t.Helper()
+	return launchQuantized(t, strategy, workers, rounds, false)
+}
+
+// launchQuantized is launch with the wire-quantization knob exposed.
+func launchQuantized(t *testing.T, strategy core.StrategyID, workers, rounds int, quantize bool) *core.Result {
+	t.Helper()
 	fam := testFamily()
 
 	// Reserve a port deterministically by listening on :0 first.
@@ -54,12 +60,13 @@ func launch(t *testing.T, strategy core.StrategyID, workers, rounds int) *core.R
 		Rounds:       rounds,
 		RoundTimeout: 30 * time.Second,
 		Core: core.Config{
-			Strategy:   strategy,
-			Rounds:     rounds,
-			LocalIters: 2,
-			BatchSize:  4,
-			EvalLimit:  80,
-			Seed:       5,
+			Strategy:     strategy,
+			Rounds:       rounds,
+			LocalIters:   2,
+			BatchSize:    4,
+			EvalLimit:    80,
+			Seed:         5,
+			QuantizeWire: quantize,
 		},
 	}
 
@@ -215,6 +222,48 @@ func TestSimWireBytesParity(t *testing.T) {
 	}
 	if simDown <= 0 {
 		t.Errorf("round-1 downlink bytes = %d, want positive", simDown)
+	}
+}
+
+// TestSimWireBytesParityQuantized repeats the byte-parity pin with wire
+// quantization on: both runtimes must charge identical round-1 downlink
+// traffic (the simulation prices the quantize-enabled frame with FrameBytes,
+// the server measures the frame it actually wrote), and that traffic must be
+// well under the float32 runs' — the int8 slabs are the point.
+func TestSimWireBytesParityQuantized(t *testing.T) {
+	fam := testFamily()
+	coreCfg := core.Config{
+		Strategy:     core.StrategySynFL,
+		Workers:      3,
+		Rounds:       1,
+		LocalIters:   2,
+		BatchSize:    4,
+		EvalLimit:    80,
+		Seed:         5,
+		QuantizeWire: true,
+	}
+	simRes, err := core.Run(fam, coreCfg)
+	if err != nil {
+		t.Fatalf("simulation: %v", err)
+	}
+	wireRes := launchQuantized(t, core.StrategySynFL, 3, 1, true)
+	if len(simRes.Stats) == 0 || len(wireRes.Stats) == 0 {
+		t.Fatalf("missing round stats: sim %d, wire %d", len(simRes.Stats), len(wireRes.Stats))
+	}
+	simDown, wireDown := simRes.Stats[0].DownBytes, wireRes.Stats[0].DownBytes
+	if simDown != wireDown {
+		t.Errorf("quantized round-1 downlink bytes: simulation %d, wire %d — runtimes disagree on the size model", simDown, wireDown)
+	}
+
+	plainCfg := coreCfg
+	plainCfg.QuantizeWire = false
+	plainRes, err := core.Run(fam, plainCfg)
+	if err != nil {
+		t.Fatalf("float32 simulation: %v", err)
+	}
+	plainDown := plainRes.Stats[0].DownBytes
+	if simDown*10 > plainDown*4 {
+		t.Errorf("quantized downlink %d bytes vs %d float32; want < 40%%", simDown, plainDown)
 	}
 }
 

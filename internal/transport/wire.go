@@ -44,6 +44,7 @@ const (
 type conn struct {
 	raw net.Conn
 	br  *bufio.Reader
+	dec *codec.Decoder // lazily built by recvReuse; nil until first use
 }
 
 func newConn(raw net.Conn) *conn {
@@ -59,12 +60,30 @@ func (c *conn) send(e *envelope) (int, error) {
 }
 
 // recv reads and decodes one frame, returning its exact wire size alongside
-// the envelope.
+// the envelope. Each call allocates a fresh envelope, so the caller may
+// retain it indefinitely — the server's per-connection readers hand
+// envelopes to the round loop's goroutine and need exactly that.
 func (c *conn) recv(timeout time.Duration) (*envelope, int, error) {
 	if err := c.raw.SetReadDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, 0, err
 	}
 	return codec.ReadFrame(c.br)
+}
+
+// recvReuse reads one frame through a per-connection recycling decoder: the
+// returned envelope and everything reachable from it (tensors included) are
+// overwritten by the next recvReuse call. The worker's serve loop qualifies
+// — it finishes each assignment and sends its result before reading the next
+// frame — and in steady state decodes a round's assignment without heap
+// allocation.
+func (c *conn) recvReuse(timeout time.Duration) (*envelope, int, error) {
+	if err := c.raw.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, 0, err
+	}
+	if c.dec == nil {
+		c.dec = codec.NewDecoder(c.br)
+	}
+	return c.dec.ReadFrame()
 }
 
 func (c *conn) close() error { return c.raw.Close() }

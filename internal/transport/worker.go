@@ -110,7 +110,10 @@ func RunWorker(fam core.Family, src core.Source, cfg WorkerConfig) error {
 func serveConn(c *conn, fam core.Family, src core.Source, cfg WorkerConfig, lastRound *int, bo *backoff, logf func(string, ...any)) error {
 	firstAssign := true
 	for {
-		e, _, err := c.recv(idleTimeout)
+		// The recycling decoder is safe here because every arm below fully
+		// consumes the envelope (result sent, log line printed) before the
+		// loop reads the next frame.
+		e, _, err := c.recvReuse(idleTimeout)
 		if err != nil {
 			return fmt.Errorf("transport: receiving assignment: %w", err)
 		}
@@ -141,7 +144,10 @@ func serveConn(c *conn, fam core.Family, src core.Source, cfg WorkerConfig, last
 				return err
 			}
 			*lastRound = e.Assign.Round
-			if _, err := c.send(&envelope{Kind: kindResult, Result: res}); err != nil {
+			// An assignment that arrived quantized asks for a quantized
+			// result; the codec still keeps any tensor where int8 would not
+			// be byte-cheaper at full precision.
+			if _, err := c.send(&envelope{Kind: kindResult, Result: res, Quantize: e.Assign.Quantize}); err != nil {
 				return fmt.Errorf("transport: sending result: %w", err)
 			}
 			bo.reset()
