@@ -1,6 +1,6 @@
 # Developer entry points. The Go toolchain is the only dependency.
 
-.PHONY: build test vet lint lint-fix-hints race check bench ci test-kernels
+.PHONY: build test vet lint lint-fix-hints lint-bench race check bench ci test-kernels
 
 build:
 	go build ./...
@@ -13,16 +13,26 @@ vet:
 
 # lint runs the repo's own static-analysis suite (internal/lint): the
 # syntactic rules randsource, wallclock, floateq, synccopy, allocfree,
-# gobdeny and atomicwrite plus the flow-sensitive rules maporder,
-# errdiscard, lockbalance and seedflow — the reproducibility, hot-path,
-# wire-format and durability invariants DESIGN.md's "Static analysis"
-# section describes.
+# gobdeny and atomicwrite, the flow-sensitive rules maporder, errdiscard,
+# lockbalance and seedflow, and the interprocedural rules wiretaint,
+# goroleak and transitive (call-graph summaries across packages) — the
+# reproducibility, hot-path, wire-format and durability invariants
+# DESIGN.md's "Static analysis" section describes.
 lint:
 	go run ./cmd/fedmp-lint ./...
 
 # lint-fix-hints prints each finding with its suggested rewrite.
 lint-fix-hints:
 	go run ./cmd/fedmp-lint -hints ./...
+
+# lint-bench times the full-repo lint — load, type-check, call-graph and
+# summary solve, all fourteen rules — and fails if it exceeds the budget.
+# The budget is generous (the point is catching an accidental exponential
+# blow-up in the interprocedural layer, not micro-regressions); override
+# with LINT_BUDGET=30s for a tighter local check.
+LINT_BUDGET ?= 120s
+lint-bench:
+	go run ./cmd/fedmp-lint -bench $(LINT_BUDGET) ./...
 
 # race runs the whole suite under the race detector; the concurrent round
 # loop (quorum collection, worker rejoin, fault-injected engines), the
@@ -56,6 +66,6 @@ check: vet lint build test test-kernels race
 # must recover from its checkpoint), then a bench smoke run (one static
 # table plus one quick sim-backed figure) proving the experiment CLI still
 # runs end to end.
-ci: check
+ci: check lint-bench
 	go test -race -run 'TestLoopbackSmoke|TestSimWireBytesParity|TestPSKillRestartRecovery' ./internal/transport
 	go run ./cmd/fedmp-bench -quick -exp table2,fig5

@@ -10,7 +10,10 @@
 // exiting 1 when anything is found. With -hints each finding is followed by
 // the suggested rewrite, the `make lint-fix-hints` mode; with -json each
 // finding is one JSON object per line ({"file","line","rule","message"})
-// for editors and CI to consume.
+// for editors and CI to consume; with -sarif the whole run is one SARIF
+// 2.1.0 document (rule inventory included) for code-scanning uploads. With
+// -bench the run is timed and the command fails when load+analysis exceed
+// the given budget — the `make lint-bench` regression guard.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"fedmp/internal/lint"
 )
@@ -27,7 +31,9 @@ import (
 func main() {
 	hints := flag.Bool("hints", false, "print a suggested rewrite under each finding")
 	jsonOut := flag.Bool("json", false, "print one JSON object per finding instead of text")
+	sarifOut := flag.Bool("sarif", false, "print the run as one SARIF 2.1.0 document instead of text")
 	rules := flag.Bool("rules", false, "list the analyzers and exit")
+	bench := flag.Duration("bench", 0, "time the full load+analysis and fail when it exceeds this budget (0 disables)")
 	flag.Parse()
 
 	if *rules {
@@ -45,17 +51,32 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	start := time.Now()
 	pkgs, err := lint.Load(root, patterns...)
 	if err != nil {
 		fatal(err)
 	}
 	diags := lint.Run(pkgs, lint.DefaultOptions())
+	elapsed := time.Since(start)
 	cwd, err := os.Getwd()
 	if err != nil {
 		cwd = root
 	}
-	if err := render(os.Stdout, diags, cwd, *jsonOut, *hints); err != nil {
+	if *sarifOut {
+		err = renderSARIF(os.Stdout, diags, cwd)
+	} else {
+		err = render(os.Stdout, diags, cwd, *jsonOut, *hints)
+	}
+	if err != nil {
 		fatal(err)
+	}
+	if *bench > 0 {
+		fmt.Fprintf(os.Stderr, "fedmp-lint: loaded and analyzed %d package(s) in %v (budget %v)\n",
+			len(pkgs), elapsed.Round(time.Millisecond), *bench)
+		if elapsed > *bench {
+			fmt.Fprintln(os.Stderr, "fedmp-lint: over budget")
+			os.Exit(1)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "fedmp-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
@@ -103,6 +124,110 @@ func render(w io.Writer, diags []lint.Diagnostic, cwd string, jsonOut, hints boo
 		}
 	}
 	return nil
+}
+
+// SARIF 2.1.0 document shapes — the subset code-scanning consumers require.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// renderSARIF prints one SARIF 2.1.0 document: the full analyzer inventory
+// as the rule table (so a clean run still documents what ran) and one
+// error-level result per finding, with cwd-relative forward-slash URIs.
+func renderSARIF(w io.Writer, diags []lint.Diagnostic, cwd string) error {
+	ruleIndex := make(map[string]int)
+	var rules []sarifRule
+	for i, a := range lint.Analyzers() {
+		ruleIndex[a.Name] = i
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := []sarifResult{} // render [] rather than null on a clean run
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, uri); err == nil && len(rel) < len(uri) {
+			uri = rel
+		}
+		idx, ok := ruleIndex[d.Rule]
+		if !ok {
+			idx = -1
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: d.Pos.Line},
+				},
+			}},
+		})
+	}
+	doc := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "fedmp-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", out)
+	return err
 }
 
 func fatal(err error) {

@@ -4,12 +4,16 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"flag"
 	"go/token"
+	"os"
 	"strings"
 	"testing"
 
 	"fedmp/internal/lint"
 )
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current output")
 
 func sampleDiags() []lint.Diagnostic {
 	mk := func(file string, line int, rule, msg, hint string) lint.Diagnostic {
@@ -78,6 +82,69 @@ func TestRenderJSON(t *testing.T) {
 	}
 	if got[0].Hint != "" {
 		t.Errorf("hint leaked into -json without -hints: %+v", got[0])
+	}
+}
+
+// TestRenderSARIFGolden pins the exact SARIF 2.1.0 document byte-for-byte:
+// code-scanning uploads break on silent shape drift, so any change must show
+// up as a reviewed golden diff (regenerate with `go test -run SARIF -update`).
+func TestRenderSARIFGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := renderSARIF(&buf, sampleDiags(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	const goldenPath = "testdata/sarif.golden"
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(golden) {
+		t.Errorf("SARIF output drifted from %s (regenerate with -update):\n%s", goldenPath, buf.String())
+	}
+
+	// Structural sanity on top of the byte pin.
+	var doc sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("unexpected document shape: version %q, %d runs", doc.Version, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if got, want := len(run.Tool.Driver.Rules), len(lint.Analyzers()); got != want {
+		t.Errorf("rule table has %d entries, want the full inventory of %d", got, want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "maporder" || r.Level != "error" ||
+		r.Locations[0].PhysicalLocation.ArtifactLocation.URI != "a.go" ||
+		r.Locations[0].PhysicalLocation.Region.StartLine != 3 {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+		t.Errorf("ruleIndex %d does not point at %s", r.RuleIndex, r.RuleID)
+	}
+}
+
+// TestRenderSARIFClean pins the clean-run shape: an empty results array
+// (not null), with the rule inventory still present.
+func TestRenderSARIFClean(t *testing.T) {
+	var buf bytes.Buffer
+	if err := renderSARIF(&buf, nil, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("clean run must render an empty results array, got:\n%s", buf.String())
 	}
 }
 

@@ -43,7 +43,7 @@ func runAllocFree(pass *Pass) {
 	}
 	// Inventory check: the pinned hot paths must still be annotated.
 	for _, key := range pass.Opts.RequiredAllocFree {
-		if keyPkg(key) != pass.Pkg.Path {
+		if keyPkg(key) != normPath(pass.Pkg.Path) {
 			continue
 		}
 		isAnnotated, exists := annotated[key]

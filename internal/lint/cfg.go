@@ -395,12 +395,18 @@ func (b *cfgBuilder) isTerminator(call *ast.CallExpr) bool {
 	if b.info == nil {
 		return false
 	}
-	if builtinName(b.info, call) == "panic" {
+	return isTerminatorCall(b.info, call)
+}
+
+// isTerminatorCall is the info-backed terminator check, shared with the
+// interprocedural exit-path analysis in summary.go.
+func isTerminatorCall(info *types.Info, call *ast.CallExpr) bool {
+	if builtinName(info, call) == "panic" {
 		return true
 	}
 	for path, names := range noReturnFuncs {
 		for name := range names {
-			if pkgSel(b.info, call.Fun, path) == name {
+			if pkgSel(info, call.Fun, path) == name {
 				return true
 			}
 		}

@@ -54,18 +54,31 @@ func loadExpectations(t *testing.T, dir string) []*expectation {
 // want comments: every finding must be expected, every expectation matched.
 func checkGolden(t *testing.T, dir string, opts *Options) {
 	t.Helper()
+	checkGoldenDirs(t, opts, dir)
+}
+
+// checkGoldenDirs lints several fixture directories as one load — the
+// cross-package fixtures import each other — and matches the combined
+// findings against the combined want comments.
+func checkGoldenDirs(t *testing.T, opts *Options, dirs ...string) {
+	t.Helper()
 	root, err := FindModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	abs := filepath.Join(root, "internal/lint", dir)
-	pkgs, err := LoadDirs(root, abs)
+	var absDirs []string
+	var expects []*expectation
+	for _, dir := range dirs {
+		abs := filepath.Join(root, "internal/lint", dir)
+		absDirs = append(absDirs, abs)
+		expects = append(expects, loadExpectations(t, abs)...)
+	}
+	pkgs, err := LoadDirs(root, absDirs...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	expects := loadExpectations(t, abs)
-	if len(expects) == 0 && !strings.Contains(dir, "required") {
-		t.Fatalf("fixture %s has no want comments", dir)
+	if len(expects) == 0 && !strings.Contains(dirs[0], "required") {
+		t.Fatalf("fixture %v has no want comments", dirs)
 	}
 	diags := Run(pkgs, opts)
 	for _, d := range diags {
@@ -139,6 +152,71 @@ func TestAtomicWriteGolden(t *testing.T) {
 	opts := DefaultOptions()
 	opts.AtomicWriteScope = append(opts.AtomicWriteScope, "fedmp/internal/lint/testdata/atomicwrite")
 	checkGolden(t, "testdata/atomicwrite", opts)
+}
+
+func TestWireTaintGolden(t *testing.T) {
+	opts := DefaultOptions()
+	opts.WireTaintScope = append(opts.WireTaintScope, "fedmp/internal/lint/testdata/wiretaint")
+	checkGolden(t, "testdata/wiretaint", opts)
+}
+
+func TestGoroLeakGolden(t *testing.T) {
+	opts := DefaultOptions()
+	opts.GoroLeakScope = append(opts.GoroLeakScope, "fedmp/internal/lint/testdata/goroleak")
+	checkGolden(t, "testdata/goroleak", opts)
+}
+
+func TestTransitiveGolden(t *testing.T) {
+	checkGolden(t, "testdata/transitive", DefaultOptions())
+}
+
+// TestTransitiveWallclockGolden is the cross-package case: the deny-scoped
+// fixture imports an out-of-scope helper package that reads the clock, and
+// the findings land at the scope boundary. The dependency is listed after
+// the dependent to exercise LoadDirs' dependency-order checking.
+func TestTransitiveWallclockGolden(t *testing.T) {
+	opts := DefaultOptions()
+	opts.WallclockDeny = append(opts.WallclockDeny, "fedmp/internal/lint/testdata/transitivedeny")
+	checkGoldenDirs(t, opts, "testdata/transitivedeny", "testdata/transitiveclock")
+}
+
+// TestTransitiveInventoryGate extends the allocfree deletion gate to a hot
+// path whose only allocation hides inside a callee: with the annotation
+// present the transitive rule flags the callee, with it deleted the
+// inventory pin fires — deleting the annotation can never pass silently.
+func TestTransitiveInventoryGate(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadDirs(root, filepath.Join(root, "internal/lint/testdata/requiredtrans"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.RequiredAllocFree = []string{"fedmp/internal/lint/testdata/requiredtrans.transHot"}
+	diags := Run(pkgs, opts)
+	if len(diags) != 1 {
+		t.Fatalf("annotation present: got %d findings, want exactly 1: %v", len(diags), diags)
+	}
+	if d := diags[0]; d.Rule != "transitive" ||
+		!strings.Contains(d.Message, "helperAlloc, which allocates") {
+		t.Fatalf("annotation present: unexpected finding %s", d)
+	}
+
+	// The deleted-annotation twin: the inventory pin fires (and transHot's
+	// own transitive finding stays).
+	opts.RequiredAllocFree = []string{"fedmp/internal/lint/testdata/requiredtrans.transHotDeleted"}
+	diags = Run(pkgs, opts)
+	var sawPin bool
+	for _, d := range diags {
+		if d.Rule == "allocfree" && strings.Contains(d.Message, "transHotDeleted lost its //fedmp:allocfree") {
+			sawPin = true
+		}
+	}
+	if !sawPin {
+		t.Fatalf("annotation deleted: inventory pin did not fire: %v", diags)
+	}
 }
 
 // TestAllocFreeInventory pins a fixture function in RequiredAllocFree and

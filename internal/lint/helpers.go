@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // pkgSel matches expr against a qualified identifier pkg.Name where pkg is
@@ -65,7 +66,7 @@ func funcKey(fn *types.Func) string {
 	if fn.Pkg() == nil {
 		return fn.Name()
 	}
-	key := fn.Pkg().Path() + "."
+	key := normPath(fn.Pkg().Path()) + "."
 	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 		rt := sig.Recv().Type()
 		if p, ok := rt.(*types.Pointer); ok {
@@ -79,8 +80,21 @@ func funcKey(fn *types.Func) string {
 }
 
 // hasPathPrefix reports whether the import path is the prefix itself or a
-// package below it.
+// package below it. Build-variant suffixes ("pkg [pkg.test]") are stripped
+// first, so the test variant of a scoped package stays in scope.
 func hasPathPrefix(path, prefix string) bool {
+	path = normPath(path)
 	return path == prefix || (len(path) > len(prefix) &&
 		path[:len(prefix)] == prefix && path[len(prefix)] == '/')
+}
+
+// normPath strips a build-variant suffix from an import path: when the test
+// and non-test variants of a package both load ("p" and "p [p.test]"), the
+// variants must agree on scope prefixes, inventory keys and call-graph
+// funcKeys, so the same finding deduplicates instead of doubling.
+func normPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
 }

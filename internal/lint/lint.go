@@ -15,10 +15,15 @@
 //	lockbalance — every Lock/RLock is unlocked on every path to return
 //	seedflow    — fresh rand.New/NewSource results flow onward, not stay confined
 //	atomicwrite — durability layers write state files only via the fsync+rename helper
+//	wiretaint   — wire-decoded integers pass a bounds check before reaching allocations
+//	goroleak    — transport go statements have a provable exit path
+//	transitive  — allocfree and wallclock hold across call boundaries, via summaries
 //
 // maporder, errdiscard, lockbalance and seedflow are flow-sensitive: they
 // run over the intraprocedural CFGs of cfg.go and the worklist analyses of
-// dataflow.go rather than bare syntax.
+// dataflow.go rather than bare syntax. wiretaint, goroleak and transitive
+// are interprocedural: they consume the cross-package call graph of
+// callgraph.go and the bottom-up SCC effect summaries of summary.go.
 // Findings are reported as "file:line: [rule] message"; cmd/fedmp-lint exits
 // nonzero on any finding, and `make check` runs it between vet and build.
 package lint
@@ -76,6 +81,20 @@ type Options struct {
 	// package's fsync+rename helper — the durability layers, whose crash
 	// guarantees evaporate the moment a snapshot is created in place.
 	AtomicWriteScope []string
+	// WireTaintScope lists the import-path prefixes in which the wiretaint
+	// analyzer requires wire-decoded integers to pass a bounds check before
+	// reaching make/unsafe.Slice/index sinks — the frame decode layers,
+	// where every length is attacker-controlled.
+	WireTaintScope []string
+	// GoroLeakScope lists the import-path prefixes in which the goroleak
+	// analyzer requires every go statement to have a provable exit path —
+	// the transport layer, whose goroutines outlive requests.
+	GoroLeakScope []string
+	// WallclockSanctioned lists the import-path prefixes that form the
+	// designed wall-clock seam (simclock): their summaries never report
+	// Wallclock, so threading a clock through them stays legal while any
+	// other escape from the deterministic layers is a transitive finding.
+	WallclockSanctioned []string
 }
 
 // DefaultOptions returns the repo's production configuration.
@@ -123,6 +142,15 @@ func DefaultOptions() *Options {
 		AtomicWriteScope: []string{
 			"fedmp/internal/transport/checkpoint",
 		},
+		WireTaintScope: []string{
+			"fedmp/internal/transport/codec",
+		},
+		GoroLeakScope: []string{
+			"fedmp/internal/transport",
+		},
+		WallclockSanctioned: []string{
+			"fedmp/internal/simclock",
+		},
 	}
 }
 
@@ -146,6 +174,34 @@ type Pass struct {
 
 	analyzer *Analyzer
 	diags    *[]Diagnostic
+	inter    *interState
+}
+
+// interState lazily shares the interprocedural results — call graph and
+// effect summaries over the whole package set — across every analyzer and
+// package of one Run, so the SCC solve happens at most once per lint run.
+type interState struct {
+	pkgs  []*Package
+	opts  *Options
+	graph *CallGraph
+	sums  *Summaries
+}
+
+// Interprocedural returns the run-wide call graph and summaries, building
+// them on first use.
+func (p *Pass) Interprocedural() (*CallGraph, *Summaries) {
+	st := p.inter
+	if st == nil {
+		// Direct Pass construction outside Run (tests): analyze just this
+		// package.
+		st = &interState{pkgs: []*Package{p.Pkg}, opts: p.Opts}
+		p.inter = st
+	}
+	if st.graph == nil {
+		st.graph = BuildCallGraph(st.pkgs)
+		st.sums = ComputeSummaries(st.graph, st.opts)
+	}
+	return st.graph, st.sums
 }
 
 // Report records a finding at pos.
@@ -177,6 +233,9 @@ func Analyzers() []*Analyzer {
 		analyzerLockBalance,
 		analyzerSeedFlow,
 		analyzerAtomicWrite,
+		analyzerWireTaint,
+		analyzerGoroLeak,
+		analyzerTransitive,
 	}
 }
 
@@ -187,9 +246,10 @@ func Run(pkgs []*Package, opts *Options) []Diagnostic {
 		opts = DefaultOptions()
 	}
 	var diags []Diagnostic
+	inter := &interState{pkgs: pkgs, opts: opts}
 	for _, pkg := range pkgs {
 		for _, a := range Analyzers() {
-			a.Run(&Pass{Pkg: pkg, Opts: opts, analyzer: a, diags: &diags})
+			a.Run(&Pass{Pkg: pkg, Opts: opts, analyzer: a, diags: &diags, inter: inter})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -82,16 +82,22 @@ func TestDefaultOptionsPinHotPaths(t *testing.T) {
 	if len(opts.GobDeny) < 1 {
 		t.Errorf("GobDeny shrank to %v; the wire layers must stay covered", opts.GobDeny)
 	}
+	if len(opts.WireTaintScope) < 1 {
+		t.Errorf("WireTaintScope shrank to %v; the frame decoders must stay covered", opts.WireTaintScope)
+	}
+	if len(opts.GoroLeakScope) < 1 {
+		t.Errorf("GoroLeakScope shrank to %v; transport spawns must stay covered", opts.GoroLeakScope)
+	}
 }
 
-// TestAnalyzerInventory pins the pipeline itself: all eleven rules must stay
-// registered, in reporting order, so dropping one from Analyzers() fails the
-// suite rather than silently weakening the gate.
+// TestAnalyzerInventory pins the pipeline itself: all fourteen rules must
+// stay registered, in reporting order, so dropping one from Analyzers()
+// fails the suite rather than silently weakening the gate.
 func TestAnalyzerInventory(t *testing.T) {
 	want := []string{
 		"randsource", "wallclock", "floateq", "synccopy", "allocfree",
 		"maporder", "gobdeny", "errdiscard", "lockbalance", "seedflow",
-		"atomicwrite",
+		"atomicwrite", "wiretaint", "goroleak", "transitive",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {

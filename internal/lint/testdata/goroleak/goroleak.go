@@ -1,0 +1,72 @@
+// Package goroleak is a deliberately-leaky spawn fixture for the goroleak
+// analyzer. Scope-gated: the golden test appends this package to
+// GoroLeakScope.
+package goroleak
+
+import "net"
+
+var tick int
+
+// spin never returns: an infinite loop with no guarded exit.
+func spin() {
+	for {
+		tick++
+	}
+}
+
+// spawnLit leaks a literal with a bare infinite loop.
+func spawnLit() {
+	go func() { // want "infinite loop with no provable exit"
+		for {
+			tick++
+		}
+	}()
+}
+
+// spawnSpin leaks through the call graph: spin itself never exits.
+func spawnSpin() {
+	go spin() // want "no provable exit"
+}
+
+// spawnLitCalling leaks one hop deeper: the literal body calls spin.
+func spawnLitCalling() {
+	go func() { // want "calls fedmp/internal/lint/testdata/goroleak.spin, which never returns"
+		spin()
+	}()
+}
+
+// reader exits when the connection dies: the recv-error idiom.
+func reader(c net.Conn) {
+	buf := make([]byte, 16)
+	for {
+		if _, err := c.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// spawnReader is clean: reader's loop has an error-guarded return.
+func spawnReader(c net.Conn) {
+	go reader(c)
+}
+
+// pump exits when done closes: the select/ctx.Done idiom.
+func pump(done chan struct{}, out chan int) {
+	for {
+		select {
+		case <-done:
+			return
+		case out <- tick:
+		}
+	}
+}
+
+// spawnPump is clean: pump's loop exits through a select clause.
+func spawnPump(done chan struct{}, out chan int) {
+	go pump(done, out)
+}
+
+// spawnHatch documents a process-lifetime goroutine.
+func spawnHatch() {
+	go spin() //fedmp:goroleak-ok — process-lifetime pump, dies with the process
+}

@@ -1,0 +1,24 @@
+// Package requiredtrans backs the inventory-gate test for the transitive
+// rule: a pinned hot path whose only allocation is inside a callee. With
+// the annotation present the transitive rule flags the callee; with it
+// deleted (modelled by transHotDeleted) the allocfree inventory pin fires.
+// Either way, the gate fails.
+package requiredtrans
+
+// transHot is pinned in the test inventory. Its own body allocates nothing;
+// the transitive rule is what watches helperAlloc.
+//
+//fedmp:allocfree
+func transHot(n int) []int {
+	return helperAlloc(n)
+}
+
+// transHotDeleted is transHot after someone deleted the annotation.
+func transHotDeleted(n int) []int {
+	return helperAlloc(n)
+}
+
+// helperAlloc allocates.
+func helperAlloc(n int) []int {
+	return make([]int, n)
+}

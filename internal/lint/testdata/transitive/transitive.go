@@ -1,0 +1,61 @@
+// Package transitive is a fixture for the allocfree half of the transitive
+// analyzer: annotated hot paths whose allocations hide one or two calls
+// deep. No scope gate — the rule keys off //fedmp:allocfree annotations.
+package transitive
+
+type thing struct{ buf []float32 }
+
+// grow allocates (append) and is not annotated.
+func grow(dst []float32) []float32 {
+	return append(dst, 0)
+}
+
+// hotAnnotated claims allocation-freedom but calls an allocating helper.
+//
+//fedmp:allocfree
+func hotAnnotated(dst []float32) []float32 {
+	return grow(dst) // want "calls fedmp/internal/lint/testdata/transitive.grow, which allocates"
+}
+
+// alloc is the leaf of a two-hop chain.
+func alloc(n int) *thing {
+	return &thing{buf: make([]float32, n)}
+}
+
+// build forwards to alloc; its summary inherits the allocation.
+func build(n int) *thing {
+	return alloc(n)
+}
+
+// hotDeep's allocation is two calls away.
+//
+//fedmp:allocfree
+func hotDeep(n int) *thing {
+	return build(n) // want "via fedmp/internal/lint/testdata/transitive.alloc"
+}
+
+// hotLeaf is annotated and clean.
+//
+//fedmp:allocfree
+func hotLeaf(x []float32) float32 {
+	var s float32
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// hotCaller calling another annotated function is clean: the chain cuts at
+// the annotation boundary, where hotLeaf's own rule takes over.
+//
+//fedmp:allocfree
+func hotCaller(x []float32) float32 {
+	return hotLeaf(x)
+}
+
+// hotHatch documents an accepted amortized allocation.
+//
+//fedmp:allocfree
+func hotHatch(dst []float32) []float32 {
+	return grow(dst) //fedmp:transitive-ok — amortized warm-up growth, steady state reuses capacity
+}

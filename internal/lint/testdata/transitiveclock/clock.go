@@ -1,0 +1,25 @@
+// Package transitiveclock is the out-of-scope helper half of the
+// cross-package transitive wallclock fixture: it reads the wall clock
+// legally (it sits outside WallclockDeny), but its summary records the
+// reach, so deterministic-layer callers are flagged at their call sites.
+package transitiveclock
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Elapsed reaches the clock through Stamp.
+func Elapsed(since int64) int64 {
+	return Stamp() - since
+}
+
+// Pure is clock-free: calling it from a deterministic layer is fine.
+func Pure(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

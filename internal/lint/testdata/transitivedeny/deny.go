@@ -1,0 +1,39 @@
+// Package transitivedeny models a deterministic layer (the golden test
+// appends it to WallclockDeny) that escapes to the wall clock through an
+// out-of-scope helper package — the leak the intraprocedural wallclock rule
+// cannot see.
+package transitivedeny
+
+import "fedmp/internal/lint/testdata/transitiveclock"
+
+// Record leaks directly through the helper package.
+func Record() int64 {
+	return transitiveclock.Stamp() // want "reaches the wall clock"
+}
+
+// RecordDeep leaks through a helper of the helper.
+func RecordDeep(since int64) int64 {
+	return transitiveclock.Elapsed(since) // want "via fedmp/internal/lint/testdata/transitiveclock.Stamp"
+}
+
+// Diff is clean: Pure never touches the clock.
+func Diff(a, b int64) int64 {
+	return transitiveclock.Pure(a, b)
+}
+
+// helper leaks, and is reported here — at the scope boundary it escapes
+// through.
+func helper() int64 {
+	return transitiveclock.Stamp() // want "reaches the wall clock"
+}
+
+// outer calls an in-scope leaking helper: no finding here, the leak is
+// reported once, inside helper.
+func outer() int64 {
+	return helper()
+}
+
+// hatch documents a sanctioned escape.
+func hatch() int64 {
+	return transitiveclock.Stamp() //fedmp:transitive-ok — fixture: documented escape
+}

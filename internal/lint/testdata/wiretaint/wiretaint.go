@@ -1,0 +1,75 @@
+// Package wiretaint is a deliberately-unsafe decode fixture for the
+// wiretaint analyzer. Scope-gated: the golden test appends this package to
+// WireTaintScope.
+package wiretaint
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+const maxElems = 1 << 20
+
+var errTooBig = errors.New("frame too big")
+
+// decodeBad allocates straight from an unvalidated varint.
+func decodeBad(buf []byte) ([]float32, error) {
+	n, _ := binary.Uvarint(buf)
+	out := make([]float32, n) // want "wire-derived length reaches make"
+	return out, nil
+}
+
+// decodeGood bounds-checks in an if that returns an error; the surviving
+// path is clean.
+func decodeGood(buf []byte) ([]float32, error) {
+	n, _ := binary.Uvarint(buf)
+	if n > maxElems {
+		return nil, errTooBig
+	}
+	out := make([]float32, n)
+	return out, nil
+}
+
+// resize is a plain reallocation helper: its cap comparison guards a fast
+// path, not validity (no error result), so its length parameter stays a
+// sink and callers must have checked it.
+func resize(dst []float32, n int) []float32 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float32, n)
+}
+
+// decodeViaHelper pushes the unchecked length through resize; the finding
+// lands at the helper call site.
+func decodeViaHelper(buf []byte) []float32 {
+	n, _ := binary.Uvarint(buf)
+	return resize(nil, int(n)) // want "wire-derived length reaches"
+}
+
+// decodeHelperChecked validates before the helper call: clean.
+func decodeHelperChecked(buf []byte, dst []float32) ([]float32, error) {
+	n, _ := binary.Uvarint(buf)
+	if n > maxElems {
+		return nil, errTooBig
+	}
+	return resize(dst, int(n)), nil
+}
+
+// lookupBad indexes a table with a raw wire value.
+func lookupBad(buf []byte, table []float32) float32 {
+	idx := binary.LittleEndian.Uint16(buf)
+	return table[idx] // want "wire-derived length reaches index expression"
+}
+
+// sliceBad reslices with a raw wire offset.
+func sliceBad(buf []byte) []byte {
+	off, _ := binary.Uvarint(buf)
+	return buf[off:] // want "wire-derived length reaches slice bound"
+}
+
+// hatch documents a site whose frame was validated by the caller.
+func hatch(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	return make([]byte, n) //fedmp:wiretaint-ok — header already capped by the caller's frame-length check
+}

@@ -54,7 +54,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 //
 //fedmp:allocfree
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := ensure(r.dx, dy.Shape...)
+	dx := ensure(r.dx, dy.Shape...) //fedmp:transitive-ok — allocates only on shape change; cache-hit path is clean
 	r.dx = dx
 	for i, v := range dy.Data {
 		if r.mask[i] {
@@ -147,7 +147,7 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 //
 //fedmp:allocfree
 func (m *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := ensure(m.dx, m.inShape...)
+	dx := ensure(m.dx, m.inShape...) //fedmp:transitive-ok — allocates only on shape change; cache-hit path is clean
 	m.dx = dx
 	dx.Zero() // scatter-add below
 	for oi, v := range dy.Data {
@@ -211,7 +211,7 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 //fedmp:allocfree
 func (g *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	plane := g.H * g.W
-	dx := ensure(g.dx, g.n, g.C, g.H, g.W)
+	dx := ensure(g.dx, g.n, g.C, g.H, g.W) //fedmp:transitive-ok — allocates only on shape change; cache-hit path is clean
 	g.dx = dx
 	inv := 1 / float32(plane)
 	for i := 0; i < g.n; i++ {

@@ -59,12 +59,12 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	d.x = x
 	n := x.Shape[0]
-	y := ensure(d.y, n, d.Out)
+	y := ensure(d.y, n, d.Out) //fedmp:transitive-ok — allocates only on shape change; cache-hit path is clean
 	d.y = y
 	if d.SparseWeights {
 		tensor.MatMulTBSparseInto(y, x, d.W.W, false)
 	} else {
-		tensor.MatMulTBInto(y, x, d.W.W, false)
+		tensor.MatMulTBInto(y, x, d.W.W, false) //fedmp:transitive-ok — gemm's one dispatch closure per parallel call
 	}
 	for i := 0; i < n; i++ {
 		row := y.Data[i*d.Out : (i+1)*d.Out]
@@ -81,7 +81,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n := dy.Shape[0]
 	// dW[out,in] += dyᵀ[out,N]·x[N,in]
-	tensor.MatMulTAInto(d.W.Grad, dy, d.x, true)
+	tensor.MatMulTAInto(d.W.Grad, dy, d.x, true) //fedmp:transitive-ok — gemm's one dispatch closure per parallel call
 	// db += column sums of dy.
 	for i := 0; i < n; i++ {
 		row := dy.Data[i*d.Out : (i+1)*d.Out]
@@ -90,8 +90,8 @@ func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dx[N,in] = dy[N,out]·W[out,in]
-	dx := ensure(d.dx, n, d.In)
+	dx := ensure(d.dx, n, d.In) //fedmp:transitive-ok — allocates only on shape change; cache-hit path is clean
 	d.dx = dx
-	tensor.MatMulInto(dx, dy, d.W.W, false)
+	tensor.MatMulInto(dx, dy, d.W.W, false) //fedmp:transitive-ok — gemm's one dispatch closure per parallel call
 	return dx
 }

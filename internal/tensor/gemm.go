@@ -187,8 +187,8 @@ func gemmBlocked(kern *gemmKernel, c, a, b []float32, aT, bT bool, m, k, n, rlo,
 	if nc > n {
 		nc = roundUp(n, nr)
 	}
-	bbuf := Scratch.Get(kcGEMM * nc)
-	abuf := Scratch.Get(kern.mc * kcGEMM)
+	bbuf := Scratch.Get(kcGEMM * nc) //fedmp:transitive-ok — pool miss allocates once; steady state reuses
+	abuf := Scratch.Get(kern.mc * kcGEMM) //fedmp:transitive-ok — pool miss allocates once; steady state reuses
 	defer Scratch.Put(abuf)
 	defer Scratch.Put(bbuf)
 	// Edge tiles are computed full-size (panels are zero-padded) into a
@@ -198,7 +198,7 @@ func gemmBlocked(kern *gemmKernel, c, a, b []float32, aT, bT bool, m, k, n, rlo,
 	// kern.asm call, which would force a heap allocation per GEMM call.)
 	var edge []float32
 	if kern.asm != nil {
-		ebuf := Scratch.Get(mrMax * nrMax)
+		ebuf := Scratch.Get(mrMax * nrMax) //fedmp:transitive-ok — pool miss allocates once; steady state reuses
 		defer Scratch.Put(ebuf)
 		edge = ebuf.Data
 	}

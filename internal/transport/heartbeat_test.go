@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// deadConn is a stub net.Conn modelling a peer whose network died: writes
+// fail immediately, reads block until the connection is closed — exactly
+// the state a suspect worker's TCP session is in when its host vanishes.
+type deadConn struct {
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newDeadConn() *deadConn { return &deadConn{closed: make(chan struct{})} }
+
+func (d *deadConn) Read(b []byte) (int, error) {
+	<-d.closed
+	return 0, net.ErrClosed
+}
+
+func (d *deadConn) Write(b []byte) (int, error) { return 0, errors.New("broken pipe") }
+
+func (d *deadConn) Close() error {
+	d.once.Do(func() { close(d.closed) })
+	return nil
+}
+
+func (d *deadConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (d *deadConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (d *deadConn) SetDeadline(t time.Time) error      { return nil }
+func (d *deadConn) SetReadDeadline(t time.Time) error  { return nil }
+func (d *deadConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestPingSuspectsSeversDeadConnection pins the heartbeat teardown path: a
+// suspect whose heartbeat send fails must have its connection severed so
+// the blocked per-connection reader unblocks and drops the slot now —
+// previously the failure was only logged and the dead suspect stayed
+// "connected" until the 24h idle timeout expired.
+func TestPingSuspectsSeversDeadConnection(t *testing.T) {
+	reg := newRegistry(1, func(string, ...any) {})
+	defer reg.closeDone()
+	reg.admit(newConn(newDeadConn()), &helloMsg{Name: "w0", ID: "w0"})
+	if got := reg.connected(); got != 1 {
+		t.Fatalf("connected() = %d after admit, want 1", got)
+	}
+	reg.markSuspect(0)
+	if got := reg.suspects(); len(got) != 1 {
+		t.Fatalf("suspects() = %v, want [0]", got)
+	}
+
+	reg.pingSuspects()
+
+	// The failed send must close the captured connection, unblocking the
+	// reader goroutine admit spawned; its recv error runs the drop path and
+	// pushes a disconnect event (env == nil).
+	select {
+	case ev := <-reg.events:
+		if ev.env != nil {
+			t.Fatalf("expected a disconnect event, got a frame from worker %d", ev.worker)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader never unblocked: heartbeat failure did not sever the dead connection")
+	}
+	if got := reg.connected(); got != 0 {
+		t.Fatalf("connected() = %d after sever, want 0", got)
+	}
+	if got := reg.suspects(); len(got) != 0 {
+		t.Fatalf("suspects() = %v after sever, want none", got)
+	}
+}
+
+// TestPingSuspectsLeavesHealthySuspects pins the other half: a suspect
+// whose transport still accepts the ping frame is left connected — only the
+// answering worker (or the idle timeout) decides its fate.
+func TestPingSuspectsLeavesHealthySuspects(t *testing.T) {
+	reg := newRegistry(1, func(string, ...any) {})
+	defer reg.closeDone()
+	serverRaw, workerRaw := net.Pipe()
+	defer workerRaw.Close()
+	reg.admit(newConn(serverRaw), &helloMsg{Name: "w0", ID: "w0"})
+	reg.markSuspect(0)
+
+	// Drain the worker side so the synchronous pipe write completes.
+	go func() {
+		buf := make([]byte, 256)
+		for {
+			if _, err := workerRaw.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	reg.pingSuspects()
+
+	if got := reg.connected(); got != 1 {
+		t.Fatalf("connected() = %d after successful ping, want 1", got)
+	}
+	if got := reg.suspects(); len(got) != 1 {
+		t.Fatalf("suspects() = %v after successful ping, want [0]", got)
+	}
+}

@@ -351,11 +351,31 @@ func (r *registry) shutdown(reason string) {
 }
 
 // pingSuspects sends a heartbeat to every connected suspect worker; a pong
-// (or any other frame) restores it to the live set.
+// (or any other frame) restores it to the live set. Slot, generation and
+// connection are captured under one mutex hold, and a failed send severs
+// that exact captured connection: the blocked per-connection reader then
+// unblocks with a recv error and runs the ordinary drop path immediately,
+// instead of the dead suspect lingering until the idle timeout fires.
+// Closing the captured pointer (rather than re-reading r.conns[slot]) keeps
+// a concurrent rejoin's fresh connection safe — at worst the old, already
+// replaced connection is closed twice.
 func (r *registry) pingSuspects() {
-	for _, slot := range r.suspects() {
-		if _, err := r.send(slot, &envelope{Kind: kindPing}); err != nil {
-			r.logf("heartbeat to worker %d failed: %v", slot, err)
+	type target struct {
+		slot, gen int
+		c         *conn
+	}
+	var targets []target
+	r.mu.Lock()
+	for i := 0; i < r.n; i++ {
+		if r.conns[i] != nil && r.state[i] == stateSuspect {
+			targets = append(targets, target{i, r.gens[i], r.conns[i]})
+		}
+	}
+	r.mu.Unlock()
+	for _, t := range targets {
+		if _, err := t.c.send(&envelope{Kind: kindPing}); err != nil {
+			r.logf("heartbeat to worker %d (gen %d) failed, severing: %v", t.slot, t.gen, err)
+			closeLogged(t.c, r.logf, "dead suspect connection")
 		}
 	}
 }
