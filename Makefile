@@ -1,6 +1,6 @@
 # Developer entry points. The Go toolchain is the only dependency.
 
-.PHONY: build test vet lint lint-fix-hints lint-bench race check bench ci test-kernels
+.PHONY: build test vet lint lint-fix-hints lint-bench lint-stats lint-hatches fuzz-smoke race check bench ci test-kernels
 
 build:
 	go build ./...
@@ -14,8 +14,10 @@ vet:
 # lint runs the repo's own static-analysis suite (internal/lint): the
 # syntactic rules randsource, wallclock, floateq, synccopy, allocfree,
 # gobdeny and atomicwrite, the flow-sensitive rules maporder, errdiscard,
-# lockbalance and seedflow, and the interprocedural rules wiretaint,
-# goroleak and transitive (call-graph summaries across packages) — the
+# lockbalance and seedflow, the interprocedural rules wiretaint, goroleak
+# and transitive (call-graph summaries across packages), and the
+# value-flow typestate rules chanlife, protoorder and scopedrop (channel
+# lifecycle, wire-protocol frame ordering, cleanup obligations) — the
 # reproducibility, hot-path, wire-format and durability invariants
 # DESIGN.md's "Static analysis" section describes.
 lint:
@@ -26,13 +28,34 @@ lint-fix-hints:
 	go run ./cmd/fedmp-lint -hints ./...
 
 # lint-bench times the full-repo lint — load, type-check, call-graph and
-# summary solve, all fourteen rules — and fails if it exceeds the budget.
+# summary solve, all seventeen rules — and fails if it exceeds the budget.
 # The budget is generous (the point is catching an accidental exponential
 # blow-up in the interprocedural layer, not micro-regressions); override
-# with LINT_BUDGET=30s for a tighter local check.
+# with LINT_BUDGET=30s for a tighter local check. The per-rule wall-time
+# breakdown lands next to the run in lint-bench.json.
 LINT_BUDGET ?= 120s
 lint-bench:
-	go run ./cmd/fedmp-lint -bench $(LINT_BUDGET) ./...
+	go run ./cmd/fedmp-lint -bench $(LINT_BUDGET) -bench-json lint-bench.json ./...
+
+# lint-stats prints the rule/finding/hatch inventory: how many analyzers are
+# registered, what they currently find, and where the //fedmp:<rule>-ok
+# suppressions sit.
+lint-stats:
+	go run ./cmd/fedmp-lint -stats ./...
+
+# lint-hatches audits every //fedmp:<rule>-ok suppression comment against a
+# hatch-blind re-lint and fails when any suppresses nothing — stale hatches
+# silently widen what future edits get away with on that line.
+lint-hatches:
+	go run ./cmd/fedmp-lint -hatches ./...
+
+# fuzz-smoke gives each fuzz target a short budget: the CFG builder under
+# the flow-sensitive lint rules, and the wire-codec frame reader. Long
+# campaigns stay manual; this catches the crashes a code change introduces.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzBuildCFG -fuzztime $(FUZZTIME) ./internal/lint
+	go test -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/transport/codec
 
 # race runs the whole suite under the race detector; the concurrent round
 # loop (quorum collection, worker rejoin, fault-injected engines), the
@@ -61,11 +84,11 @@ test-kernels:
 check: vet lint build test test-kernels race
 
 # ci is the offline continuous-integration entry point: the full check
-# pipeline, a race-checked transport smoke (two-worker loopback round over
-# the binary wire codec, sim/wire parity, and a mid-run PS kill/restart that
-# must recover from its checkpoint), then a bench smoke run (one static
-# table plus one quick sim-backed figure) proving the experiment CLI still
-# runs end to end.
-ci: check lint-bench
+# pipeline, the stale-hatch audit, a race-checked transport smoke
+# (two-worker loopback round over the binary wire codec, sim/wire parity,
+# and a mid-run PS kill/restart that must recover from its checkpoint),
+# then a bench smoke run (one static table plus one quick sim-backed
+# figure) proving the experiment CLI still runs end to end.
+ci: check lint-bench lint-hatches
 	go test -race -run 'TestLoopbackSmoke|TestSimWireBytesParity|TestPSKillRestartRecovery' ./internal/transport
 	go run ./cmd/fedmp-bench -quick -exp table2,fig5

@@ -13,7 +13,12 @@
 // for editors and CI to consume; with -sarif the whole run is one SARIF
 // 2.1.0 document (rule inventory included) for code-scanning uploads. With
 // -bench the run is timed and the command fails when load+analysis exceed
-// the given budget — the `make lint-bench` regression guard.
+// the given budget — the `make lint-bench` regression guard — and
+// -bench-json writes the per-rule wall-time breakdown to a file alongside.
+// -hatches switches to the suppression audit: every //fedmp:<rule>-ok
+// comment is re-checked against a hatch-blind lint of the same load, and
+// the command fails when any hatch suppresses nothing (the `make ci`
+// stale-hatch gate). -stats appends rule/finding/hatch counts to a run.
 package main
 
 import (
@@ -34,6 +39,9 @@ func main() {
 	sarifOut := flag.Bool("sarif", false, "print the run as one SARIF 2.1.0 document instead of text")
 	rules := flag.Bool("rules", false, "list the analyzers and exit")
 	bench := flag.Duration("bench", 0, "time the full load+analysis and fail when it exceeds this budget (0 disables)")
+	benchJSON := flag.String("bench-json", "", "write the per-rule timing breakdown as JSON to this path")
+	hatches := flag.Bool("hatches", false, "audit //fedmp:<rule>-ok hatches and fail when any suppress nothing")
+	stats := flag.Bool("stats", false, "print rule/finding/hatch counts after the findings")
 	flag.Parse()
 
 	if *rules {
@@ -56,12 +64,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags := lint.Run(pkgs, lint.DefaultOptions())
-	elapsed := time.Since(start)
 	cwd, err := os.Getwd()
 	if err != nil {
 		cwd = root
 	}
+	if *hatches {
+		runHatchAudit(pkgs, cwd)
+		return
+	}
+	diags, timings := lint.RunTimed(pkgs, lint.DefaultOptions())
+	elapsed := time.Since(start)
 	if *sarifOut {
 		err = renderSARIF(os.Stdout, diags, cwd)
 	} else {
@@ -69,6 +81,14 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, len(pkgs), elapsed, *bench, timings); err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		printStats(os.Stdout, diags, lint.Hatches(pkgs))
 	}
 	if *bench > 0 {
 		fmt.Fprintf(os.Stderr, "fedmp-lint: loaded and analyzed %d package(s) in %v (budget %v)\n",
@@ -81,6 +101,79 @@ func main() {
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "fedmp-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
+	}
+}
+
+// runHatchAudit is the -hatches mode: inventory the suppression comments,
+// re-lint with every hatch ignored, and fail on the ones suppressing
+// nothing.
+func runHatchAudit(pkgs []*lint.Package, cwd string) {
+	all := lint.Hatches(pkgs)
+	stale := lint.StaleHatches(pkgs, lint.DefaultOptions())
+	for _, h := range stale {
+		file := h.File
+		if rel, err := filepath.Rel(cwd, file); err == nil && len(rel) < len(file) {
+			file = rel
+		}
+		fmt.Printf("%s:%d: [stale-hatch] //fedmp:%s-ok suppresses nothing\n", file, h.Line, h.Rule)
+	}
+	fmt.Fprintf(os.Stderr, "fedmp-lint: %d hatch(es), %d stale\n", len(all), len(stale))
+	if len(stale) > 0 {
+		os.Exit(1)
+	}
+}
+
+// benchReport is the -bench-json payload: the load+analysis wall time and
+// the per-rule breakdown, in pipeline order.
+type benchReport struct {
+	Packages int         `json:"packages"`
+	TotalMS  float64     `json:"total_ms"`
+	BudgetMS float64     `json:"budget_ms,omitempty"`
+	Rules    []benchRule `json:"rules"`
+}
+
+type benchRule struct {
+	Rule string  `json:"rule"`
+	MS   float64 `json:"ms"`
+}
+
+func writeBenchJSON(path string, packages int, elapsed, budget time.Duration, timings []lint.RuleTiming) error {
+	report := benchReport{
+		Packages: packages,
+		TotalMS:  float64(elapsed.Microseconds()) / 1000,
+		BudgetMS: float64(budget.Microseconds()) / 1000,
+		Rules:    make([]benchRule, len(timings)),
+	}
+	for i, tm := range timings {
+		report.Rules[i] = benchRule{Rule: tm.Rule, MS: float64(tm.Elapsed.Microseconds()) / 1000}
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// printStats appends the `make lint-stats` summary: registered rules,
+// findings per rule, and the hatch inventory per rule.
+func printStats(w io.Writer, diags []lint.Diagnostic, hatches []lint.Hatch) {
+	byRule := make(map[string]int)
+	for _, d := range diags {
+		byRule[d.Rule]++
+	}
+	hatchByRule := make(map[string]int)
+	for _, h := range hatches {
+		hatchByRule[h.Rule]++
+	}
+	analyzers := lint.Analyzers()
+	fmt.Fprintf(w, "rules:    %d\n", len(analyzers))
+	fmt.Fprintf(w, "findings: %d\n", len(diags))
+	fmt.Fprintf(w, "hatches:  %d\n", len(hatches))
+	for _, a := range analyzers {
+		if byRule[a.Name] == 0 && hatchByRule[a.Name] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-12s %d finding(s), %d hatch(es)\n", a.Name, byRule[a.Name], hatchByRule[a.Name])
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"go/token"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -145,6 +146,80 @@ func TestRenderSARIFClean(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `"results": []`) {
 		t.Errorf("clean run must render an empty results array, got:\n%s", buf.String())
+	}
+}
+
+// TestOutputStableOrdering pins the determinism contract for machine
+// consumers: the -json and -sarif renderings of the same load are
+// byte-identical across repeated runs and across GOMAXPROCS settings, and
+// the -json lines match a checked-in golden (regenerate with
+// `go test -run Ordering -update`). Editors diff lint output between
+// commits; any nondeterminism shows up there as phantom churn.
+func TestOutputStableOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks fixture packages")
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []string{
+		root + "/internal/lint/testdata/errdiscard",
+		root + "/internal/lint/testdata/maporder",
+		root + "/internal/lint/testdata/floateq",
+	}
+	renderOnce := func(sarif bool) string {
+		pkgs, err := lint.LoadDirs(root, dirs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := lint.Run(pkgs, lint.DefaultOptions())
+		if len(diags) == 0 {
+			t.Fatal("fixture load produced no findings")
+		}
+		var buf bytes.Buffer
+		if sarif {
+			err = renderSARIF(&buf, diags, root)
+		} else {
+			err = render(&buf, diags, root, true, false)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	jsonRuns := make([]string, 0, 4)
+	sarifRuns := make([]string, 0, 4)
+	for _, procs := range []int{1, prev, runtime.NumCPU(), 1} {
+		runtime.GOMAXPROCS(procs)
+		jsonRuns = append(jsonRuns, renderOnce(false))
+		sarifRuns = append(sarifRuns, renderOnce(true))
+	}
+	runtime.GOMAXPROCS(prev)
+	for i := 1; i < len(jsonRuns); i++ {
+		if jsonRuns[i] != jsonRuns[0] {
+			t.Errorf("-json output differs between run 0 and run %d", i)
+		}
+		if sarifRuns[i] != sarifRuns[0] {
+			t.Errorf("-sarif output differs between run 0 and run %d", i)
+		}
+	}
+
+	const goldenPath = "testdata/ordering.golden"
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(jsonRuns[0]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonRuns[0] != string(golden) {
+		t.Errorf("-json output drifted from %s (regenerate with -update):\n%s", goldenPath, jsonRuns[0])
 	}
 }
 

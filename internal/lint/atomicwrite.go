@@ -43,7 +43,7 @@ func runAtomicWrite(pass *Pass) {
 	}
 	fset := pass.Pkg.Fset
 	for _, f := range pass.Pkg.Files {
-		okLines := directiveLines(fset, f, atomicwriteOKDirective)
+		okLines := pass.directiveLines(f, atomicwriteOKDirective)
 		for _, decl := range f.Decls {
 			if fn, ok := decl.(*ast.FuncDecl); ok && hasDirective(fn.Doc, atomicwriteHelperDirective) {
 				continue // the blessed helper owns the raw calls

@@ -1,0 +1,491 @@
+// The chanlife analyzer: typestate for local channel values, complementing
+// goroleak's termination check with a lifecycle check. Per function, every
+// alias class of channel-typed locals (from the value-flow graph) carries a
+// definite state — nil, open, closed, or unknown — propagated forward over
+// the CFG. close on a provably closed or nil class, send on a provably
+// closed or nil class, and receive from a provably nil class are findings;
+// a deferred close whose channel is already closed on every return path is
+// the deferred variant of double close. The judgements are definite by
+// construction: a class that is captured, address-taken, or aliased across
+// several generations is demoted to unknown, and a merge of unequal states
+// is unknown, so every report names a fact that holds on all paths reaching
+// it. One extra flow-insensitive check covers the deadlock the testbed
+// papers hit under churn: a bare send on an unbuffered channel that never
+// escapes the function and has no receive, range or select anywhere in it
+// can never complete.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const chanlifeOKDirective = "//fedmp:chanlife-ok"
+
+const chanlifeHint = "restructure so the channel is closed exactly once by its owner (or hand " +
+	"it to another goroutine and suppress with " + chanlifeOKDirective + ")"
+
+var analyzerChanLife = &Analyzer{
+	Name: "chanlife",
+	Doc: "typestate for local channel values in the production scopes: closing " +
+		"a channel that is already closed or still nil on every path, sending on " +
+		"a provably closed or nil channel, receiving from a provably nil " +
+		"channel, and bare sends on a non-escaping unbuffered channel with no " +
+		"receiver anywhere in the function are findings. " + chanlifeOKDirective +
+		" on the preceding or same line suppresses.",
+	Run: runChanLife,
+}
+
+// Channel states. Absent from a fact means "unreached so far" (the merge
+// identity); chTop means "unknown", the merge of unequal states.
+const (
+	chNil uint8 = iota + 1
+	chOpen
+	chClosed
+	chTop
+)
+
+var chanStateName = map[uint8]string{
+	chNil:    "nil",
+	chOpen:   "open",
+	chClosed: "closed",
+	chTop:    "unknown",
+}
+
+type chanFact map[*types.Var]uint8
+
+func runChanLife(pass *Pass) {
+	if !inScope(pass.Pkg.Path, pass.Opts.ChanLifeScope) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ok := pass.directiveLines(f, chanlifeOKDirective)
+		funcBodies(f, info, func(_ ast.Node, sig *types.Signature, body *ast.BlockStmt) {
+			cl := &chanLifeFunc{
+				pass:       pass,
+				info:       info,
+				vf:         pass.ValueFlow(body, sig),
+				ok:         ok,
+				selectComm: selectCommStmts(body),
+			}
+			cl.run(body)
+		})
+	}
+}
+
+// chanLifeFunc analyzes one function body.
+type chanLifeFunc struct {
+	pass *Pass
+	info *types.Info
+	vf   *ValueFlow
+	ok   map[int]bool
+	// selectComm holds the communication statements of select clauses: nil
+	// receives there are the standard disabled-arm idiom, and bare-send
+	// deadlock reasoning does not apply to multi-arm selects.
+	selectComm map[ast.Stmt]bool
+}
+
+func (cl *chanLifeFunc) run(body *ast.BlockStmt) {
+	g := BuildCFG(body, cl.info)
+	before, _ := Solve(g, Problem[chanFact]{
+		Dir:      Forward,
+		Bottom:   func() chanFact { return chanFact{} },
+		Boundary: func() chanFact { return chanFact{} },
+		Merge:    mergeChanFacts,
+		Transfer: func(b *Block, in chanFact) chanFact {
+			out := make(chanFact, len(in))
+			for k, v := range in {
+				out[k] = v
+			}
+			for _, n := range b.Nodes {
+				cl.step(n, out, nil)
+			}
+			return out
+		},
+		Equal: chanFactEqual,
+	})
+	// Reporting pass: replay each block once from its fixpoint entry fact.
+	for _, b := range g.Blocks {
+		fact := make(chanFact, len(before[b]))
+		for k, v := range before[b] {
+			fact[k] = v
+		}
+		for _, n := range b.Nodes {
+			cl.step(n, fact, cl.report)
+		}
+	}
+	cl.deferredCloses(body, before[g.Exit()])
+	cl.blockedSends(body)
+}
+
+func mergeChanFacts(dst, src chanFact) chanFact {
+	for k, v := range src {
+		if have, ok := dst[k]; ok && have != v {
+			dst[k] = chTop
+		} else {
+			dst[k] = v
+		}
+	}
+	return dst
+}
+
+func chanFactEqual(a, b chanFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (cl *chanLifeFunc) report(pos token.Pos, format string, args ...any) {
+	if suppressed(cl.pass.Pkg.Fset, cl.ok, pos) {
+		return
+	}
+	cl.pass.ReportHint(pos, chanlifeHint, format, args...)
+}
+
+// trackable reports whether definite per-class state is sound: the class
+// must not be reachable from another goroutine or through a pointer, and
+// aliased classes must have a single value generation (a second make over
+// live aliases would make strong updates lie).
+func (cl *chanLifeFunc) trackable(rep *types.Var) bool {
+	if rep == nil {
+		return false
+	}
+	if cl.vf.Flags(rep)&(VFCaptured|VFAddrTaken) != 0 {
+		return false
+	}
+	if cl.vf.ClassSize(rep) > 1 && cl.vf.Assigns(rep) > 1 {
+		return false
+	}
+	return true
+}
+
+func isChanVar(v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	_, ok := v.Type().Underlying().(*types.Chan)
+	return ok
+}
+
+// chanClass resolves a channel expression to its trackable class.
+func (cl *chanLifeFunc) chanClass(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v := identVar(cl.info, id)
+	if !isChanVar(v) {
+		return nil
+	}
+	rep := cl.vf.Rep(v)
+	if !cl.trackable(rep) {
+		return nil
+	}
+	return rep
+}
+
+func (cl *chanLifeFunc) state(fact chanFact, rep *types.Var) uint8 {
+	if rep == nil {
+		return chTop
+	}
+	if s, ok := fact[rep]; ok {
+		return s
+	}
+	return chTop
+}
+
+// step applies one CFG node's channel events to fact, reporting definite
+// violations when report is non-nil (the post-fixpoint replay).
+func (cl *chanLifeFunc) step(n ast.Node, fact chanFact, report func(token.Pos, string, ...any)) {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		// Deferred closes run at return; deferredCloses checks them against
+		// the exit fact. Argument evaluation has no channel events.
+		return
+	case *ast.GoStmt:
+		// The spawned work runs at an unknown time: any tracked channel it
+		// mentions becomes unknown from here on.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok {
+				if rep := cl.chanClass(id); rep != nil {
+					fact[rep] = chTop
+				}
+			}
+			return true
+		})
+		return
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					rep := cl.chanClass(name)
+					if rep == nil {
+						continue
+					}
+					if len(vs.Values) == 0 {
+						fact[rep] = chNil
+					} else if len(vs.Values) == len(vs.Names) {
+						fact[rep] = cl.rhsState(fact, rep, vs.Values[i])
+					} else {
+						fact[rep] = chTop
+					}
+				}
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false // separate function; captured classes are untracked
+		case *ast.AssignStmt:
+			cl.stepAssign(c, fact)
+		case *ast.SendStmt:
+			if rep := cl.chanClass(c.Chan); rep != nil && report != nil {
+				inSelect := cl.selectComm[ast.Stmt(c)]
+				switch cl.state(fact, rep) {
+				case chClosed:
+					report(c.Arrow, "send on %s: channel is closed on every path here (send would panic)", chanName(c.Chan))
+				case chNil:
+					if !inSelect {
+						report(c.Arrow, "send on %s: channel is nil on every path here (send blocks forever)", chanName(c.Chan))
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW && report != nil {
+				if rep := cl.chanClass(c.X); rep != nil && cl.state(fact, rep) == chNil {
+					report(c.OpPos, "receive on %s: channel is nil on every path here (receive blocks forever)", chanName(c.X))
+				}
+			}
+		case *ast.CallExpr:
+			switch builtinName(cl.info, c) {
+			case "close":
+				if len(c.Args) != 1 {
+					return true
+				}
+				rep := cl.chanClass(c.Args[0])
+				if rep == nil {
+					return true
+				}
+				if report != nil {
+					switch cl.state(fact, rep) {
+					case chClosed:
+						report(c.Pos(), "close of %s: channel is already closed on every path here", chanName(c.Args[0]))
+					case chNil:
+						report(c.Pos(), "close of %s: channel is nil on every path here (close would panic)", chanName(c.Args[0]))
+					}
+				}
+				fact[rep] = chClosed
+			case "len", "cap", "print", "println", "delete", "make", "append", "copy":
+				// No lifecycle effect on channel operands.
+			default:
+				if builtinName(cl.info, c) != "" {
+					return true
+				}
+				// An ordinary call may close or replace a channel it
+				// receives: demote its tracked channel arguments.
+				for _, a := range c.Args {
+					if rep := cl.chanClass(a); rep != nil {
+						fact[rep] = chTop
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// stepAssign applies a (re)assignment's state updates.
+func (cl *chanLifeFunc) stepAssign(s *ast.AssignStmt, fact chanFact) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		return
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			rep := cl.chanClass(lhs)
+			if rep == nil {
+				continue
+			}
+			fact[rep] = cl.rhsState(fact, rep, s.Rhs[i])
+		}
+		return
+	}
+	// Tuple assignment: channel targets become unknown.
+	for _, lhs := range s.Lhs {
+		if rep := cl.chanClass(lhs); rep != nil {
+			fact[rep] = chTop
+		}
+	}
+}
+
+// rhsState maps an assigned right-hand side to the class's new state. An
+// alias copy within the class keeps the current state.
+func (cl *chanLifeFunc) rhsState(fact chanFact, lhsRep *types.Var, rhs ast.Expr) uint8 {
+	rhs = ast.Unparen(rhs)
+	if rep := cl.chanClass(rhs); rep != nil && rep == lhsRep {
+		return cl.state(fact, lhsRep)
+	}
+	switch rhs := rhs.(type) {
+	case *ast.CallExpr:
+		if builtinName(cl.info, rhs) == "make" {
+			return chOpen
+		}
+	case *ast.Ident:
+		if _, isNil := cl.info.Uses[rhs].(*types.Nil); isNil {
+			return chNil
+		}
+	}
+	return chTop
+}
+
+// deferredCloses reports deferred closes whose channel is already closed on
+// every return path — the deferred flavour of double close.
+func (cl *chanLifeFunc) deferredCloses(body *ast.BlockStmt, exitFact chanFact) {
+	walkSkipFuncLits(body, func(n ast.Node) {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok || builtinName(cl.info, ds.Call) != "close" || len(ds.Call.Args) != 1 {
+			return
+		}
+		rep := cl.chanClass(ds.Call.Args[0])
+		if rep != nil && cl.state(exitFact, rep) == chClosed {
+			cl.report(ds.Pos(), "deferred close of %s: channel is already closed on every return path",
+				chanName(ds.Call.Args[0]))
+		}
+	})
+}
+
+// blockedSends reports bare sends on unbuffered channels that provably
+// cannot complete: the class is built only by unbuffered makes, never
+// escapes the function, and the function contains no receive, range or
+// select over it.
+func (cl *chanLifeFunc) blockedSends(body *ast.BlockStmt) {
+	type chanUse struct {
+		sends    []*ast.SendStmt
+		consumed bool
+	}
+	uses := make(map[*types.Var]*chanUse)
+	useOf := func(rep *types.Var) *chanUse {
+		u := uses[rep]
+		if u == nil {
+			u = &chanUse{}
+			uses[rep] = u
+		}
+		return u
+	}
+	walkSkipFuncLits(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if rep := cl.chanClass(n.Chan); rep != nil {
+				u := useOf(rep)
+				if cl.selectComm[ast.Stmt(n)] {
+					u.consumed = true // another arm can unblock the select
+				} else {
+					u.sends = append(u.sends, n)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if rep := cl.chanClass(n.X); rep != nil {
+					useOf(rep).consumed = true
+				}
+			}
+		case *ast.RangeStmt:
+			if rep := cl.chanClass(n.X); rep != nil {
+				useOf(rep).consumed = true
+			}
+		}
+	})
+	for _, rep := range cl.vf.Classes() {
+		u := uses[rep]
+		if u == nil || u.consumed || len(u.sends) == 0 {
+			continue
+		}
+		if cl.vf.Flags(rep).Escaped() {
+			continue
+		}
+		origins := cl.vf.Origins(rep)
+		if len(origins) == 0 {
+			continue
+		}
+		unbuffered := true
+		for _, o := range origins {
+			mk, ok := o.Expr.(*ast.CallExpr)
+			if o.Kind != OriginMake || !ok || !isUnbufferedMake(cl.info, mk) {
+				unbuffered = false
+				break
+			}
+		}
+		if !unbuffered {
+			continue
+		}
+		for _, s := range u.sends {
+			cl.report(s.Arrow, "send on unbuffered %s: the channel never escapes this function and nothing in it receives (send blocks forever)",
+				chanName(s.Chan))
+		}
+	}
+}
+
+// isUnbufferedMake reports whether the make call builds an unbuffered
+// channel: no capacity argument, or a constant zero one.
+func isUnbufferedMake(info *types.Info, mk *ast.CallExpr) bool {
+	if len(mk.Args) < 2 {
+		return true
+	}
+	tv := info.Types[mk.Args[1]]
+	if tv.Value == nil {
+		return false
+	}
+	v, ok := constantInt64(tv)
+	return ok && v == 0
+}
+
+// selectCommStmts collects the communication statements of every select in
+// the body, including inside nested literals.
+func selectCommStmts(body *ast.BlockStmt) map[ast.Stmt]bool {
+	set := make(map[ast.Stmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					set[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	return set
+}
+
+// walkSkipFuncLits visits every node under body except nested literals.
+func walkSkipFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// chanName renders the channel expression for messages.
+func chanName(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "channel"
+}

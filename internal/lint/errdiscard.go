@@ -35,7 +35,7 @@ var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Inter
 func runErrDiscard(pass *Pass) {
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
-		ok := directiveLines(pass.Pkg.Fset, f, errDiscardOKDirective)
+		ok := pass.directiveLines(f, errDiscardOKDirective)
 		reportf := func(pos token.Pos, format string, args ...any) {
 			if !suppressed(pass.Pkg.Fset, ok, pos) {
 				pass.ReportHint(pos, errDiscardHint, format, args...)

@@ -36,7 +36,7 @@ func runGobDeny(pass *Pass) {
 	}
 	fset := pass.Pkg.Fset
 	for _, f := range pass.Pkg.Files {
-		ok := directiveLines(fset, f, gobdenyOKDirective)
+		ok := pass.directiveLines(f, gobdenyOKDirective)
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
 			if err != nil {

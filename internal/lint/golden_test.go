@@ -170,6 +170,29 @@ func TestTransitiveGolden(t *testing.T) {
 	checkGolden(t, "testdata/transitive", DefaultOptions())
 }
 
+func TestChanLifeGolden(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ChanLifeScope = append(opts.ChanLifeScope, "fedmp/internal/lint/testdata/chanlife")
+	checkGolden(t, "testdata/chanlife", opts)
+}
+
+// TestProtoOrderGolden lints the protocol fixture with its mini-codec twin
+// and ServeFixture standing in as the parameter-server role root.
+func TestProtoOrderGolden(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ProtoOrderScope = append(opts.ProtoOrderScope, "fedmp/internal/lint/testdata/protoorder")
+	opts.ProtoOrderRoles = map[string][]byte{
+		"fedmp/internal/lint/testdata/protoorder.ServeFixture": {protoAssign, protoPing, protoShutdown},
+	}
+	checkGoldenDirs(t, opts, "testdata/protoorder", "testdata/protoorder/codec")
+}
+
+func TestScopeDropGolden(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ScopeDropScope = append(opts.ScopeDropScope, "fedmp/internal/lint/testdata/scopedrop")
+	checkGolden(t, "testdata/scopedrop", opts)
+}
+
 // TestTransitiveWallclockGolden is the cross-package case: the deny-scoped
 // fixture imports an out-of-scope helper package that reads the clock, and
 // the findings land at the scope boundary. The dependency is listed after

@@ -33,7 +33,7 @@ func runGoroLeak(pass *Pass) {
 	g, sums := pass.Interprocedural()
 	fset := pass.Pkg.Fset
 	for _, f := range pass.Pkg.Files {
-		ok := directiveLines(fset, f, goroleakOKDirective)
+		ok := pass.directiveLines(f, goroleakOKDirective)
 		ast.Inspect(f, func(c ast.Node) bool {
 			gs, isGo := c.(*ast.GoStmt)
 			if !isGo || suppressed(fset, ok, gs.Pos()) {

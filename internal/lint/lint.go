@@ -18,22 +18,33 @@
 //	wiretaint   — wire-decoded integers pass a bounds check before reaching allocations
 //	goroleak    — transport go statements have a provable exit path
 //	transitive  — allocfree and wallclock hold across call boundaries, via summaries
+//	chanlife    — local channel values obey their lifecycle (no double close, no
+//	              closed/nil sends, no receiverless unbuffered sends)
+//	protoorder  — wire frames are emitted in protocol-machine order, per stream
+//	scopedrop   — values with cleanup obligations reach Close/Put or a releasing owner
 //
 // maporder, errdiscard, lockbalance and seedflow are flow-sensitive: they
 // run over the intraprocedural CFGs of cfg.go and the worklist analyses of
 // dataflow.go rather than bare syntax. wiretaint, goroleak and transitive
 // are interprocedural: they consume the cross-package call graph of
 // callgraph.go and the bottom-up SCC effect summaries of summary.go.
-// Findings are reported as "file:line: [rule] message"; cmd/fedmp-lint exits
-// nonzero on any finding, and `make check` runs it between vet and build.
+// chanlife, protoorder and scopedrop are typestate analyzers on the fourth
+// layer: the intraprocedural value-flow graph of valueflow.go (may-alias
+// classes with origins and escape flags), combined with the CFG for
+// per-class state tracking and with the call graph for cross-function
+// frame/release summaries. Findings are reported as "file:line: [rule]
+// message"; cmd/fedmp-lint exits nonzero on any finding, and `make check`
+// runs it between vet and build.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one analyzer finding.
@@ -95,6 +106,35 @@ type Options struct {
 	// Wallclock, so threading a clock through them stays legal while any
 	// other escape from the deterministic layers is a transitive finding.
 	WallclockSanctioned []string
+	// ChanLifeScope lists the import-path prefixes in which the chanlife
+	// analyzer tracks channel typestate. The list names the production
+	// packages explicitly (rather than one fedmp/internal prefix) so the
+	// deliberately-bad fixtures of the other rules stay out of scope.
+	ChanLifeScope []string
+	// ProtoOrderScope lists the import-path prefixes in which the protoorder
+	// analyzer checks frame-emission order against the wire-protocol state
+	// machine — the transport (send paths) and core (priced paths) layers.
+	ProtoOrderScope []string
+	// ProtoOrderRoles maps protocol role roots (funcKey form) to the frame
+	// kinds their reachable send paths may emit: the PS accept/round loop
+	// under transport.Serve sends assigns, pings and shutdowns; the worker
+	// session loop under transport.RunWorker sends hellos, results and
+	// pongs. A function reachable from exactly one root must stay inside
+	// that root's kind set.
+	ProtoOrderRoles map[string][]byte
+	// ScopeDropScope lists the import-path prefixes in which the scopedrop
+	// analyzer tracks cleanup obligations (files, connections, pooled
+	// buffers). Explicit production packages, for the same fixture-isolation
+	// reason as ChanLifeScope.
+	ScopeDropScope []string
+	// IgnoreHatches disables every //fedmp:<rule>-ok line directive for one
+	// run. The stale-hatch detector diffs a normal run against an
+	// IgnoreHatches run: a hatch no finding lands on is rot. Doc-comment
+	// directives that are requirements rather than hatches
+	// (//fedmp:allocfree, //fedmp:atomicwrite-helper) are unaffected, as are
+	// the summary computations (a suppressed site must still not poison its
+	// callers' summaries).
+	IgnoreHatches bool
 }
 
 // DefaultOptions returns the repo's production configuration.
@@ -151,6 +191,39 @@ func DefaultOptions() *Options {
 		WallclockSanctioned: []string{
 			"fedmp/internal/simclock",
 		},
+		ChanLifeScope: []string{
+			"fedmp/internal/core",
+			"fedmp/internal/cluster",
+			"fedmp/internal/bandit",
+			"fedmp/internal/experiment",
+			"fedmp/internal/metrics",
+			"fedmp/internal/transport",
+			"fedmp/internal/tensor",
+			"fedmp/internal/nn",
+			"fedmp/internal/prune",
+			"fedmp/internal/simclock",
+			"fedmp/cmd",
+		},
+		ProtoOrderScope: []string{
+			"fedmp/internal/transport",
+			"fedmp/internal/core",
+		},
+		ProtoOrderRoles: map[string][]byte{
+			"fedmp/internal/transport.Serve":     {protoAssign, protoPing, protoShutdown},
+			"fedmp/internal/transport.RunWorker": {protoHello, protoResult, protoPong},
+		},
+		ScopeDropScope: []string{
+			"fedmp/internal/core",
+			"fedmp/internal/cluster",
+			"fedmp/internal/bandit",
+			"fedmp/internal/experiment",
+			"fedmp/internal/metrics",
+			"fedmp/internal/transport",
+			"fedmp/internal/tensor",
+			"fedmp/internal/nn",
+			"fedmp/internal/prune",
+			"fedmp/cmd",
+		},
 	}
 }
 
@@ -177,31 +250,73 @@ type Pass struct {
 	inter    *interState
 }
 
-// interState lazily shares the interprocedural results — call graph and
-// effect summaries over the whole package set — across every analyzer and
-// package of one Run, so the SCC solve happens at most once per lint run.
+// interState lazily shares the interprocedural results — call graph, effect
+// summaries, value-flow graphs and the typestate analyzers' derived
+// summaries over the whole package set — across every analyzer and package
+// of one Run, so each expensive solve happens at most once per lint run.
 type interState struct {
 	pkgs  []*Package
 	opts  *Options
 	graph *CallGraph
 	sums  *Summaries
+	// vflows caches one ValueFlow per function body across the chanlife,
+	// protoorder and scopedrop passes.
+	vflows map[*ast.BlockStmt]*ValueFlow
+	// proto is the run-wide protoorder state (frame summaries, role
+	// reachability); drop is the run-wide scopedrop release-fate table.
+	proto *protoState
+	drop  *dropState
+}
+
+// ensureInter returns the pass's shared state, creating a single-package one
+// for direct Pass construction outside Run (tests).
+func (p *Pass) ensureInter() *interState {
+	if p.inter == nil {
+		p.inter = &interState{pkgs: []*Package{p.Pkg}, opts: p.Opts}
+	}
+	return p.inter
 }
 
 // Interprocedural returns the run-wide call graph and summaries, building
 // them on first use.
 func (p *Pass) Interprocedural() (*CallGraph, *Summaries) {
-	st := p.inter
-	if st == nil {
-		// Direct Pass construction outside Run (tests): analyze just this
-		// package.
-		st = &interState{pkgs: []*Package{p.Pkg}, opts: p.Opts}
-		p.inter = st
-	}
+	st := p.ensureInter()
 	if st.graph == nil {
 		st.graph = BuildCallGraph(st.pkgs)
 		st.sums = ComputeSummaries(st.graph, st.opts)
 	}
 	return st.graph, st.sums
+}
+
+// ValueFlow returns the value-flow graph of one of this package's function
+// bodies, shared across analyzers the same way Interprocedural shares the
+// call graph.
+func (p *Pass) ValueFlow(body *ast.BlockStmt, sig *types.Signature) *ValueFlow {
+	return p.ensureInter().valueFlow(p.Pkg, body, sig)
+}
+
+// valueFlow is the package-aware cache behind Pass.ValueFlow; the summary
+// builders use it directly for bodies belonging to other packages of the
+// load.
+func (st *interState) valueFlow(pkg *Package, body *ast.BlockStmt, sig *types.Signature) *ValueFlow {
+	if st.vflows == nil {
+		st.vflows = make(map[*ast.BlockStmt]*ValueFlow)
+	}
+	if vf, ok := st.vflows[body]; ok {
+		return vf
+	}
+	vf := BuildValueFlow(body, sig, pkg.Info)
+	st.vflows[body] = vf
+	return vf
+}
+
+// directiveLines returns the //fedmp:<rule>-ok lines of f, or nothing when
+// the run ignores hatches (the stale-hatch detector's shadow run).
+func (p *Pass) directiveLines(f *ast.File, directive string) map[int]bool {
+	if p.Opts.IgnoreHatches {
+		return map[int]bool{}
+	}
+	return directiveLines(p.Pkg.Fset, f, directive)
 }
 
 // Report records a finding at pos.
@@ -236,20 +351,48 @@ func Analyzers() []*Analyzer {
 		analyzerWireTaint,
 		analyzerGoroLeak,
 		analyzerTransitive,
+		analyzerChanLife,
+		analyzerProtoOrder,
+		analyzerScopeDrop,
 	}
+}
+
+// RuleTiming is one analyzer's accumulated wall time over a whole run. The
+// lazily built shared layers (call graph, summaries, value-flow graphs) are
+// attributed to whichever rule triggers them first — by pipeline order that
+// is wiretaint for the interprocedural solve and chanlife for the value-flow
+// cache — so a slow new pass shows up under its own name or as a jump in its
+// layer's first consumer.
+type RuleTiming struct {
+	Rule    string
+	Elapsed time.Duration
 }
 
 // Run executes every analyzer over every package and returns the findings
 // sorted by position then rule.
 func Run(pkgs []*Package, opts *Options) []Diagnostic {
+	diags, _ := RunTimed(pkgs, opts)
+	return diags
+}
+
+// RunTimed is Run plus a per-rule wall-time breakdown in pipeline order —
+// the `fedmp-lint -bench-json` payload.
+func RunTimed(pkgs []*Package, opts *Options) ([]Diagnostic, []RuleTiming) {
 	if opts == nil {
 		opts = DefaultOptions()
 	}
 	var diags []Diagnostic
 	inter := &interState{pkgs: pkgs, opts: opts}
+	analyzers := Analyzers()
+	timings := make([]RuleTiming, len(analyzers))
+	for i, a := range analyzers {
+		timings[i].Rule = a.Name
+	}
 	for _, pkg := range pkgs {
-		for _, a := range Analyzers() {
+		for i, a := range analyzers {
+			start := time.Now()
 			a.Run(&Pass{Pkg: pkg, Opts: opts, analyzer: a, diags: &diags, inter: inter})
+			timings[i].Elapsed += time.Since(start)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -282,7 +425,7 @@ func Run(pkgs []*Package, opts *Options) []Diagnostic {
 		}
 		dedup = append(dedup, d)
 	}
-	return dedup
+	return dedup, timings
 }
 
 // directiveLines returns the lines of f on which the given //fedmp:...

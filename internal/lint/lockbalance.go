@@ -39,7 +39,7 @@ type lockFact map[lockKey]token.Pos
 func runLockBalance(pass *Pass) {
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
-		ok := directiveLines(pass.Pkg.Fset, f, lockBalanceOKDirective)
+		ok := pass.directiveLines(f, lockBalanceOKDirective)
 		funcBodies(f, info, func(node ast.Node, sig *types.Signature, body *ast.BlockStmt) {
 			if !mentionsSyncLock(body, info) {
 				return

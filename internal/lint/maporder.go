@@ -49,7 +49,7 @@ func runMapOrder(pass *Pass) {
 	}
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
-		ok := directiveLines(pass.Pkg.Fset, f, mapOrderOKDirective)
+		ok := pass.directiveLines(f, mapOrderOKDirective)
 		ast.Inspect(f, func(n ast.Node) bool {
 			rs, okr := n.(*ast.RangeStmt)
 			if !okr {

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"testing"
+
+	"fedmp/internal/transport/codec"
+)
+
+// TestProtoKindValuesMatchCodec pins the analyzer's state constants against
+// the real codec kinds value for value. The lint package itself must not
+// import the codec (the analyzers run on the module that defines it), so the
+// mirror is checked here instead of shared.
+func TestProtoKindValuesMatchCodec(t *testing.T) {
+	pairs := []struct {
+		name  string
+		state byte
+		kind  codec.Kind
+	}{
+		{"hello", protoHello, codec.KindHello},
+		{"assign", protoAssign, codec.KindAssign},
+		{"result", protoResult, codec.KindResult},
+		{"shutdown", protoShutdown, codec.KindShutdown},
+		{"ping", protoPing, codec.KindPing},
+		{"pong", protoPong, codec.KindPong},
+		{"snapshot", protoSnapshot, codec.KindSnapshot},
+		{"round-close", protoRoundClose, codec.KindRoundClose},
+	}
+	for _, p := range pairs {
+		if p.state != byte(p.kind) {
+			t.Errorf("proto state %s = %d, codec kind = %d", p.name, p.state, byte(p.kind))
+		}
+		if protoKindName[p.state] != p.name {
+			t.Errorf("protoKindName[%d] = %q, want %q", p.state, protoKindName[p.state], p.name)
+		}
+	}
+}
+
+// TestProtoOrderMachinePin duplicates the transition table: deleting (or
+// adding) a transition in protoMachine fails here before it silently
+// re-lints the repo against a different protocol.
+func TestProtoOrderMachinePin(t *testing.T) {
+	want := map[byte][]byte{
+		protoStart:      {protoHello, protoAssign, protoResult, protoPing, protoPong, protoShutdown, protoSnapshot, protoRoundClose},
+		protoHello:      {protoResult, protoPong, protoShutdown},
+		protoAssign:     {protoAssign, protoResult, protoPing, protoShutdown},
+		protoResult:     {protoResult, protoPong, protoShutdown},
+		protoPing:       {protoPing, protoAssign, protoShutdown},
+		protoPong:       {protoPong, protoResult, protoShutdown},
+		protoSnapshot:   {protoSnapshot, protoRoundClose},
+		protoRoundClose: {protoRoundClose, protoSnapshot},
+		protoShutdown:   {},
+	}
+	if len(protoMachine) != len(want) {
+		t.Fatalf("protoMachine has %d states, want %d", len(protoMachine), len(want))
+	}
+	for s, trans := range want {
+		got, ok := protoMachine[s]
+		if !ok {
+			t.Errorf("protoMachine lost state %s", protoKindName[s])
+			continue
+		}
+		if len(got) != len(trans) {
+			t.Errorf("protoMachine[%s] = %v, want %v", protoKindName[s], got, trans)
+			continue
+		}
+		for i, k := range trans {
+			if got[i] != k {
+				t.Errorf("protoMachine[%s][%d] = %s, want %s",
+					protoKindName[s], i, protoKindName[got[i]], protoKindName[k])
+			}
+		}
+	}
+}
+
+// TestScopeDropInventoryPin guards the acquiring-call table the same way:
+// dropping a resource kind weakens the rule silently otherwise.
+func TestScopeDropInventoryPin(t *testing.T) {
+	for _, key := range []string{
+		"os.Open", "os.OpenFile", "os.Create",
+		"net.Dial", "net.DialTimeout", "net.Listen", "net.Listener.Accept",
+		"fedmp/internal/tensor.Pool.Get",
+	} {
+		if acquiringFuncs[key] == "" {
+			t.Errorf("acquiringFuncs lost %s", key)
+		}
+	}
+	for _, m := range []string{"Close", "Shutdown", "Stop", "Put"} {
+		if !releaseMethods[m] {
+			t.Errorf("releaseMethods lost %s", m)
+		}
+	}
+}

@@ -88,9 +88,26 @@ func TestDefaultOptionsPinHotPaths(t *testing.T) {
 	if len(opts.GoroLeakScope) < 1 {
 		t.Errorf("GoroLeakScope shrank to %v; transport spawns must stay covered", opts.GoroLeakScope)
 	}
+	if len(opts.ChanLifeScope) < 10 {
+		t.Errorf("ChanLifeScope shrank to %v; the production packages must stay covered", opts.ChanLifeScope)
+	}
+	if len(opts.ScopeDropScope) < 9 {
+		t.Errorf("ScopeDropScope shrank to %v; the production packages must stay covered", opts.ScopeDropScope)
+	}
+	if len(opts.ProtoOrderScope) < 2 {
+		t.Errorf("ProtoOrderScope shrank to %v; transport and core must stay covered", opts.ProtoOrderScope)
+	}
+	for _, root := range []string{
+		"fedmp/internal/transport.Serve",
+		"fedmp/internal/transport.RunWorker",
+	} {
+		if len(opts.ProtoOrderRoles[root]) == 0 {
+			t.Errorf("ProtoOrderRoles no longer pins role root %s", root)
+		}
+	}
 }
 
-// TestAnalyzerInventory pins the pipeline itself: all fourteen rules must
+// TestAnalyzerInventory pins the pipeline itself: all seventeen rules must
 // stay registered, in reporting order, so dropping one from Analyzers()
 // fails the suite rather than silently weakening the gate.
 func TestAnalyzerInventory(t *testing.T) {
@@ -98,6 +115,7 @@ func TestAnalyzerInventory(t *testing.T) {
 		"randsource", "wallclock", "floateq", "synccopy", "allocfree",
 		"maporder", "gobdeny", "errdiscard", "lockbalance", "seedflow",
 		"atomicwrite", "wiretaint", "goroleak", "transitive",
+		"chanlife", "protoorder", "scopedrop",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {

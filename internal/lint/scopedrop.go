@@ -1,0 +1,583 @@
+// The scopedrop analyzer: cleanup obligations. Acquiring calls — os.Open
+// and friends, net dials/listens/accepts, tensor's pooled Scratch.Get —
+// hand the caller a value that must reach a release (Close on the handle,
+// Pool.Put on the buffer) or a new owner before the function returns.
+// Phase A is flow-insensitive and definite: an acquired class with no
+// release evidence anywhere in the body — no release method, no escape, no
+// call whose summary releases the argument — leaks on every path. Phase B
+// is flow-sensitive and path-aware: for classes that do have release
+// evidence, a forward worklist over the CFG tracks the set of live
+// obligations, kills them at releases and ownership transfers (stores,
+// returns, sends, captures, calls with releasing fates per the bottom-up
+// summaries), kills error-paired obligations on the error edge of the
+// acquiring call's err check (the handle is nil there), and reports any
+// obligation still live at the function exit: released on some path, leaked
+// on another — exactly the churn bug class reconnect loops breed.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const scopedropOKDirective = "//fedmp:scopedrop-ok"
+
+const scopedropHint = "release the value on every path (defer Close/Put right after the error check) " +
+	"or hand it to an owner that does; suppress a deliberate transfer with " + scopedropOKDirective
+
+var analyzerScopeDrop = &Analyzer{
+	Name: "scopedrop",
+	Doc: "values with cleanup obligations (files, connections, listeners, " +
+		"pooled scratch buffers) must reach Close/Put or a releasing owner: " +
+		"a class with no release evidence at all leaks definitely, and one " +
+		"released on some paths but live at exit on others leaks there. " +
+		scopedropOKDirective + " on the preceding or same line suppresses.",
+	Run: runScopeDrop,
+}
+
+// acquiringFuncs maps callee funcKeys to the human name of the obligation
+// they create. Adding an entry arms the analyzer for a new resource kind.
+var acquiringFuncs = map[string]string{
+	"os.Open":                        "file",
+	"os.OpenFile":                    "file",
+	"os.Create":                      "file",
+	"net.Dial":                       "connection",
+	"net.DialTimeout":                "connection",
+	"net.Listen":                     "listener",
+	"net.Listener.Accept":            "connection",
+	"fedmp/internal/tensor.Pool.Get": "pooled buffer",
+}
+
+// releaseMethods are the receiver-style releases: calling one on the
+// obligated value discharges it.
+var releaseMethods = map[string]bool{
+	"Close":    true,
+	"close":    true,
+	"Shutdown": true,
+	"Stop":     true,
+	"Put":      true,
+}
+
+func runScopeDrop(pass *Pass) {
+	if !inScope(pass.Pkg.Path, pass.Opts.ScopeDropScope) {
+		return
+	}
+	ds := pass.scopeDrop()
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ok := pass.directiveLines(f, scopedropOKDirective)
+		funcBodies(f, info, func(_ ast.Node, sig *types.Signature, body *ast.BlockStmt) {
+			sd := &scopeDropFunc{
+				pass: pass,
+				info: info,
+				ds:   ds,
+				vf:   pass.ValueFlow(body, sig),
+				ok:   ok,
+			}
+			sd.run(body)
+		})
+	}
+}
+
+// obligation is one acquired value awaiting release in one function.
+type obligation struct {
+	// rep is the acquired value's alias class.
+	rep *types.Var
+	// errRep is the class of the error variable assigned alongside, when
+	// one exists: the acquiring call failed on the error path, so the
+	// obligation dies on that edge.
+	errRep *types.Var
+	// site is the acquiring call (the report anchor).
+	site *ast.CallExpr
+	// kind names the resource in messages.
+	kind string
+}
+
+type scopeDropFunc struct {
+	pass *Pass
+	info *types.Info
+	ds   *dropState
+	vf   *ValueFlow
+	ok   map[int]bool
+	obs  []obligation
+}
+
+func (sd *scopeDropFunc) report(pos token.Pos, format string, args ...any) {
+	if suppressed(sd.pass.Pkg.Fset, sd.ok, pos) {
+		return
+	}
+	sd.pass.ReportHint(pos, scopedropHint, format, args...)
+}
+
+func (sd *scopeDropFunc) run(body *ast.BlockStmt) {
+	sd.collectObligations(body)
+	if len(sd.obs) == 0 {
+		return
+	}
+	var flowObs []int
+	for i, ob := range sd.obs {
+		if sd.hasReleaseEvidence(ob.rep) {
+			flowObs = append(flowObs, i)
+			continue
+		}
+		sd.report(ob.site.Pos(), "%s acquired here is never closed or handed off anywhere in this function",
+			ob.kind)
+	}
+	if len(flowObs) > 0 {
+		sd.flow(body, flowObs)
+	}
+}
+
+// collectObligations finds acquiring calls assigned to locals. An acquiring
+// call whose result is returned directly or stored into a field transfers
+// ownership at birth and creates no obligation.
+func (sd *scopeDropFunc) collectObligations(body *ast.BlockStmt) {
+	walkSkipFuncLits(body, func(n ast.Node) {
+		var names []ast.Expr
+		var rhs ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if (n.Tok == token.ASSIGN || n.Tok == token.DEFINE) && len(n.Rhs) == 1 {
+				names = n.Lhs
+				rhs = n.Rhs[0]
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 1 {
+				for _, name := range n.Names {
+					names = append(names, name)
+				}
+				rhs = n.Values[0]
+			}
+		}
+		if rhs == nil || len(names) == 0 {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		kind := acquiringKind(sd.info, call)
+		if kind == "" {
+			return
+		}
+		rep := sd.vf.ClassOf(names[0])
+		if rep == nil {
+			return
+		}
+		ob := obligation{rep: rep, site: call, kind: kind}
+		for _, name := range names[1:] {
+			if id, ok := name.(*ast.Ident); ok {
+				if v := identVar(sd.info, id); v != nil && isErrorVar(v) {
+					ob.errRep = sd.vf.Rep(v)
+				}
+			}
+		}
+		sd.obs = append(sd.obs, ob)
+	})
+}
+
+// acquiringKind names the obligation an acquiring call creates, or "".
+func acquiringKind(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	return acquiringFuncs[funcKey(fn)]
+}
+
+func isErrorVar(v *types.Var) bool {
+	named, ok := types.Unalias(v.Type()).(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// hasReleaseEvidence reports whether anything in the body could discharge
+// the class: an escape, a release method, or a call that may release the
+// argument.
+func (sd *scopeDropFunc) hasReleaseEvidence(rep *types.Var) bool {
+	if sd.vf.Flags(rep)&(VFCaptured|VFAddrTaken|VFStored|VFReturned|VFSent) != 0 {
+		return true
+	}
+	for _, m := range sd.vf.Methods(rep) {
+		if releaseMethods[m.Name] {
+			return true
+		}
+	}
+	for _, au := range sd.vf.ArgUses(rep) {
+		if sd.argMayRelease(au) {
+			return true
+		}
+	}
+	return false
+}
+
+// argMayRelease reports whether passing the value at this argument position
+// may discharge the obligation, per the bottom-up release fates.
+func (sd *scopeDropFunc) argMayRelease(au ArgUse) bool {
+	if builtinName(sd.info, au.Call) != "" {
+		return true // append/copy retain the value; ownership moved
+	}
+	g, _ := sd.pass.Interprocedural()
+	targets := g.resolveCall(sd.pass.Pkg, au.Call)
+	if len(targets) == 0 {
+		return true // stdlib or dynamic callee: assume it may take ownership
+	}
+	for _, t := range targets {
+		fates := sd.ds.released[t.node]
+		if fates == nil {
+			return true // bodyless declaration (assembly stub)
+		}
+		idx := au.Index
+		if idx >= len(fates) {
+			idx = len(fates) - 1 // variadic tail
+		}
+		if idx >= 0 && fates[idx] {
+			return true
+		}
+	}
+	return false
+}
+
+// flow runs the phase-B forward worklist: fact = bitmask of live
+// obligations (indexes into flowObs), union over paths.
+func (sd *scopeDropFunc) flow(body *ast.BlockStmt, flowObs []int) {
+	if len(flowObs) > 64 {
+		flowObs = flowObs[:64]
+	}
+	g := BuildCFG(body, sd.info)
+	n := len(g.Blocks)
+	in := make([]uint64, n)
+	out := make([]uint64, n)
+	queued := make([]bool, n)
+	queue := []int{g.Entry().Index}
+	queued[g.Entry().Index] = true
+	for len(queue) > 0 {
+		bi := queue[0]
+		queue = queue[1:]
+		queued[bi] = false
+		b := g.Blocks[bi]
+		f := in[bi]
+		for _, node := range b.Nodes {
+			f |= sd.births(node, flowObs)
+			f &^= sd.kills(node, flowObs)
+		}
+		out[bi] = f
+		for si, s := range b.Succs {
+			ef := f &^ sd.edgeKill(b, si, flowObs)
+			if in[s.Index]|ef != in[s.Index] {
+				in[s.Index] |= ef
+				if !queued[s.Index] {
+					queued[s.Index] = true
+					queue = append(queue, s.Index)
+				}
+			}
+		}
+	}
+	live := in[g.Exit().Index]
+	for bit, oi := range flowObs {
+		if live&(1<<uint(bit)) != 0 {
+			ob := sd.obs[oi]
+			sd.report(ob.site.Pos(), "%s acquired here is released on some paths but not on every path to return",
+				ob.kind)
+		}
+	}
+}
+
+// births sets the bits of obligations whose acquiring call sits in this
+// node.
+func (sd *scopeDropFunc) births(node ast.Node, flowObs []int) uint64 {
+	var bits uint64
+	ast.Inspect(node, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for bit, oi := range flowObs {
+			if sd.obs[oi].site == call {
+				bits |= 1 << uint(bit)
+			}
+		}
+		return true
+	})
+	return bits
+}
+
+// kills returns the obligations this node discharges: releases, ownership
+// transfers, escapes.
+func (sd *scopeDropFunc) kills(node ast.Node, flowObs []int) uint64 {
+	var bits uint64
+	kill := func(rep *types.Var) {
+		if rep == nil {
+			return
+		}
+		for bit, oi := range flowObs {
+			if sd.obs[oi].rep == rep {
+				bits |= 1 << uint(bit)
+			}
+		}
+	}
+	classOf := func(e ast.Expr) *types.Var { return sd.vf.ClassOf(e) }
+	ast.Inspect(node, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			// The closure may release or retain whatever it captures.
+			ast.Inspect(c.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v, ok := sd.info.Uses[id].(*types.Var); ok {
+						kill(sd.vf.Rep(v))
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.AssignStmt:
+			if c.Tok != token.ASSIGN && c.Tok != token.DEFINE {
+				return true
+			}
+			if len(c.Lhs) != len(c.Rhs) {
+				return true
+			}
+			for i, lhs := range c.Lhs {
+				if isStoreLHS(lhs) {
+					kill(classOf(c.Rhs[i]))
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range c.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				kill(classOf(el))
+			}
+		case *ast.ReturnStmt:
+			for _, r := range c.Results {
+				for _, id := range escapingIdents(r) {
+					kill(sd.vf.Rep(identVar(sd.info, id)))
+				}
+			}
+		case *ast.SendStmt:
+			for _, id := range escapingIdents(c.Value) {
+				kill(sd.vf.Rep(identVar(sd.info, id)))
+			}
+		case *ast.UnaryExpr:
+			if c.Op == token.AND {
+				kill(classOf(c.X))
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok &&
+				sd.info.Selections[sel] != nil && releaseMethods[sel.Sel.Name] {
+				kill(classOf(sel.X))
+			}
+			for i, a := range c.Args {
+				rep := classOf(a)
+				if rep == nil {
+					continue
+				}
+				if sd.obligated(rep, flowObs) && sd.argMayRelease(ArgUse{Call: c, Index: i}) {
+					kill(rep)
+				}
+			}
+		}
+		return true
+	})
+	return bits
+}
+
+func (sd *scopeDropFunc) obligated(rep *types.Var, flowObs []int) bool {
+	for _, oi := range flowObs {
+		if sd.obs[oi].rep == rep {
+			return true
+		}
+	}
+	return false
+}
+
+// edgeKill kills error-paired obligations on the error edge of an err-nil
+// check ending the block: the acquiring call failed there, so there is
+// nothing to release.
+func (sd *scopeDropFunc) edgeKill(b *Block, succIdx int, flowObs []int) uint64 {
+	if len(b.Succs) != 2 || len(b.Nodes) == 0 {
+		return 0
+	}
+	bin, ok := b.Nodes[len(b.Nodes)-1].(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return 0
+	}
+	var errExpr ast.Expr
+	if isNilIdent(sd.info, bin.Y) {
+		errExpr = bin.X
+	} else if isNilIdent(sd.info, bin.X) {
+		errExpr = bin.Y
+	} else {
+		return 0
+	}
+	errRep := sd.vf.ClassOf(errExpr)
+	if errRep == nil {
+		return 0
+	}
+	// NEQ: then-branch (Succs[0]) is the error path; EQL: the else edge is.
+	errSucc := 0
+	if bin.Op == token.EQL {
+		errSucc = 1
+	}
+	if succIdx != errSucc {
+		return 0
+	}
+	var bits uint64
+	for bit, oi := range flowObs {
+		if sd.obs[oi].errRep != nil && sd.obs[oi].errRep == errRep {
+			bits |= 1 << uint(bit)
+		}
+	}
+	return bits
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// escapingIdents lists the identifiers an expression hands onward in value
+// position: the bare identifier, &x, composite elements, call arguments.
+// Selector and index bases stay put — returning b.Data[0] does not transfer
+// the buffer b.
+func escapingIdents(e ast.Expr) []*ast.Ident {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		return []*ast.Ident{e}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return escapingIdents(e.X)
+		}
+	case *ast.CompositeLit:
+		var out []*ast.Ident
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			out = append(out, escapingIdents(el)...)
+		}
+		return out
+	case *ast.CallExpr:
+		var out []*ast.Ident
+		for _, a := range e.Args {
+			out = append(out, escapingIdents(a)...)
+		}
+		return out
+	}
+	return nil
+}
+
+// ---- run-wide state: release fates ----
+
+// dropState records, per module function, which parameters it releases or
+// takes ownership of (true = the caller's obligation is discharged).
+type dropState struct {
+	released map[*FuncNode][]bool
+}
+
+// scopeDrop returns the run-wide release-fate table, building it on first
+// use.
+func (p *Pass) scopeDrop() *dropState {
+	st := p.ensureInter()
+	if st.drop == nil {
+		g, _ := p.Interprocedural()
+		st.drop = buildDropState(g, st)
+	}
+	return st.drop
+}
+
+// buildDropState solves the release fates bottom-up over the callee-first
+// SCCs. Fates only move false -> true, so the per-SCC iteration converges.
+func buildDropState(g *CallGraph, st *interState) *dropState {
+	ds := &dropState{released: make(map[*FuncNode][]bool)}
+	for _, scc := range g.SCCs {
+		for _, n := range scc {
+			if n.Decl.Body != nil {
+				if sig, ok := n.Fn.Type().(*types.Signature); ok {
+					ds.released[n] = make([]bool, sig.Params().Len())
+				}
+			}
+			// Bodyless declarations keep a nil entry: callers treat them as
+			// possibly releasing (assembly stubs are opaque).
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				if ds.fates(g, st, n) {
+					changed = true
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// fates recomputes one node's parameter fates, reporting whether any moved
+// to released.
+func (ds *dropState) fates(g *CallGraph, st *interState, n *FuncNode) bool {
+	fates := ds.released[n]
+	if fates == nil {
+		return false
+	}
+	sig, _ := n.Fn.Type().(*types.Signature)
+	vf := st.valueFlow(n.Pkg, n.Decl.Body, sig)
+	changed := false
+	for i := 0; i < sig.Params().Len(); i++ {
+		if fates[i] {
+			continue
+		}
+		if ds.paramReleased(g, n, vf, sig.Params().At(i)) {
+			fates[i] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// paramReleased decides one parameter's fate from its class's observed uses.
+func (ds *dropState) paramReleased(g *CallGraph, n *FuncNode, vf *ValueFlow, p *types.Var) bool {
+	rep := vf.Rep(p)
+	if rep == nil {
+		return false // untouched parameter: nothing released it
+	}
+	if vf.Flags(rep)&(VFCaptured|VFAddrTaken|VFStored|VFReturned|VFSent) != 0 {
+		return true
+	}
+	for _, m := range vf.Methods(rep) {
+		if releaseMethods[m.Name] {
+			return true
+		}
+	}
+	for _, au := range vf.ArgUses(rep) {
+		if builtinName(n.Pkg.Info, au.Call) != "" {
+			return true
+		}
+		targets := g.resolveCall(n.Pkg, au.Call)
+		if len(targets) == 0 {
+			return true
+		}
+		for _, t := range targets {
+			fates := ds.released[t.node]
+			if fates == nil {
+				return true
+			}
+			idx := au.Index
+			if idx >= len(fates) {
+				idx = len(fates) - 1
+			}
+			if idx >= 0 && fates[idx] {
+				return true
+			}
+		}
+	}
+	return false
+}

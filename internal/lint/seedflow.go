@@ -35,7 +35,7 @@ var randConstructors = map[string]map[string]bool{
 func runSeedFlow(pass *Pass) {
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
-		ok := directiveLines(pass.Pkg.Fset, f, seedFlowOKDirective)
+		ok := pass.directiveLines(f, seedFlowOKDirective)
 		w := &pathWalker{}
 		w.walk(f, func(n ast.Node, path []ast.Node) {
 			call, okc := n.(*ast.CallExpr)

@@ -11,16 +11,16 @@ type point struct{ x, y int }
 //
 //fedmp:allocfree
 func hot(dst []int, n int) int {
-	s := make([]int, n) // want "make allocates"
-	s = append(s, 1) // want "append may grow its backing array"
-	lit := []int{1, 2} // want "slice literal allocates"
-	m := map[int]int{} // want "map literal allocates"
-	p := &point{x: 1} // want "literal allocates"
+	s := make([]int, n)          // want "make allocates"
+	s = append(s, 1)             // want "append may grow its backing array"
+	lit := []int{1, 2}           // want "slice literal allocates"
+	m := map[int]int{}           // want "map literal allocates"
+	p := &point{x: 1}            // want "literal allocates"
 	f := func() int { return n } // want "closure allocates"
-	msg := fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates"
-	sink(n) // want "argument boxes int into"
-	v := any(n) // want "conversion to interface boxes"
-	go helper() // want "go statement allocates a goroutine"
+	msg := fmt.Sprintf("%d", n)  // want "fmt.Sprintf allocates"
+	sink(n)                      // want "argument boxes int into"
+	v := any(n)                  // want "conversion to interface boxes"
+	go helper()                  // want "go statement allocates a goroutine"
 	if n < 0 {
 		// Failure paths are cold and may allocate freely.
 		panic(fmt.Sprintf("bad n %d", n))

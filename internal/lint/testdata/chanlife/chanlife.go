@@ -1,0 +1,117 @@
+// Golden fixture for the chanlife analyzer: channel typestate over the CFG.
+package chanlife
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "close of ch: channel is already closed on every path here"
+}
+
+func aliasClose() {
+	ch := make(chan int)
+	dup := ch
+	close(ch)
+	close(dup) // want "close of dup: channel is already closed on every path here"
+}
+
+func closeNil() {
+	var ch chan int
+	close(ch) // want "close of ch: channel is nil on every path here (close would panic)"
+}
+
+func sendClosed() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on ch: channel is closed on every path here (send would panic)"
+}
+
+func nilSend() {
+	var ch chan struct{}
+	ch <- struct{}{} // want "send on ch: channel is nil on every path here (send blocks forever)"
+}
+
+func nilRecv() {
+	var ch chan int
+	<-ch // want "receive on ch: channel is nil on every path here (receive blocks forever)"
+}
+
+func deferredDouble() {
+	ch := make(chan int)
+	defer close(ch) // want "deferred close of ch: channel is already closed on every return path"
+	close(ch)
+}
+
+func blockedSend() {
+	done := make(chan struct{})
+	done <- struct{}{} // want "send on unbuffered done: the channel never escapes this function and nothing in it receives"
+}
+
+// ---- negatives ----
+
+// maybeClosed: the merge of closed and open is unknown — no definite report.
+func maybeClosed(cond bool) {
+	ch := make(chan int)
+	if cond {
+		close(ch)
+	}
+	close(ch)
+}
+
+// regen: two make generations over live aliases — the class is demoted.
+func regen(cond bool) {
+	ch := make(chan int)
+	dup := ch
+	if cond {
+		ch = make(chan int)
+	}
+	close(dup)
+	close(ch)
+}
+
+// captured: the goroutine owns the close; captured classes are untracked.
+func captured() {
+	ch := make(chan int)
+	go func() {
+		close(ch)
+	}()
+	<-ch
+}
+
+// demoted: an ordinary call may close its channel argument.
+func demoted(closer func(chan int)) {
+	ch := make(chan int)
+	close(ch)
+	closer(ch)
+	close(ch)
+}
+
+// handoff: the channel escapes as an argument, so the bare send may be
+// served by the spawned consumer.
+func handoff(consume func(chan int)) {
+	ch := make(chan int)
+	go consume(ch)
+	ch <- 1
+}
+
+// selectSend: a select arm can be abandoned for another — not a blocked send,
+// and the nil state of a disabled arm is the standard idiom.
+func selectSend(ch2 chan int) {
+	var ch chan int
+	select {
+	case ch <- 1:
+	case <-ch2:
+	}
+}
+
+// buffered: room for the value; no receiver needed.
+func buffered() {
+	ch := make(chan int, 1)
+	ch <- 1
+}
+
+// hatched: the suppression directive swallows the double close.
+func hatched() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) //fedmp:chanlife-ok
+}

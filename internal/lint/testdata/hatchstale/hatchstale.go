@@ -1,0 +1,18 @@
+// Fixture for the stale-hatch detector: one live hatch, one stale one, one
+// comment that is not a hatch at all.
+package hatchstale
+
+import "os"
+
+func live() {
+	_ = os.Remove("scratch.tmp") //fedmp:errdiscard-ok — deliberate best-effort cleanup
+}
+
+func stale() int {
+	x := 1 //fedmp:errdiscard-ok — the violation this covered is long gone
+	return x
+}
+
+func notAHatch() int {
+	return 2 //fedmp:nosuchrule-ok — unknown rule name; ignored entirely
+}

@@ -1,0 +1,37 @@
+// Package codec is a miniature twin of the transport codec: just enough
+// surface — the Kind constants, the Envelope, the WriteFrame/FrameBytes
+// sinks — for the protoorder golden fixture to exercise every sink shape.
+// The Kind values mirror the real codec (TestProtoKindValuesMatchCodec pins
+// the real ones against the analyzer's states).
+package codec
+
+import "io"
+
+type Kind byte
+
+const (
+	KindHello Kind = iota + 1
+	KindAssign
+	KindResult
+	KindShutdown
+	KindPing
+	KindPong
+	KindSnapshot
+	KindRoundClose
+)
+
+type Envelope struct {
+	Kind Kind
+}
+
+func WriteFrame(w io.Writer, e *Envelope) error {
+	_, err := w.Write([]byte{byte(e.Kind)})
+	return err
+}
+
+func FrameBytes(e *Envelope) int {
+	if e == nil {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,115 @@
+// Golden fixture for the protoorder analyzer: the wire protocol as a
+// typestate machine per stream. The golden test overrides ProtoOrderRoles so
+// that ServeFixture plays the parameter-server role root.
+package protoorder
+
+import (
+	"io"
+
+	"fedmp/internal/lint/testdata/protoorder/codec"
+)
+
+type conn struct {
+	w   io.Writer
+	err error
+}
+
+func (c *conn) send(e *codec.Envelope) {
+	if err := codec.WriteFrame(c.w, e); err != nil {
+		c.err = err
+	}
+}
+
+func fresh() *conn {
+	return &conn{w: io.Discard}
+}
+
+// badOrder: hello may not follow hello.
+func badOrder(c *conn) {
+	c.send(&codec.Envelope{Kind: codec.KindHello})
+	c.send(&codec.Envelope{Kind: codec.KindHello}) // want "hello frame may follow hello on this stream, which the protocol machine forbids"
+}
+
+// afterShutdown: nothing follows shutdown on a stream.
+func afterShutdown(c *conn) {
+	c.send(&codec.Envelope{Kind: codec.KindShutdown})
+	c.send(&codec.Envelope{Kind: codec.KindPing}) // want "ping frame may follow shutdown on this stream, which the protocol machine forbids"
+}
+
+// emitDurable: snapshot is an on-disk record kind; this package is not a
+// durability package.
+func emitDurable(c *conn) {
+	c.send(&codec.Envelope{Kind: codec.KindSnapshot}) // want "snapshot is an on-disk durability record kind"
+}
+
+// pricedWalk: the FrameBytes pricing sentinel walks the same machine.
+func pricedWalk() {
+	codec.FrameBytes(&codec.Envelope{Kind: codec.KindAssign})
+	codec.FrameBytes(&codec.Envelope{Kind: codec.KindResult})
+	codec.FrameBytes(&codec.Envelope{Kind: codec.KindHello}) // want "hello frame may follow result on this stream, which the protocol machine forbids"
+}
+
+// sendHello is summarized: it emits a hello frame on its parameter stream.
+func sendHello(c *conn) {
+	c.send(&codec.Envelope{Kind: codec.KindHello})
+}
+
+// helloAfterShutdown: the lifted callee emission checks against the caller's
+// stream state.
+func helloAfterShutdown(c *conn) {
+	c.send(&codec.Envelope{Kind: codec.KindShutdown})
+	sendHello(c) // want "callee may emit a hello frame, which the protocol machine forbids from shutdown"
+}
+
+// ServeFixture is the role root in the golden test: its kind set is
+// assign/ping/shutdown, so the result emission and the lifted pong emission
+// both leave the role.
+func ServeFixture(c *conn) {
+	c.send(&codec.Envelope{Kind: codec.KindAssign})
+	c.send(&codec.Envelope{Kind: codec.KindResult}) // want "result frame emitted on a path reachable only from the"
+	serveHelper(c)                                  // want "pong frame emitted on a path reachable only from the"
+	c.send(&codec.Envelope{Kind: codec.KindShutdown})
+}
+
+// serveHelper is reachable only from ServeFixture, so it inherits the role
+// restriction at its own emission site too.
+func serveHelper(c *conn) {
+	c.send(&codec.Envelope{Kind: codec.KindPong}) // want "pong frame emitted on a path reachable only from the"
+}
+
+// ---- negatives ----
+
+// session: a legal worker conversation.
+func session(c *conn) {
+	c.send(&codec.Envelope{Kind: codec.KindHello})
+	c.send(&codec.Envelope{Kind: codec.KindResult})
+	c.send(&codec.Envelope{Kind: codec.KindResult})
+	c.send(&codec.Envelope{Kind: codec.KindShutdown})
+}
+
+// redial: reassigning the stream starts a fresh conversation.
+func redial(c *conn) {
+	c.send(&codec.Envelope{Kind: codec.KindShutdown})
+	c = fresh()
+	c.send(&codec.Envelope{Kind: codec.KindHello})
+	c.send(&codec.Envelope{Kind: codec.KindShutdown})
+}
+
+// pingLoop: ping may follow ping; the loop back-edge converges.
+func pingLoop(c *conn, n int) {
+	for i := 0; i < n; i++ {
+		c.send(&codec.Envelope{Kind: codec.KindPing})
+	}
+}
+
+// unknownEnvelope: a parameter envelope has no static kind — nothing to
+// check.
+func unknownEnvelope(c *conn, e *codec.Envelope) {
+	c.send(e)
+}
+
+// hatched: the suppression directive swallows the violation.
+func hatched(c *conn) {
+	c.send(&codec.Envelope{Kind: codec.KindShutdown})
+	c.send(&codec.Envelope{Kind: codec.KindPing}) //fedmp:protoorder-ok
+}

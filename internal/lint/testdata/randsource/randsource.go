@@ -9,8 +9,8 @@ import (
 )
 
 func globalDraws(xs []int) int {
-	n := rand.Intn(10) // want "global math/rand source: rand.Intn"
-	f := rand.Float64() // want "global math/rand source: rand.Float64"
+	n := rand.Intn(10)                     // want "global math/rand source: rand.Intn"
+	f := rand.Float64()                    // want "global math/rand source: rand.Float64"
 	rand.Shuffle(len(xs), func(i, j int) { // want "global math/rand source: rand.Shuffle"
 		xs[i], xs[j] = xs[j], xs[i]
 	})

@@ -1,0 +1,127 @@
+// Golden fixture for the scopedrop analyzer: cleanup obligations must reach
+// a release or a new owner on every path.
+package scopedrop
+
+import (
+	"errors"
+	"net"
+	"os"
+
+	"fedmp/internal/tensor"
+)
+
+var errTooBig = errors.New("too big")
+
+// leakFile: no release evidence anywhere — a definite leak.
+func leakFile(path string) string {
+	f, err := os.Open(path) // want "file acquired here is never closed or handed off anywhere in this function"
+	if err != nil {
+		return ""
+	}
+	return f.Name()
+}
+
+// leakOnError: closed on the happy path, leaked on the errTooBig path.
+func leakOnError(path string) error {
+	f, err := os.Open(path) // want "file acquired here is released on some paths but not on every path to return"
+	if err != nil {
+		return err
+	}
+	if tooBig(f) {
+		return errTooBig
+	}
+	return f.Close()
+}
+
+// leakListener: Addr is not a release.
+func leakListener() string {
+	ln, err := net.Listen("tcp", "localhost:0") // want "listener acquired here is never closed or handed off anywhere in this function"
+	if err != nil {
+		return ""
+	}
+	return ln.Addr().String()
+}
+
+// leakScratch: reading b.Data does not hand the buffer off — it still owes a
+// Put.
+func leakScratch(n int) float32 {
+	b := tensor.Scratch.Get(n) // want "pooled buffer acquired here is never closed or handed off anywhere in this function"
+	return b.Data[0]
+}
+
+// tooBig reads the file handle without releasing or retaining it.
+func tooBig(f *os.File) bool {
+	st, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return st.Size() > 1<<20
+}
+
+// ---- negatives ----
+
+// deferred: the canonical shape — defer Close right after the error check.
+func deferred(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// returned: the caller becomes the owner.
+func returned(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type holder struct {
+	f *os.File
+}
+
+// stored: ownership transfers into the struct field.
+func stored(path string, h *holder) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}
+
+// pooledRoundTrip: Put through the pool discharges the obligation.
+func pooledRoundTrip(n int) float32 {
+	b := tensor.Scratch.Get(n)
+	defer tensor.Scratch.Put(b)
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+	return b.Data[0]
+}
+
+// handedOff: an unresolvable callee (function value) may take ownership.
+func handedOff(path string, own func(*os.File)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	own(f)
+	return nil
+}
+
+// hatched: a deliberate transfer, suppressed at the acquiring site.
+func hatched(path string) string {
+	f, err := os.Open(path) //fedmp:scopedrop-ok
+	if err != nil {
+		return ""
+	}
+	return f.Name()
+}

@@ -30,7 +30,7 @@ func copies() int {
 	var g guarded
 	h := g // want "assignment copies synccopy.guarded by value (contains sync.Mutex)"
 	var wg sync.WaitGroup
-	waitByValue(wg) // want "call passes sync.WaitGroup by value"
+	waitByValue(wg)         // want "call passes sync.WaitGroup by value"
 	pool := *tensor.Scratch // want "assignment copies tensor.Pool by value (contains sync.Pool)"
 	list := make([]guarded, 2)
 	total := 0

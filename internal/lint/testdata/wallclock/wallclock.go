@@ -6,8 +6,8 @@ package wallclock
 import "time"
 
 func clocky() float64 {
-	t0 := time.Now() // want "wall clock in deterministic layer: time.Now"
-	d := time.Since(t0) // want "wall clock in deterministic layer: time.Since"
+	t0 := time.Now()             // want "wall clock in deterministic layer: time.Now"
+	d := time.Since(t0)          // want "wall clock in deterministic layer: time.Since"
 	time.Sleep(time.Millisecond) // want "wall clock in deterministic layer: time.Sleep"
 	return d.Seconds()
 }

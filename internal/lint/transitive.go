@@ -38,7 +38,7 @@ func runTransitive(pass *Pass) {
 	wallScope := inScope(pass.Pkg.Path, pass.Opts.WallclockDeny)
 	fset := pass.Pkg.Fset
 	for _, f := range pass.Pkg.Files {
-		ok := directiveLines(fset, f, transitiveOKDirective)
+		ok := pass.directiveLines(f, transitiveOKDirective)
 		for _, decl := range f.Decls {
 			fd, isFunc := decl.(*ast.FuncDecl)
 			if !isFunc || fd.Body == nil {

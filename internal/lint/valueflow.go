@@ -1,0 +1,479 @@
+// The intraprocedural value-flow graph — the fourth analysis layer, under
+// the typestate analyzers chanlife, protoorder and scopedrop. BuildValueFlow
+// walks one function body once and produces SSA-lite value numbering: local
+// variables connected by plain copies (`a := b`, `a = b`) collapse into one
+// alias class (union-find), and every class carries the set of source
+// expressions that may have produced its value (make calls, composite
+// literals, nil, call results, parameters, range elements), the escape flags
+// observed anywhere in the body (captured by a literal, address taken,
+// stored into a field/index/composite, returned, passed as an argument,
+// sent on a channel), and the argument/method uses the flow-sensitive
+// passes refine. The approximation is deliberately may-alias and
+// flow-insensitive at the class level: the typestate analyzers layer
+// flow-sensitivity on top by walking the CFG with per-class facts, and use
+// ClassSize/Assigns to demote classes whose aliasing would make strong
+// updates unsound. Field loads and call results never join a class — they
+// appear only as origins — so two classes alias only through direct local
+// copies, which keeps the classes small and the analyzers' definite
+// judgements honest.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// VFlag records how a value class is observed to escape or be reached.
+type VFlag uint16
+
+const (
+	// VFCaptured marks a class mentioned inside a nested function literal.
+	VFCaptured VFlag = 1 << iota
+	// VFAddrTaken marks a class whose address is taken with &.
+	VFAddrTaken
+	// VFStored marks a class assigned into a field, index, dereference or
+	// composite-literal element.
+	VFStored
+	// VFReturned marks a class returned from the function.
+	VFReturned
+	// VFArg marks a class passed as a call argument (builtins close, len,
+	// cap, print, println and delete excepted — they neither retain nor
+	// release their operand).
+	VFArg
+	// VFSent marks a class sent on a channel.
+	VFSent
+	// VFParam marks a class containing a parameter or receiver.
+	VFParam
+)
+
+// Escaped reports whether the class may be observed or retained outside the
+// straight-line locals of the function.
+func (f VFlag) Escaped() bool {
+	return f&(VFCaptured|VFAddrTaken|VFStored|VFReturned|VFArg|VFSent) != 0
+}
+
+// OriginKind classifies one source expression of a value class.
+type OriginKind int
+
+const (
+	// OriginUnknown is any right-hand side the other kinds do not cover.
+	OriginUnknown OriginKind = iota
+	// OriginMake is a make(...) call.
+	OriginMake
+	// OriginNil is the nil literal or a zero-valued var declaration.
+	OriginNil
+	// OriginComposite is a composite literal, possibly behind &.
+	OriginComposite
+	// OriginCall is a non-make call result.
+	OriginCall
+	// OriginParam is a parameter or receiver.
+	OriginParam
+	// OriginRange is a range key or value.
+	OriginRange
+)
+
+// Origin is one source expression that may have produced a class's value.
+type Origin struct {
+	// Kind classifies the source.
+	Kind OriginKind
+	// Expr is the source expression when one exists (the make call, the
+	// composite literal, the call); nil for parameters and zero-value
+	// declarations.
+	Expr ast.Expr
+	// Index is the tuple result index for multi-value OriginCall sources.
+	Index int
+}
+
+// ArgUse is one call argument position a class flows into.
+type ArgUse struct {
+	Call  *ast.CallExpr
+	Index int
+}
+
+// MethodUse is one method call with a class member as the receiver.
+type MethodUse struct {
+	Call *ast.CallExpr
+	Name string
+}
+
+// ValueFlow is the value-flow graph of one function body.
+type ValueFlow struct {
+	info *types.Info
+
+	parent  map[*types.Var]*types.Var
+	size    map[*types.Var]int
+	origins map[*types.Var][]Origin
+	flags   map[*types.Var]VFlag
+	args    map[*types.Var][]ArgUse
+	methods map[*types.Var][]MethodUse
+	assigns map[*types.Var]int
+	// order is the first-seen tracking order, so Classes() iteration is
+	// deterministic without sorting token positions.
+	order []*types.Var
+}
+
+// BuildValueFlow computes the value-flow graph of one body. sig may be nil
+// (unresolvable literals); when present, parameters and the receiver seed
+// OriginParam classes and named results seed OriginNil (their zero value).
+func BuildValueFlow(body *ast.BlockStmt, sig *types.Signature, info *types.Info) *ValueFlow {
+	vf := &ValueFlow{
+		info:    info,
+		parent:  make(map[*types.Var]*types.Var),
+		size:    make(map[*types.Var]int),
+		origins: make(map[*types.Var][]Origin),
+		flags:   make(map[*types.Var]VFlag),
+		args:    make(map[*types.Var][]ArgUse),
+		methods: make(map[*types.Var][]MethodUse),
+		assigns: make(map[*types.Var]int),
+	}
+	if sig != nil {
+		if r := sig.Recv(); r != nil {
+			vf.addOrigin(r, Origin{Kind: OriginParam})
+			vf.setFlag(r, VFParam)
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			p := sig.Params().At(i)
+			vf.addOrigin(p, Origin{Kind: OriginParam, Index: i})
+			vf.setFlag(p, VFParam)
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if r := sig.Results().At(i); r.Name() != "" && r.Name() != "_" {
+				vf.addOrigin(r, Origin{Kind: OriginNil})
+			}
+		}
+	}
+	vf.walk(body)
+	return vf
+}
+
+// walk applies every value-flow event under n, in source order. Nested
+// function literals contribute only capture flags: their own flows belong to
+// their own ValueFlow.
+func (vf *ValueFlow) walk(n ast.Node) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			vf.captures(c)
+			return false
+		case *ast.AssignStmt:
+			vf.assign(c)
+		case *ast.GenDecl:
+			if c.Tok == token.VAR {
+				vf.varDecl(c)
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{c.Key, c.Value} {
+				if v := vf.lhsVar(e); v != nil {
+					vf.addOrigin(v, Origin{Kind: OriginRange, Expr: c.X})
+					vf.assigns[vf.track(v)]++
+				}
+			}
+		case *ast.CallExpr:
+			vf.call(c)
+		case *ast.CompositeLit:
+			for _, el := range c.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if v := vf.exprVar(el); v != nil {
+					vf.setFlag(v, VFStored)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range c.Results {
+				if v := vf.exprVar(r); v != nil {
+					vf.setFlag(v, VFReturned)
+				}
+			}
+		case *ast.SendStmt:
+			if v := vf.exprVar(c.Value); v != nil {
+				vf.setFlag(v, VFSent)
+			}
+		case *ast.UnaryExpr:
+			if c.Op == token.AND {
+				if v := vf.exprVar(c.X); v != nil {
+					vf.setFlag(v, VFAddrTaken)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assign records copies (class unions), origin-producing assignments and
+// stores of tracked values into non-variable lvalues.
+func (vf *ValueFlow) assign(s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		return // compound ops read-modify-write scalars; nothing flows
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			rhs := ast.Unparen(s.Rhs[i])
+			lv := vf.lhsVar(lhs)
+			rv := vf.exprVar(rhs)
+			switch {
+			case lv != nil && rv != nil:
+				vf.union(lv, rv) // plain copy: one class, no new generation
+			case lv != nil:
+				vf.addOrigin(lv, vf.classify(rhs))
+				vf.assigns[vf.track(lv)]++
+			case rv != nil && isStoreLHS(lhs):
+				vf.setFlag(rv, VFStored)
+			}
+		}
+		return
+	}
+	if len(s.Rhs) != 1 {
+		return
+	}
+	rhs := ast.Unparen(s.Rhs[0])
+	for i, lhs := range s.Lhs {
+		lv := vf.lhsVar(lhs)
+		if lv == nil {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			vf.addOrigin(lv, Origin{Kind: OriginCall, Expr: call, Index: i})
+		} else {
+			// Tuple from a receive, type assertion or map index.
+			vf.addOrigin(lv, Origin{Kind: OriginUnknown, Expr: rhs, Index: i})
+		}
+		vf.assigns[vf.track(lv)]++
+	}
+}
+
+// varDecl records zero-value declarations (OriginNil) and initialised specs
+// like assignments.
+func (vf *ValueFlow) varDecl(gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			lv := vf.lhsVar(name)
+			if lv == nil {
+				continue
+			}
+			switch {
+			case len(vs.Values) == 0:
+				vf.addOrigin(lv, Origin{Kind: OriginNil})
+			case len(vs.Values) == len(vs.Names):
+				rhs := ast.Unparen(vs.Values[i])
+				if rv := vf.exprVar(rhs); rv != nil {
+					vf.union(lv, rv)
+					continue
+				}
+				vf.addOrigin(lv, vf.classify(rhs))
+			default: // tuple initialiser
+				vf.addOrigin(lv, Origin{Kind: OriginUnknown, Expr: vs.Values[0], Index: i})
+			}
+			vf.assigns[vf.track(lv)]++
+		}
+	}
+}
+
+// call records receiver method uses and argument uses of tracked values.
+func (vf *ValueFlow) call(c *ast.CallExpr) {
+	if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+		if vf.info.Selections[sel] != nil {
+			if recv := vf.exprVar(sel.X); recv != nil {
+				r := vf.track(recv)
+				vf.methods[r] = append(vf.methods[r], MethodUse{Call: c, Name: sel.Sel.Name})
+			}
+		}
+	}
+	switch builtinName(vf.info, c) {
+	case "close", "len", "cap", "print", "println", "delete":
+		return // observe the operand without retaining or releasing it
+	}
+	for i, a := range c.Args {
+		if v := vf.exprVar(a); v != nil {
+			vf.setFlag(v, VFArg)
+			r := vf.track(v)
+			vf.args[r] = append(vf.args[r], ArgUse{Call: c, Index: i})
+		}
+	}
+}
+
+// captures flags every variable mentioned inside a nested literal.
+func (vf *ValueFlow) captures(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok {
+			if v, ok := vf.info.Uses[id].(*types.Var); ok && !v.IsField() {
+				vf.setFlag(v, VFCaptured)
+			}
+		}
+		return true
+	})
+}
+
+// classify maps a non-copy right-hand side to its origin.
+func (vf *ValueFlow) classify(e ast.Expr) Origin {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if builtinName(vf.info, e) == "make" {
+			return Origin{Kind: OriginMake, Expr: e}
+		}
+		return Origin{Kind: OriginCall, Expr: e}
+	case *ast.Ident:
+		if _, isNil := vf.info.Uses[e].(*types.Nil); isNil {
+			return Origin{Kind: OriginNil, Expr: e}
+		}
+	case *ast.CompositeLit:
+		return Origin{Kind: OriginComposite, Expr: e}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				return Origin{Kind: OriginComposite, Expr: cl}
+			}
+		}
+	}
+	return Origin{Kind: OriginUnknown, Expr: e}
+}
+
+// lhsVar resolves an assignable identifier (not the blank one).
+func (vf *ValueFlow) lhsVar(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return identVar(vf.info, id)
+}
+
+// exprVar resolves a (possibly parenthesised) identifier expression.
+func (vf *ValueFlow) exprVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return identVar(vf.info, id)
+}
+
+// isStoreLHS reports whether an lvalue writes through a field, index or
+// pointer — positions whose right-hand side escapes the locals.
+func isStoreLHS(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// ---- union-find ----
+
+func (vf *ValueFlow) track(v *types.Var) *types.Var {
+	if _, ok := vf.parent[v]; !ok {
+		vf.parent[v] = v
+		vf.size[v] = 1
+		vf.order = append(vf.order, v)
+	}
+	return vf.find(v)
+}
+
+func (vf *ValueFlow) find(v *types.Var) *types.Var {
+	r := v
+	for vf.parent[r] != r {
+		r = vf.parent[r]
+	}
+	for vf.parent[v] != r {
+		vf.parent[v], v = r, vf.parent[v]
+	}
+	return r
+}
+
+func (vf *ValueFlow) union(a, b *types.Var) {
+	ra, rb := vf.track(a), vf.track(b)
+	if ra == rb {
+		return
+	}
+	vf.parent[rb] = ra
+	vf.size[ra] += vf.size[rb]
+	vf.origins[ra] = append(vf.origins[ra], vf.origins[rb]...)
+	delete(vf.origins, rb)
+	vf.flags[ra] |= vf.flags[rb]
+	delete(vf.flags, rb)
+	vf.args[ra] = append(vf.args[ra], vf.args[rb]...)
+	delete(vf.args, rb)
+	vf.methods[ra] = append(vf.methods[ra], vf.methods[rb]...)
+	delete(vf.methods, rb)
+	vf.assigns[ra] += vf.assigns[rb]
+	delete(vf.assigns, rb)
+}
+
+func (vf *ValueFlow) addOrigin(v *types.Var, o Origin) {
+	r := vf.track(v)
+	vf.origins[r] = append(vf.origins[r], o)
+}
+
+func (vf *ValueFlow) setFlag(v *types.Var, f VFlag) {
+	r := vf.track(v)
+	vf.flags[r] |= f
+}
+
+// ---- queries ----
+
+// ClassOf resolves an identifier expression to its class representative, or
+// nil when the expression is not a tracked local.
+func (vf *ValueFlow) ClassOf(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return vf.Rep(identVar(vf.info, id))
+}
+
+// Rep returns the class representative of v, or nil when v is untracked.
+func (vf *ValueFlow) Rep(v *types.Var) *types.Var {
+	if v == nil {
+		return nil
+	}
+	if _, ok := vf.parent[v]; !ok {
+		return nil
+	}
+	return vf.find(v)
+}
+
+// Classes returns every class representative in first-seen order.
+func (vf *ValueFlow) Classes() []*types.Var {
+	seen := make(map[*types.Var]bool, len(vf.order))
+	var out []*types.Var
+	for _, v := range vf.order {
+		r := vf.find(v)
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Origins returns the source expressions of v's class.
+func (vf *ValueFlow) Origins(v *types.Var) []Origin { return vf.origins[vf.repOr(v)] }
+
+// Flags returns the escape flags of v's class.
+func (vf *ValueFlow) Flags(v *types.Var) VFlag { return vf.flags[vf.repOr(v)] }
+
+// ArgUses returns the call-argument positions v's class flows into.
+func (vf *ValueFlow) ArgUses(v *types.Var) []ArgUse { return vf.args[vf.repOr(v)] }
+
+// Methods returns the method calls with v's class as the receiver.
+func (vf *ValueFlow) Methods(v *types.Var) []MethodUse { return vf.methods[vf.repOr(v)] }
+
+// ClassSize returns the number of variables in v's class.
+func (vf *ValueFlow) ClassSize(v *types.Var) int { return vf.size[vf.repOr(v)] }
+
+// Assigns returns the number of origin-producing (non-copy) assignments the
+// class received. A class with several members and several generations is
+// one where strong flow-sensitive updates would be unsound: the analyzers
+// demote such classes to unknown.
+func (vf *ValueFlow) Assigns(v *types.Var) int { return vf.assigns[vf.repOr(v)] }
+
+func (vf *ValueFlow) repOr(v *types.Var) *types.Var {
+	if r := vf.Rep(v); r != nil {
+		return r
+	}
+	return v
+}

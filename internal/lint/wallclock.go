@@ -44,7 +44,7 @@ func runWallClock(pass *Pass) {
 	info := pass.Pkg.Info
 	fset := pass.Pkg.Fset
 	for _, f := range pass.Pkg.Files {
-		ok := directiveLines(fset, f, wallclockOKDirective)
+		ok := pass.directiveLines(f, wallclockOKDirective)
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, isSel := n.(*ast.SelectorExpr)
 			if !isSel {

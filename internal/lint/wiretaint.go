@@ -86,7 +86,7 @@ func runWireTaint(pass *Pass) {
 	_, sums := pass.Interprocedural()
 	fset := pass.Pkg.Fset
 	for _, f := range pass.Pkg.Files {
-		ok := directiveLines(fset, f, wiretaintOKDirective)
+		ok := pass.directiveLines(f, wiretaintOKDirective)
 		for _, decl := range f.Decls {
 			fd, isFunc := decl.(*ast.FuncDecl)
 			if !isFunc || fd.Body == nil {

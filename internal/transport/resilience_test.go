@@ -507,3 +507,38 @@ func TestBackoffBounds(t *testing.T) {
 		t.Errorf("zero-config backoff got base %v max %v", d.base, d.max)
 	}
 }
+
+// TestLateHelloGetsShutdown pins the late-connection rejection path: a
+// worker whose hello loses the race against registry shutdown must receive
+// a shutdown frame before the hangup, exactly like the server-full
+// rejection, so its session loop exits cleanly instead of treating the
+// bare EOF as a transport fault and redialing a dead server.
+func TestLateHelloGetsShutdown(t *testing.T) {
+	reg := newRegistry(1, func(string, ...any) {})
+	reg.closeDone()
+	serverRaw, workerRaw := net.Pipe()
+	defer workerRaw.Close()
+	admitted := make(chan struct{})
+	go func() {
+		defer close(admitted)
+		reg.admit(newConn(serverRaw), &helloMsg{Name: "late", ID: "late"})
+	}()
+	wc := newConn(workerRaw)
+	e, _, err := wc.recv(5 * time.Second)
+	if err != nil {
+		t.Fatalf("late hello was hung up on without a shutdown frame: %v", err)
+	}
+	if e.Kind != kindShutdown {
+		t.Fatalf("late hello got kind %d, want shutdown", e.Kind)
+	}
+	if e.Shutdown == nil || e.Shutdown.Reason != "server shutting down" {
+		t.Fatalf("shutdown frame carries %+v, want the shutting-down reason", e.Shutdown)
+	}
+	<-admitted
+	if _, _, err := wc.recv(5 * time.Second); err == nil {
+		t.Fatal("connection stayed open after the late-hello shutdown frame")
+	}
+	if got := reg.connected(); got != 0 {
+		t.Fatalf("connected() = %d after a late hello, want 0", got)
+	}
+}

@@ -169,7 +169,11 @@ func (r *registry) admit(c *conn, hello *helloMsg) {
 	select {
 	case <-r.done:
 		// Shutdown raced the accept loop: a connection hello'd after the
-		// registry closed must not resurrect a slot.
+		// registry closed must not resurrect a slot. Tell the worker why
+		// before closing — like the server-full rejection below — so the
+		// hangup reads as a clean shutdown rather than a transport fault
+		// that sends the worker back into its redial loop.
+		sendShutdownLogged(c, "server shutting down", r.logf)
 		closeLogged(c, r.logf, "late connection")
 		return
 	default:
