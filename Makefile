@@ -66,11 +66,14 @@ race:
 
 # bench regenerates the committed benchmark reports: BENCH_kernels.json
 # (kernel micro-benchmarks with speedups over the seed kernels, see
-# EXPERIMENTS.md) and BENCH_wire.json (frame codec vs gob encode/decode,
-# bytes/round across the pruning-ratio sweep, sparse-upload savings).
+# EXPERIMENTS.md), BENCH_wire.json (frame codec vs gob encode/decode,
+# bytes/round across the pruning-ratio sweep, sparse-upload savings) and
+# BENCH_sim.json (virtual-time scheduler events/sec and heap growth across
+# 1e3/1e5/1e6-device populations).
 bench:
 	go run ./cmd/fedmp-bench -bench-json BENCH_kernels.json
 	go run ./cmd/fedmp-bench -wire-json BENCH_wire.json
+	go run ./cmd/fedmp-bench -sim-json BENCH_sim.json
 
 # test-kernels runs the tensor suite once per micro-kernel tier. FEDMP_KERNEL
 # forces the tier; a tier the host lacks falls back to the best available one

@@ -8,6 +8,7 @@
 //	fedmp-bench -exp fig6 -quick    # one artefact, reduced scale
 //	fedmp-bench -exp table3 -csv out/
 //	fedmp-bench -bench-json BENCH_kernels.json   # kernel micro-benchmarks
+//	fedmp-bench -sim-json BENCH_sim.json         # scheduler scale benchmarks
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	verbose := flag.Bool("v", false, "log each simulation as it starts")
 	benchJSON := flag.String("bench-json", "", "run the kernel micro-benchmarks and write results (with speedups vs the seed kernels) to this JSON file ('-' for stdout), then exit")
 	wireJSON := flag.String("wire-json", "", "run the wire-codec benchmarks (codec vs gob, bytes/round vs keep ratio) and write results to this JSON file ('-' for stdout), then exit")
+	simJSON := flag.String("sim-json", "", "run the virtual-time scheduler scale benchmarks (events/sec and heap growth at 1e3/1e5/1e6 devices) and write results to this JSON file ('-' for stdout), then exit")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -41,6 +43,12 @@ func main() {
 	if *wireJSON != "" {
 		if err := writeWireBench(*wireJSON); err != nil {
 			log.Fatalf("wire-json: %v", err)
+		}
+		return
+	}
+	if *simJSON != "" {
+		if err := writeSimBench(*simJSON); err != nil {
+			log.Fatalf("sim-json: %v", err)
 		}
 		return
 	}

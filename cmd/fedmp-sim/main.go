@@ -45,6 +45,8 @@ type simOptions struct {
 	blackout                     float64
 	fixedClock                   bool
 	quantizeWire                 bool
+	population, cohort           int
+	stream                       bool
 }
 
 // defaultSimOptions returns the flag defaults; main overrides from the
@@ -89,6 +91,9 @@ func main() {
 	flag.Float64Var(&o.blackout, "blackout", d.blackout, "per-round link blackout probability")
 	flag.BoolVar(&o.fixedClock, "fixed-clock", d.fixedClock, "charge overhead from a fixed clock for byte-reproducible output")
 	flag.BoolVar(&o.quantizeWire, "quantize-wire", d.quantizeWire, "price and train with int8-quantized wire tensors when byte-cheaper")
+	flag.IntVar(&o.population, "population", d.population, "device population size; each round samples a cohort from it (0 = fixed workers)")
+	flag.IntVar(&o.cohort, "cohort", d.cohort, "per-round cohort size in population mode (default: -workers)")
+	flag.BoolVar(&o.stream, "stream", d.stream, "stream metrics in constant memory (no per-round trajectory)")
 	flag.Parse()
 
 	if err := runSim(o, os.Stdout); err != nil {
@@ -145,13 +150,39 @@ func runSim(o simOptions, w io.Writer) error {
 		}
 		cfg.Scenario = sc
 	}
+	if o.population > 0 || o.cohort > 0 {
+		// -cohort alone samples that many out of the worker count;
+		// -population alone keeps the full worker count as the cohort.
+		pop, cohort := o.population, o.cohort
+		if pop == 0 {
+			pop = o.workers
+		}
+		if cohort == 0 {
+			cohort = o.workers
+		}
+		if cohort > pop {
+			return fmt.Errorf("fedmp-sim: cohort %d exceeds population %d", cohort, pop)
+		}
+		cfg.Workers = cohort
+		cfg.Population = &fedmp.Population{Size: pop}
+	}
+	cfg.StreamMetrics = o.stream
 	res, err := fedmp.Run(fam, cfg)
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(w, "%s / %s: %d workers, %d rounds, %.0f virtual seconds\n\n",
-		fam.Name(), o.strategy, o.workers, res.Rounds, res.Time)
+	if res.Config.Population != nil {
+		fmt.Fprintf(w, "%s / %s: cohort %d of %d devices, %d rounds, %.0f virtual seconds\n\n",
+			fam.Name(), o.strategy, res.Config.Workers, res.Config.Population.Size, res.Rounds, res.Time)
+	} else {
+		fmt.Fprintf(w, "%s / %s: %d workers, %d rounds, %.0f virtual seconds\n\n",
+			fam.Name(), o.strategy, o.workers, res.Rounds, res.Time)
+	}
+	if res.Stream != nil {
+		streamSummary(w, res)
+		return nil
+	}
 	fmt.Fprintln(w, "round  time(s)    loss    metric")
 	for _, p := range res.Points {
 		fmt.Fprintf(w, "%5d  %7.0f  %6.4f  %s\n", p.Round, p.Time, p.Loss, metricString(fam, p))
@@ -159,6 +190,23 @@ func runSim(o simOptions, w io.Writer) error {
 	fmt.Fprintln(w)
 	summarize(w, res)
 	return nil
+}
+
+// streamSummary prints the constant-memory aggregates a -stream run keeps
+// instead of a trajectory.
+func streamSummary(w io.Writer, res *fedmp.Result) {
+	s := res.Stream
+	fmt.Fprintf(w, "streamed over %d rounds (%d scheduler events)\n", s.Rounds, res.Events)
+	fmt.Fprintf(w, "round time: mean %.1fs, p50 %.1fs, p95 %.1fs, p99 %.1fs\n",
+		s.RoundTime.Mean, s.RoundTimeP50.Value(), s.RoundTimeP95.Value(), s.RoundTimeP99.Value())
+	fmt.Fprintf(w, "per-round means: compute %.1fs, communication %.1fs, %.1f participants\n",
+		s.CompTime.Mean, s.CommTime.Mean, s.Participants.Mean)
+	fmt.Fprintf(w, "traffic: %.1f MB down, %.1f MB up\n", float64(s.DownBytes)/1e6, float64(s.UpBytes)/1e6)
+	if s.Dropped > 0 || s.Suspect > 0 {
+		fmt.Fprintf(w, "participation losses: %d assignments dropped, %d worker-rounds suspect\n", s.Dropped, s.Suspect)
+	}
+	fmt.Fprintf(w, "last eval: round %d, loss %.4f, acc %.3f (best %.3f)\n",
+		s.LastRound, s.LastLoss, s.LastAcc, s.BestAcc)
 }
 
 func metricString(fam fedmp.Family, p fedmp.Point) string {

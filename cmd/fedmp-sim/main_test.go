@@ -53,3 +53,40 @@ func firstDiff(a, b string) string {
 	}
 	return "length mismatch"
 }
+
+// TestPopulationRender drives population mode through the CLI layer: the
+// header names cohort and population, and -stream swaps the trajectory for
+// the constant-memory summary.
+func TestPopulationRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small simulation")
+	}
+	o := defaultSimOptions()
+	o.workers = 6
+	o.rounds = 2
+	o.evalEvery = 1
+	o.fixedClock = true
+	o.population = 100
+	o.cohort = 3
+	o.stream = true
+
+	var buf bytes.Buffer
+	if err := runSim(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cohort 3 of 100 devices", "streamed over 2 rounds", "round time: mean", "last eval:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "round  time(s)") {
+		t.Errorf("streaming output still prints a trajectory:\n%s", out)
+	}
+
+	// The flag pair validates: a cohort larger than its population is an error.
+	o.population, o.cohort = 4, 9
+	if err := runSim(o, &bytes.Buffer{}); err == nil {
+		t.Error("cohort > population accepted")
+	}
+}

@@ -54,6 +54,17 @@ type (
 	// State is a synchronous run's resumable engine state (Result.State);
 	// feed it to RunFrom to continue a checkpointed run.
 	State = core.State
+	// Population selects population mode via Config.Population: devices
+	// derive lazily from (seed, id) and each round trains a sampled cohort,
+	// so populations of millions cost O(cohort) memory.
+	Population = cluster.Population
+	// Diurnal is a population's on/off availability trace.
+	Diurnal = cluster.Diurnal
+	// Outage is a population's correlated regional-outage model.
+	Outage = cluster.Outage
+	// StreamStats carries the constant-memory aggregates of a run with
+	// Config.StreamMetrics set (Result.Stream).
+	StreamStats = core.StreamStats
 )
 
 // Strategies of the paper's evaluation.

@@ -64,8 +64,8 @@ func TestFacadeLanguageModelRun(t *testing.T) {
 
 func TestExperimentIDsAndWriteReport(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 19 { // 14 paper artefacts + 2 ablations + 3 extras
-		t.Errorf("%d experiment ids, want 19", len(ids))
+	if len(ids) != 20 { // 14 paper artefacts + 2 ablations + 4 extras
+		t.Errorf("%d experiment ids, want 20", len(ids))
 	}
 	rep, err := RunExperiment("table2", ExperimentOptions{Quick: true})
 	if err != nil {

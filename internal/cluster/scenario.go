@@ -21,10 +21,14 @@ type Scenario struct {
 	Devices []*Device
 }
 
-// fromCluster draws a device profile for the given Fig. 3 cluster:
+// fromCluster derives the device profile for the given Fig. 3 cluster:
 // cluster A devices run mode 0 or 1 near the PS, cluster B mode 2 at mid
-// distance, cluster C mode 3 far away.
-func fromCluster(id int, c ClusterID, rng *rand.Rand) *Device {
+// distance, cluster C mode 3 far away. Every device owns a private jitter
+// RNG sub-seeded from (seed, id), so materialising one device never
+// consumes another's randomness — the property both Population's lazy
+// derivation and the engine's parallel cohort training depend on.
+func fromCluster(id int, c ClusterID, seed int64) *Device {
+	rng := rand.New(rand.NewSource(SubSeed(seed, int64(id))))
 	switch c {
 	case ClusterA:
 		return NewDevice(id, Mode(rng.Intn(2)), Near, ClusterA, rng)
@@ -42,7 +46,6 @@ func Custom(nA, nB, nC int, seed int64) *Scenario {
 	if nA < 0 || nB < 0 || nC < 0 || nA+nB+nC == 0 {
 		panic(fmt.Sprintf("cluster: invalid composition %d/%d/%d", nA, nB, nC))
 	}
-	rng := rand.New(rand.NewSource(seed))
 	s := &Scenario{}
 	id := 0
 	for _, part := range []struct {
@@ -50,7 +53,7 @@ func Custom(nA, nB, nC int, seed int64) *Scenario {
 		n int
 	}{{ClusterA, nA}, {ClusterB, nB}, {ClusterC, nC}} {
 		for k := 0; k < part.n; k++ {
-			s.Devices = append(s.Devices, fromCluster(id, part.c, rng))
+			s.Devices = append(s.Devices, fromCluster(id, part.c, seed))
 			id++
 		}
 	}

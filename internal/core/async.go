@@ -1,50 +1,50 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 
 	"fedmp/internal/cluster"
+	"fedmp/internal/simsched"
 )
 
 // asyncItem is one in-flight worker computation in the asynchronous engine.
 // A lost item is an assignment destroyed by an injected fault: it surfaces
 // at its finish time only so the PS can notice the loss and re-dispatch the
-// worker.
+// worker. Finish times live in the scheduler; the item slot index rides on
+// the event's ID.
 type asyncItem struct {
-	out    Output
-	finish float64
-	lost   bool
-}
-
-// asyncQueue orders in-flight work by virtual finish time.
-type asyncQueue []asyncItem
-
-func (q asyncQueue) Len() int           { return len(q) }
-func (q asyncQueue) Less(i, j int) bool { return q[i].finish < q[j].finish }
-func (q asyncQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *asyncQueue) Push(x any)        { *q = append(*q, x.(asyncItem)) }
-func (q *asyncQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+	out  Output
+	lost bool
 }
 
 // runAsync executes Algorithm 2 of the paper: the PS aggregates the first m
 // local models to arrive, updates the global model, re-decides pruning
 // ratios for exactly those m workers and sends them fresh sub-models while
-// the other workers keep training their (now stale) assignments. Injected
-// faults destroy in-flight work: the affected worker re-enters the dispatch
-// cycle once its loss surfaces (crashes additionally delay that until the
-// device has recovered).
+// the other workers keep training their (now stale) assignments. In-flight
+// completions are KindWorkerDone events on the shared virtual-time
+// scheduler — FIFO tie-breaking makes simultaneous arrivals aggregate in
+// dispatch order. Injected faults destroy in-flight work: the affected
+// worker re-enters the dispatch cycle once its loss surfaces (crashes
+// additionally delay that until the device has recovered).
 func (r *runner) runAsync() error {
-	q := &asyncQueue{}
-	heap.Init(q)
+	inflight := make([]asyncItem, 0, r.cfg.Workers)
+	free := make([]int, 0, r.cfg.Workers)
+	schedule := func(it asyncItem, finish float64) {
+		slot := len(inflight)
+		if n := len(free); n > 0 {
+			slot = free[n-1]
+			free = free[:n-1]
+			inflight[slot] = it
+		} else {
+			inflight = append(inflight, it)
+		}
+		r.sched.Push(finish, simsched.KindWorkerDone, int64(slot))
+	}
 
 	// dispatch assigns the given workers against the current global model
-	// and schedules their completions.
+	// and schedules their completions. Training is sharded like the
+	// synchronous engine's cohorts; completions are pushed in assignment
+	// order, so the event sequence matches the serial engine's exactly.
 	dispatch := func(round int, workers []int) error {
 		info := r.roundInfo(round)
 		var faults []cluster.Fault
@@ -55,6 +55,7 @@ func (r *runner) runAsync() error {
 		if err != nil {
 			return err
 		}
+		runnable := make([]Assignment, 0, len(assignments))
 		for _, a := range assignments {
 			if faults != nil && faults[a.Worker].Down {
 				// The assignment is lost. A crashed device surfaces after
@@ -63,22 +64,21 @@ func (r *runner) runAsync() error {
 				if faults[a.Worker].Fresh && r.cfg.Faults.CrashProb > 0 {
 					delay *= float64(r.cfg.Faults.DownRounds)
 				}
-				heap.Push(q, asyncItem{
-					out:    Output{Assignment: a},
-					finish: r.now + delay,
-					lost:   true,
-				})
+				schedule(asyncItem{out: Output{Assignment: a}, lost: true}, r.now+delay)
 				continue
 			}
-			o, err := r.runWorker(a, round)
-			if err != nil {
-				return err
+			runnable = append(runnable, a)
+		}
+		outs, err := r.trainCohort(runnable, round)
+		if err != nil {
+			return err
+		}
+		for i := range outs {
+			if faults != nil && faults[outs[i].Worker].Slowdown > 1 {
+				outs[i].CompTime *= faults[outs[i].Worker].Slowdown
+				outs[i].Total = outs[i].CompTime + outs[i].CommTime
 			}
-			if faults != nil && faults[a.Worker].Slowdown > 1 {
-				o.CompTime *= faults[a.Worker].Slowdown
-				o.Total = o.CompTime + o.CommTime
-			}
-			heap.Push(q, asyncItem{out: o, finish: r.now + o.Total})
+			schedule(asyncItem{out: outs[i]}, r.now+outs[i].Total)
 		}
 		// Decision/pruning overhead is recorded with the *next* completed
 		// round's stats via these accumulators.
@@ -92,8 +92,8 @@ func (r *runner) runAsync() error {
 
 	for round := 1; ; round++ {
 		m := r.cfg.AsyncM
-		if m > q.Len() {
-			m = q.Len()
+		if m > r.sched.Len() {
+			m = r.sched.Len()
 		}
 		if m == 0 {
 			return nil
@@ -101,10 +101,13 @@ func (r *runner) runAsync() error {
 		outs := make([]Output, 0, m)
 		var dropped []Assignment
 		var roundEnd float64
-		for len(outs) < m && q.Len() > 0 {
-			it := heap.Pop(q).(asyncItem)
-			if it.finish > roundEnd {
-				roundEnd = it.finish
+		for len(outs) < m && r.sched.Len() > 0 {
+			ev, _ := r.sched.Pop()
+			it := inflight[ev.ID]
+			inflight[ev.ID] = asyncItem{}
+			free = append(free, int(ev.ID))
+			if ev.Time > roundEnd {
+				roundEnd = ev.Time
 			}
 			if it.lost {
 				dropped = append(dropped, it.out.Assignment)

@@ -1,25 +1,26 @@
 package core
 
 import (
-	"container/heap"
 	"testing"
+
+	"fedmp/internal/simsched"
 )
 
-func TestAsyncQueueOrdering(t *testing.T) {
-	q := &asyncQueue{}
-	heap.Init(q)
+func TestAsyncCompletionOrdering(t *testing.T) {
+	// Async in-flight completions live on the shared scheduler; they must
+	// surface in finish-time order with slot IDs intact.
+	s := simsched.New(0)
 	finishes := []float64{5, 1, 9, 3, 7}
-	for i, f := range finishes {
-		heap.Push(q, asyncItem{finish: f, out: Output{Assignment: Assignment{Worker: i}}})
-	}
-	var got []float64
-	for q.Len() > 0 {
-		got = append(got, heap.Pop(q).(asyncItem).finish)
+	for slot, f := range finishes {
+		s.Push(f, simsched.KindWorkerDone, int64(slot))
 	}
 	want := []float64{1, 3, 5, 7, 9}
+	wantSlot := []int64{1, 3, 0, 4, 2}
 	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("pop order %v, want %v", got, want)
+		ev, ok := s.Pop()
+		if !ok || ev.Time != want[i] || ev.ID != wantSlot[i] {
+			t.Fatalf("pop %d = (%v, slot %d, ok %v), want (%v, slot %d)",
+				i, ev.Time, ev.ID, ok, want[i], wantSlot[i])
 		}
 	}
 }

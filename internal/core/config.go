@@ -78,6 +78,16 @@ type Config struct {
 	// Scenario gives the device population. Nil selects the paper default
 	// (half cluster A, half cluster B).
 	Scenario *cluster.Scenario
+	// Population switches the engine to population mode: every round
+	// samples a cohort of Workers devices from a lazily-materialized
+	// population of Population.Size devices (profiles sub-seeded from
+	// (Seed, deviceID), availability gated by its diurnal/outage traces)
+	// instead of walking a fixed worker set. Strategies still see Workers
+	// slots; slot i is the i-th sampled device of the round, so per-slot
+	// state (PrevTimes, bandits, fault injection) describes the cohort
+	// position, not a fixed device. Mutually exclusive with Scenario;
+	// synchronous engine only. Nil (the default) keeps the legacy loop.
+	Population *cluster.Population
 	// NonIID selects the data partitioning (§V-F).
 	NonIID NonIID
 
@@ -139,6 +149,15 @@ type Config struct {
 	// the same partial-participation paths as the wire runtime. The zero
 	// value disables injection.
 	Faults cluster.FaultConfig
+
+	// StreamMetrics replaces the unbounded per-round Stats and Points
+	// appends with constant-memory streaming aggregates (Result.Stream):
+	// online mean/variance plus P² quantile estimators for round times,
+	// and the last/best evaluation metrics. Long population-scale runs
+	// then cost O(1) result memory regardless of round count. Trajectory
+	// readers (Points, Stats, BestAccWithin) see empty slices; final
+	// metrics, target-crossing times and State still work.
+	StreamMetrics bool
 
 	// EvalEvery evaluates the global model every k rounds (default 1).
 	EvalEvery int
@@ -271,6 +290,19 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Population != nil {
+		if c.Scenario != nil {
+			return c, fmt.Errorf("core: Population and Scenario are mutually exclusive")
+		}
+		if c.Async {
+			return c, fmt.Errorf("core: population mode requires the synchronous engine")
+		}
+		p, err := c.Population.Normalized(c.Workers, c.Seed)
+		if err != nil {
+			return c, err
+		}
+		c.Population = &p
+	}
 	if c.Clock == nil {
 		c.Clock = simclock.Wall{}
 	}
@@ -336,6 +368,13 @@ type Result struct {
 	// (synchronous runs only; nil for async). RunFrom continues a run
 	// from it as if the process had never stopped.
 	State *State
+	// Stream carries the constant-memory aggregates when
+	// Config.StreamMetrics is set (Points and Stats then stay empty).
+	Stream *StreamStats
+	// Events counts virtual-time scheduler events processed over the run —
+	// worker completions, round closes, eval ticks and churn transitions —
+	// the numerator of the events/sec throughput BENCH_sim.json reports.
+	Events int64
 }
 
 // BestAccWithin returns the best accuracy observed at or before the given

@@ -4,10 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"sync"
 
 	"fedmp/internal/cluster"
 	"fedmp/internal/nn"
+	"fedmp/internal/simsched"
 	"fedmp/internal/tensor"
 	"fedmp/internal/transport/codec"
 )
@@ -24,6 +25,23 @@ type runner struct {
 	rng      *rand.Rand
 	injector *cluster.Injector
 
+	// sched is the event-driven virtual-time core: worker completions,
+	// round closes, eval ticks and churn transitions all pass through it.
+	sched *simsched.Scheduler
+
+	// Population mode (cfg.Population != nil): pop is the lazy device
+	// universe, cohortRng draws each round's sample, cohortIDs/cohortDevs
+	// map cohort slots to sampled devices, devCache keeps materialised
+	// devices so jitter state persists when a device is re-sampled, and
+	// regionDown is the event-driven regional outage state.
+	pop        *cluster.Population
+	cohortRng  *rand.Rand
+	cohortIDs  []int
+	cohortDevs []*cluster.Device
+	devCache   map[int]*cluster.Device
+	regionDown []bool
+	nextWindow int64
+
 	global    []*tensor.Tensor
 	now       float64
 	prevLoss  float64
@@ -31,6 +49,20 @@ type runner struct {
 	prevComm  []float64
 	roundSum  float64
 	roundCnt  int
+
+	// infoTimes/infoComm are the double-buffered RoundInfo snapshots:
+	// strategies may read the slices only during the round they were built
+	// for, so two buffers (dispatch and aggregate can hold one each in the
+	// async engine) alternate without per-round allocation.
+	infoTimes [2][]float64
+	infoComm  [2][]float64
+	infoFlip  int
+	// timesScratch backs the deadline quantile selection.
+	timesScratch []float64
+
+	// stream receives per-round/per-eval observations instead of the
+	// Stats/Points appends when cfg.StreamMetrics is set.
+	stream *StreamStats
 
 	// pendingDecision/pendingPrune carry async dispatch overhead into the
 	// next completed round's stats.
@@ -40,8 +72,9 @@ type runner struct {
 }
 
 // newRunner validates cfg and builds the engine: strategy, data sources,
-// device scenario and the freshly initialised global model. The normalized
-// config is returned alongside so callers branch on defaults, not raw input.
+// device scenario or population and the freshly initialised global model.
+// The normalized config is returned alongside so callers branch on
+// defaults, not raw input.
 func newRunner(fam Family, cfg Config) (*runner, Config, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -50,12 +83,16 @@ func newRunner(fam Family, cfg Config) (*runner, Config, error) {
 	if cfg.FailureRate > 0 && !cfg.FaultTolerance {
 		return nil, cfg, fmt.Errorf("core: failure injection requires fault tolerance")
 	}
-	scenario := cfg.Scenario
-	if scenario == nil {
-		scenario = cluster.Default(cfg.Workers, cfg.Seed+7)
-	}
-	if scenario.N() != cfg.Workers {
-		return nil, cfg, fmt.Errorf("core: scenario has %d devices for %d workers", scenario.N(), cfg.Workers)
+	var devices []*cluster.Device
+	if cfg.Population == nil {
+		scenario := cfg.Scenario
+		if scenario == nil {
+			scenario = cluster.Default(cfg.Workers, cfg.Seed+7)
+		}
+		if scenario.N() != cfg.Workers {
+			return nil, cfg, fmt.Errorf("core: scenario has %d devices for %d workers", scenario.N(), cfg.Workers)
+		}
+		devices = scenario.Devices
 	}
 	strategy, err := NewStrategy(fam, &cfg)
 	if err != nil {
@@ -73,11 +110,12 @@ func newRunner(fam Family, cfg Config) (*runner, Config, error) {
 		cfg:       cfg,
 		fam:       fam,
 		strategy:  strategy,
-		devices:   scenario.Devices,
+		devices:   devices,
 		sources:   sources,
 		evalNet:   evalNet,
 		testB:     fam.TestBatch(cfg.EvalLimit),
 		rng:       rand.New(rand.NewSource(cfg.Seed + 29)),
+		sched:     simsched.New(4*cfg.Workers + 8),
 		global:    fam.InitWeights(cfg.Seed),
 		prevLoss:  math.NaN(),
 		prevTimes: make([]float64, cfg.Workers),
@@ -87,6 +125,24 @@ func newRunner(fam Family, cfg Config) (*runner, Config, error) {
 			TimeToTargetAcc:  math.Inf(1),
 			TimeToTargetLoss: math.Inf(1),
 		},
+	}
+	for b := range r.infoTimes {
+		r.infoTimes[b] = make([]float64, cfg.Workers)
+		r.infoComm[b] = make([]float64, cfg.Workers)
+	}
+	if cfg.Population != nil {
+		r.pop = cfg.Population
+		r.cohortRng = cfg.Population.Rand(0)
+		r.cohortIDs = make([]int, 0, cfg.Workers)
+		r.cohortDevs = make([]*cluster.Device, 0, cfg.Workers)
+		r.devCache = make(map[int]*cluster.Device)
+		if cfg.Population.Outage.Enabled() {
+			r.regionDown = make([]bool, cfg.Population.Outage.Regions)
+		}
+	}
+	if cfg.StreamMetrics {
+		r.stream = newStreamStats()
+		r.res.Stream = r.stream
 	}
 	if cfg.Faults.Enabled() {
 		r.injector = cluster.NewInjector(cfg.Faults, cfg.Workers)
@@ -121,25 +177,34 @@ func (r *runner) allWorkers() []int {
 }
 
 // runSync executes synchronous rounds (Fig. 1) starting at round start
-// (1 for a fresh run, snapshot round + 1 when resuming). With fault
-// injection enabled, devices recovering from an earlier crash are skipped
-// up front (suspect, mirroring the wire runtime's suspect state) while
-// devices hit mid-round lose their assignment (dropped).
+// (1 for a fresh run, snapshot round + 1 when resuming). Each round: drain
+// due churn events, select the round's workers (the fixed set, or a
+// sampled cohort in population mode), train the cohort in parallel, then
+// close the round through the event scheduler — completions and the
+// fault-tolerance deadline are heap events popped in virtual-time order.
+// With fault injection enabled, devices recovering from an earlier crash
+// are skipped up front (suspect, mirroring the wire runtime's suspect
+// state) while devices hit mid-round lose their assignment (dropped).
 func (r *runner) runSync(start int) error {
+	r.sched.Advance(r.now)
 	for round := start; ; round++ {
+		r.drainDue()
 		var faults []cluster.Fault
 		if r.injector != nil {
 			faults = r.injector.Advance(round)
 		}
-		available, suspect := r.availableWorkers(faults)
+		available, suspect := r.roundWorkers(faults)
 		info := r.roundInfo(round)
-		outs := make([]Output, 0, len(available))
+		var outs []Output
 		failed := make([]Assignment, 0)
 		if len(available) > 0 {
 			assignments, err := r.strategy.Assign(info, available)
 			if err != nil {
 				return err
 			}
+			// Fault and failure filtering stays serial: the engine RNG's
+			// draw order is part of the trajectory.
+			runnable := make([]Assignment, 0, len(assignments))
 			for _, a := range assignments {
 				if faults != nil && faults[a.Worker].Down {
 					failed = append(failed, a)
@@ -149,22 +214,26 @@ func (r *runner) runSync(start int) error {
 					failed = append(failed, a)
 					continue
 				}
-				o, err := r.runWorker(a, round)
-				if err != nil {
-					return err
+				runnable = append(runnable, a)
+			}
+			outs, err = r.trainCohort(runnable, round)
+			if err != nil {
+				return err
+			}
+			if faults != nil {
+				for i := range outs {
+					if f := faults[outs[i].Worker]; f.Slowdown > 1 {
+						outs[i].CompTime *= f.Slowdown
+						outs[i].Total = outs[i].CompTime + outs[i].CommTime
+					}
 				}
-				if faults != nil && faults[a.Worker].Slowdown > 1 {
-					o.CompTime *= faults[a.Worker].Slowdown
-					o.Total = o.CompTime + o.CommTime
-				}
-				outs = append(outs, o)
 			}
 		}
-		participants, late, roundTime := r.applyDeadline(outs, len(failed) > 0)
+		participants, late, roundTime := r.closeRound(round, outs, len(failed) > 0)
 		dropped := append(failed, late...)
 		if len(participants) == 0 && roundTime == 0 {
-			// Nobody ran (everyone down or recovering): the PS idles for a
-			// mean round before trying again.
+			// Nobody ran (everyone down, recovering or unavailable): the PS
+			// idles for a mean round before trying again.
 			roundTime = math.Max(info.MeanRoundTime, 1)
 		}
 
@@ -202,34 +271,77 @@ func (r *runner) availableWorkers(faults []cluster.Fault) (available []int, susp
 	return available, suspect
 }
 
-// roundInfo snapshots the server view for the strategy.
+// deviceFor resolves a worker slot to its device: the fixed scenario
+// device, or the cohort member sampled into the slot this round.
+func (r *runner) deviceFor(w int) *cluster.Device {
+	if r.pop != nil {
+		return r.cohortDevs[w]
+	}
+	return r.devices[w]
+}
+
+// roundInfo snapshots the server view for the strategy. The PrevTimes and
+// PrevCommTimes slices alternate between two runner-owned buffers —
+// strategies may read them only until the next-next roundInfo call (the
+// async engine keeps a dispatch info and an aggregate info alive at once,
+// hence two buffers rather than one), so no per-round copies are
+// allocated.
 func (r *runner) roundInfo(round int) *RoundInfo {
 	mean := 0.0
 	if r.roundCnt > 0 {
 		mean = r.roundSum / float64(r.roundCnt)
 	}
+	b := r.infoFlip & 1
+	r.infoFlip++
+	copy(r.infoTimes[b], r.prevTimes)
+	copy(r.infoComm[b], r.prevComm)
 	return &RoundInfo{
 		Round:         round,
 		Global:        r.global,
 		PrevLoss:      r.prevLoss,
-		PrevTimes:     append([]float64(nil), r.prevTimes...),
-		PrevCommTimes: append([]float64(nil), r.prevComm...),
+		PrevTimes:     r.infoTimes[b],
+		PrevCommTimes: r.infoComm[b],
 		MeanRoundTime: mean,
 	}
 }
 
-// finishRound updates clocks and records per-round statistics. suspect
-// counts workers skipped up front this round (recovering from an injected
-// crash).
+// finishRound updates clocks and records per-round statistics — appended
+// RoundStats by default, folded into the streaming aggregate under
+// StreamMetrics. suspect counts workers skipped up front this round
+// (recovering from an injected crash).
 func (r *runner) finishRound(round int, info *RoundInfo, outs []Output, dropped []Assignment, suspect int, roundTime float64) {
 	r.now += roundTime
+	r.sched.Advance(r.now)
 	r.roundSum += roundTime
 	r.roundCnt++
 	r.res.Rounds = round
 
+	var comp, comm float64
+	var down, up int64
+	for _, o := range outs {
+		comp += o.CompTime
+		comm += o.CommTime
+		down += o.DownBytes
+		up += o.UpBytes
+		r.prevTimes[o.Worker] = o.Total
+		r.prevComm[o.Worker] = o.CommTime
+	}
+	if len(outs) > 0 {
+		comp /= float64(len(outs))
+		comm /= float64(len(outs))
+		r.prevLoss = meanTrainLoss(outs)
+	}
+	if r.stream != nil {
+		r.stream.observeRound(roundTime, comp, comm, down, up, len(outs), len(dropped), suspect)
+		return
+	}
 	stat := RoundStat{
 		Round:           round,
 		Time:            roundTime,
+		CompTime:        comp,
+		CommTime:        comm,
+		DownBytes:       down,
+		UpBytes:         up,
 		DecisionSeconds: info.DecisionSeconds,
 		PruneSeconds:    info.PruneSeconds,
 		Participants:    len(outs),
@@ -238,27 +350,33 @@ func (r *runner) finishRound(round int, info *RoundInfo, outs []Output, dropped 
 		Ratios:          make([]float64, r.cfg.Workers),
 	}
 	for _, o := range outs {
-		stat.CompTime += o.CompTime
-		stat.CommTime += o.CommTime
-		stat.DownBytes += o.DownBytes
-		stat.UpBytes += o.UpBytes
 		stat.Ratios[o.Worker] = o.Ratio
-		r.prevTimes[o.Worker] = o.Total
-		r.prevComm[o.Worker] = o.CommTime
-	}
-	if len(outs) > 0 {
-		stat.CompTime /= float64(len(outs))
-		stat.CommTime /= float64(len(outs))
-		r.prevLoss = meanTrainLoss(outs)
 	}
 	r.res.Stats = append(r.res.Stats, stat)
 }
 
 // evalAndCheck evaluates on schedule and reports whether a quality target
-// was met.
+// was met. In the synchronous engine the evaluation is itself a scheduler
+// event: pushed at the round's close time and popped through the heap, so
+// any churn that came due during the round is dispatched first, in
+// virtual-time order. The async engine evaluates directly — its heap holds
+// live in-flight completions that must stay queued for later rounds.
 func (r *runner) evalAndCheck(round int) (bool, error) {
 	if round%r.cfg.EvalEvery != 0 {
 		return false, nil
+	}
+	if !r.cfg.Async {
+		r.sched.Push(r.now, simsched.KindEval, int64(round))
+		for {
+			ev, ok := r.sched.Pop()
+			if !ok {
+				break
+			}
+			if ev.Kind == simsched.KindEval {
+				break
+			}
+			r.dispatchEvent(ev)
+		}
 	}
 	p := r.evaluate(round)
 	if r.cfg.TargetAccuracy > 0 && p.Acc >= r.cfg.TargetAccuracy {
@@ -287,12 +405,17 @@ func (r *runner) stopByBudget(round int) bool {
 	return false
 }
 
-// evaluate measures the global model on the test batch and records a Point.
+// evaluate measures the global model on the test batch and records a Point
+// (or the streaming aggregate under StreamMetrics).
 func (r *runner) evaluate(round int) Point {
 	nn.SetWeights(r.evalNet, r.global)
 	loss, acc := EvalChunked(r.evalNet, r.testB, 64)
 	p := Point{Round: round, Time: r.now, Loss: loss, Acc: acc}
-	r.res.Points = append(r.res.Points, p)
+	if r.stream != nil {
+		r.stream.observeEval(round, r.now, loss, acc)
+	} else {
+		r.res.Points = append(r.res.Points, p)
+	}
 	// Track first-crossing times even when the run continues for other
 	// reasons (e.g. time-budget sweeps reading the trajectory).
 	if r.cfg.TargetAccuracy > 0 && acc >= r.cfg.TargetAccuracy && math.IsInf(r.res.TimeToTargetAcc, 1) {
@@ -343,51 +466,15 @@ func sliceBatch(b *nn.Batch, start, end int) *nn.Batch {
 	return &nn.Batch{Seq: b.Seq[start:end]}
 }
 
-// applyDeadline implements the §V-A fault-tolerance mechanism: with
-// fault tolerance on, the deadline is DeadlineFactor × the time at which
-// DeadlineQuantile of the workers have delivered; slower workers are
-// dropped from the round. Returns participants, late assignments and the
-// round's virtual duration. With failures present the PS always waits until
-// the deadline.
-func (r *runner) applyDeadline(outs []Output, hadFailures bool) (participants []Output, late []Assignment, roundTime float64) {
-	for _, o := range outs {
-		if o.Total > roundTime {
-			roundTime = o.Total
-		}
-	}
-	if !r.cfg.FaultTolerance || len(outs) == 0 {
-		return outs, nil, roundTime
-	}
-	times := make([]float64, len(outs))
-	for i, o := range outs {
-		times[i] = o.Total
-	}
-	sort.Float64s(times)
-	idx := int(math.Ceil(r.cfg.DeadlineQuantile*float64(r.cfg.Workers))) - 1
-	if idx >= len(times) {
-		idx = len(times) - 1
-	}
-	deadline := r.cfg.DeadlineFactor * times[idx]
-	for _, o := range outs {
-		if o.Total <= deadline {
-			participants = append(participants, o)
-		} else {
-			late = append(late, o.Assignment)
-		}
-	}
-	if len(late) > 0 || hadFailures {
-		// The PS waits out the full deadline before closing the round.
-		roundTime = deadline
-	}
-	return participants, late, roundTime
-}
-
 // runWorker executes one assignment: local training for real, virtual time
 // charged per the device model (phase ② of Fig. 1). round is the wire
 // round index, threaded through so the size model prices exactly the frame
-// the TCP runtime would send.
+// the TCP runtime would send. It touches only per-assignment state — the
+// worker's own source, device and freshly built model — which is what lets
+// trainCohort shard calls across goroutines without changing a byte of the
+// result.
 func (r *runner) runWorker(a Assignment, round int) (Output, error) {
-	dev := r.devices[a.Worker]
+	dev := r.deviceFor(a.Worker)
 	net, err := r.fam.BuildNet(a.Desc, r.cfg.Seed)
 	if err != nil {
 		return Output{}, fmt.Errorf("core: building worker %d model: %w", a.Worker, err)
@@ -520,14 +607,26 @@ func topKUpdate(before, after []*tensor.Tensor, k float64) ([]*tensor.Tensor, in
 	return topKOf(deltas, k)
 }
 
+// magPool recycles the magnitude scratch topKOf ranks in — one buffer per
+// concurrently selecting worker, each grown once to its largest tensor.
+var magPool = sync.Pool{New: func() any {
+	s := make([]float64, 0, 1024)
+	return &s
+}}
+
 // topKOf keeps the top fraction k of each tensor's coordinates by
 // magnitude (layer-wise selection, the form practical compression systems
 // use — a global pool lets the largest dense layer starve the convolution
 // updates), returning the sparse result in dense form plus the total kept
-// count. deltas is not modified.
+// count. deltas is not modified. The magnitude threshold comes from an
+// O(n) quickselect over a pooled scratch buffer rather than a full sort;
+// selectKth returns exactly the value a sort would place at the cut index,
+// so the masks are byte-identical to the sort-based selection.
 func topKOf(deltas []*tensor.Tensor, k float64) ([]*tensor.Tensor, int) {
 	out := make([]*tensor.Tensor, len(deltas))
 	nnz := 0
+	sp := magPool.Get().(*[]float64)
+	mags := *sp
 	for i, src := range deltas {
 		d := src.Clone()
 		out[i] = d
@@ -540,15 +639,17 @@ func topKOf(deltas []*tensor.Tensor, k float64) ([]*tensor.Tensor, int) {
 			nnz += total
 			continue
 		}
-		mags := make([]float64, total)
+		if cap(mags) < total {
+			mags = make([]float64, 0, total)
+		}
+		mags = mags[:total]
 		for j, v := range d.Data {
 			if v < 0 {
 				v = -v
 			}
 			mags[j] = float64(v)
 		}
-		sort.Float64s(mags)
-		threshold := mags[total-keep]
+		threshold := selectKth(mags, total-keep)
 		kept := 0
 		for j, v := range d.Data {
 			av := v
@@ -563,5 +664,53 @@ func topKOf(deltas []*tensor.Tensor, k float64) ([]*tensor.Tensor, int) {
 		}
 		nnz += kept
 	}
+	*sp = mags[:0]
+	magPool.Put(sp)
 	return out, nnz
+}
+
+// selectKth returns the value that would sit at ascending index k if s
+// were fully sorted, partially reordering s in place: iterative Hoare
+// quickselect with a median-of-three pivot — deterministic, allocation-
+// free, O(n) expected. The deadline quantile and the top-K threshold both
+// use it in place of a full sort.
+func selectKth(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		// Median-of-three pivot dodges quadratic behaviour on sorted runs.
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] < pivot {
+				i++
+			}
+			for pivot < s[j] {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return s[k]
+		}
+	}
+	return s[k]
 }

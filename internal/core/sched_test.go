@@ -1,0 +1,320 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"fedmp/internal/cluster"
+	"fedmp/internal/tensor"
+)
+
+// resultFingerprint serialises everything about a Result except its Config,
+// so two runs can be compared for byte-identical behaviour even when their
+// configs differ in presentation (e.g. population vs. scenario).
+func resultFingerprint(t *testing.T, res *Result) string {
+	t.Helper()
+	res2 := *res
+	res2.Config = Config{}
+	// DecisionSeconds/PruneSeconds measure *real* wall-clock work (Fig. 11)
+	// and are legitimately nondeterministic; mask them.
+	res2.Stats = append([]RoundStat(nil), res.Stats...)
+	for i := range res2.Stats {
+		res2.Stats[i].DecisionSeconds, res2.Stats[i].PruneSeconds = 0, 0
+	}
+	// JSON rejects the +Inf "target never reached" sentinels; fold them into
+	// printable fields instead.
+	tta, ttl := res2.TimeToTargetAcc, res2.TimeToTargetLoss
+	res2.TimeToTargetAcc, res2.TimeToTargetLoss = 0, 0
+	b, err := json.Marshal(&res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("tta=%v ttl=%v %s", tta, ttl, b)
+}
+
+// TestParallelCohortDeterminism pins the headline parallelism guarantee: a
+// run sharded across 8 goroutines is byte-identical to the serial run, with
+// the stressful options on (fault injection, fault-tolerance deadline,
+// failure-rate drops, quantized wire accounting).
+func TestParallelCohortDeterminism(t *testing.T) {
+	fam := tinyFamily()
+	cfg := quickCfg(StrategyFedMP, 4)
+	cfg.FaultTolerance = true
+	cfg.FailureRate = 0.2
+	cfg.QuantizeWire = true
+	cfg.Faults = cluster.FaultConfig{
+		Seed: 11, CrashProb: 0.1, StragglerProb: 0.2, StragglerFactor: 2,
+		BlackoutProb: 0.1, DownRounds: 1,
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial, errSerial := Run(fam, cfg)
+	runtime.GOMAXPROCS(8)
+	parallel, errParallel := Run(fam, cfg)
+	runtime.GOMAXPROCS(prev)
+	if errSerial != nil || errParallel != nil {
+		t.Fatalf("serial err %v, parallel err %v", errSerial, errParallel)
+	}
+	if got, want := resultFingerprint(t, parallel), resultFingerprint(t, serial); got != want {
+		t.Fatalf("parallel result diverges from serial:\nserial:   %.200s\nparallel: %.200s", want, got)
+	}
+}
+
+// TestPopulationReproducesLegacyRun is the compatibility property: a
+// population whose cohort spans all of it, with availability gates off, is
+// the legacy fixed-worker engine — same devices, same RNG draws, same
+// Result, byte for byte (modulo Config, which differs by construction).
+func TestPopulationReproducesLegacyRun(t *testing.T) {
+	fam := tinyFamily()
+	legacyCfg := quickCfg(StrategyFedMP, 3)
+	legacyCfg.Workers = 30
+	popCfg := legacyCfg
+	popCfg.Population = &cluster.Population{Size: 30}
+
+	legacy, err := Run(fam, legacyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := Run(fam, popCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resultFingerprint(t, pop), resultFingerprint(t, legacy); got != want {
+		t.Fatalf("population run diverges from legacy run:\nlegacy:     %.200s\npopulation: %.200s", want, got)
+	}
+}
+
+// TestStreamMetricsMatchStats runs the same config with and without
+// streaming and checks the online aggregates against the full per-round
+// record they replace.
+func TestStreamMetricsMatchStats(t *testing.T) {
+	fam := tinyFamily()
+	cfg := quickCfg(StrategyFedMP, 4)
+	full, err := Run(fam, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.StreamMetrics = true
+	streamed, err := Run(fam, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed.Points) != 0 || len(streamed.Stats) != 0 {
+		t.Fatalf("streaming run kept %d points / %d stats", len(streamed.Points), len(streamed.Stats))
+	}
+	s := streamed.Stream
+	if s == nil {
+		t.Fatal("streaming run has nil Stream")
+	}
+	if int(s.Rounds) != len(full.Stats) {
+		t.Fatalf("stream folded %d rounds, full run recorded %d", s.Rounds, len(full.Stats))
+	}
+	var sum float64
+	for _, st := range full.Stats {
+		sum += st.Time
+	}
+	mean := sum / float64(len(full.Stats))
+	if d := s.RoundTime.Mean - mean; d > 1e-9 || d < -1e-9 {
+		t.Errorf("stream round-time mean %v, full-run mean %v", s.RoundTime.Mean, mean)
+	}
+	if int(s.Evals) != len(full.Points) {
+		t.Errorf("stream saw %d evals, full run %d points", s.Evals, len(full.Points))
+	}
+	last := full.Points[len(full.Points)-1]
+	if s.LastAcc != last.Acc || s.LastLoss != last.Loss {
+		t.Errorf("stream last eval (%v, %v), full run (%v, %v)", s.LastAcc, s.LastLoss, last.Acc, last.Loss)
+	}
+	if streamed.FinalAcc != full.FinalAcc {
+		t.Errorf("streaming FinalAcc %v, full %v", streamed.FinalAcc, full.FinalAcc)
+	}
+	if streamed.Time != full.Time {
+		t.Errorf("streaming total time %v, full %v", streamed.Time, full.Time)
+	}
+}
+
+// TestPopulationChurnRun exercises the full scale path: a large-ish
+// population, a small sampled cohort, both availability gates on, streaming
+// metrics — the million-device configuration in miniature.
+func TestPopulationChurnRun(t *testing.T) {
+	fam := tinyFamily()
+	cfg := quickCfg(StrategyFedMP, 5)
+	cfg.Workers = 3
+	cfg.StreamMetrics = true
+	cfg.Population = &cluster.Population{
+		Size:    500,
+		Diurnal: cluster.Diurnal{Period: 40, OnFraction: 0.6},
+		Outage:  cluster.Outage{Regions: 4, Prob: 0.3, Period: 25, Duration: 12},
+	}
+	res, err := Run(fam, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("ran %d rounds, want 5", res.Rounds)
+	}
+	if res.Events <= 0 {
+		t.Errorf("processed %d scheduler events", res.Events)
+	}
+	if res.Stream == nil || res.Stream.Rounds != 5 {
+		t.Fatalf("stream = %+v", res.Stream)
+	}
+	if res.Stream.Participants.Max > float64(cfg.Workers) {
+		t.Errorf("a round had %v participants, cohort is %d", res.Stream.Participants.Max, cfg.Workers)
+	}
+	// Determinism: the same config replays the same run.
+	res2, err := Run(fam, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resultFingerprint(t, res2), resultFingerprint(t, res); got != want {
+		t.Fatal("population churn run is not deterministic")
+	}
+}
+
+// TestPopulationConfigValidation pins the config seams: population excludes
+// scenario and async, and the cohort must fit.
+func TestPopulationConfigValidation(t *testing.T) {
+	fam := tinyFamily()
+	bad := []func(*Config){
+		func(c *Config) { c.Population = &cluster.Population{Size: 2} }, // cohort 4 > size 2
+		func(c *Config) { c.Population = &cluster.Population{Size: 10}; c.Async = true; c.AsyncM = 2 },
+		func(c *Config) {
+			c.Population = &cluster.Population{Size: 10}
+			c.Scenario = cluster.Default(4, 7)
+		},
+	}
+	for i, mutate := range bad {
+		cfg := quickCfg(StrategyFedMP, 1)
+		mutate(&cfg)
+		if _, err := Run(fam, cfg); err == nil {
+			t.Errorf("case %d: invalid population config accepted", i)
+		}
+	}
+}
+
+// TestSelectKth checks the quickselect against the sort it replaced, across
+// sizes, duplicates and every rank.
+func TestSelectKth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 3, 7, 50, 257} {
+		for trial := 0; trial < 4; trial++ {
+			s := make([]float64, n)
+			for i := range s {
+				if trial%2 == 0 {
+					s[i] = rng.Float64()
+				} else {
+					s[i] = float64(rng.Intn(5)) // heavy duplicates
+				}
+			}
+			sorted := append([]float64(nil), s...)
+			sort.Float64s(sorted)
+			for k := 0; k < n; k++ {
+				in := append([]float64(nil), s...)
+				if got := selectKth(in, k); got != sorted[k] {
+					t.Fatalf("n=%d trial=%d k=%d: selectKth=%v, sort=%v", n, trial, k, got, sorted[k])
+				}
+			}
+		}
+	}
+}
+
+// topKOfSortRef is the pre-quickselect implementation (full sort per
+// tensor), kept as the benchmark baseline and a cross-check oracle.
+func topKOfSortRef(deltas []*tensor.Tensor, k float64) ([]*tensor.Tensor, int) {
+	out := make([]*tensor.Tensor, len(deltas))
+	nnz := 0
+	for i, src := range deltas {
+		d := src.Clone()
+		out[i] = d
+		total := d.Size()
+		keep := int(k * float64(total))
+		if keep < 1 {
+			keep = 1
+		}
+		if keep >= total {
+			nnz += total
+			continue
+		}
+		mags := make([]float64, total)
+		for j, v := range d.Data {
+			if v < 0 {
+				v = -v
+			}
+			mags[j] = float64(v)
+		}
+		sort.Float64s(mags)
+		threshold := mags[total-keep]
+		kept := 0
+		for j, v := range d.Data {
+			av := v
+			if av < 0 {
+				av = -av
+			}
+			if float64(av) < threshold || (threshold == 0 && v == 0) || kept >= keep {
+				d.Data[j] = 0
+			} else {
+				kept++
+			}
+		}
+		nnz += kept
+	}
+	return out, nnz
+}
+
+// benchDeltas builds a model-delta-shaped tensor list for the top-K
+// benchmarks: one conv-ish block and one large dense block.
+func benchDeltas() []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(17))
+	shapes := [][]int{{16, 8, 3, 3}, {256, 512}, {512}, {64, 256}}
+	deltas := make([]*tensor.Tensor, len(shapes))
+	for i, sh := range shapes {
+		t := tensor.New(sh...)
+		for j := range t.Data {
+			t.Data[j] = float32(rng.NormFloat64())
+		}
+		deltas[i] = t
+	}
+	return deltas
+}
+
+// TestTopKOfMatchesSortReference pins byte-identical masks between the
+// quickselect top-K and the sort it replaced.
+func TestTopKOfMatchesSortReference(t *testing.T) {
+	deltas := benchDeltas()
+	for _, k := range []float64{0.01, 0.1, 0.5, 0.99} {
+		got, gotN := topKOf(deltas, k)
+		want, wantN := topKOfSortRef(deltas, k)
+		if gotN != wantN {
+			t.Fatalf("k=%v: quickselect kept %d, sort kept %d", k, gotN, wantN)
+		}
+		for i := range got {
+			for j := range got[i].Data {
+				if got[i].Data[j] != want[i].Data[j] {
+					t.Fatalf("k=%v: tensor %d element %d differs", k, i, j)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTopKOfQuickselect(b *testing.B) {
+	deltas := benchDeltas()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topKOf(deltas, 0.1)
+	}
+}
+
+func BenchmarkTopKOfSortRef(b *testing.B) {
+	deltas := benchDeltas()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topKOfSortRef(deltas, 0.1)
+	}
+}

@@ -170,8 +170,11 @@ func (r *runner) finish(err error) (*Result, error) {
 	if len(r.res.Points) > 0 {
 		last := r.res.Points[len(r.res.Points)-1]
 		r.res.FinalAcc, r.res.FinalLoss = last.Acc, last.Loss
+	} else if r.res.Stream != nil && r.res.Stream.Evals > 0 {
+		r.res.FinalAcc, r.res.FinalLoss = r.res.Stream.LastAcc, r.res.Stream.LastLoss
 	}
 	r.res.Time = r.now
+	r.res.Events = int64(r.sched.Processed())
 	if !r.cfg.Async {
 		r.res.State = r.exportState()
 	}

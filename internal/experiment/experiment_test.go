@@ -57,13 +57,14 @@ func TestIDsCoverPaperArtefacts(t *testing.T) {
 			t.Errorf("artefact %s missing from IDs()", w)
 		}
 	}
-	for _, extra := range []string{"ablation-policy", "ablation-quantize", "extra-adaptivity", "extra-churn", "extra-pskill"} {
+	extras := []string{"ablation-policy", "ablation-quantize", "extra-adaptivity", "extra-churn", "extra-population", "extra-pskill"}
+	for _, extra := range extras {
 		if !strings.Contains(have+",", extra+",") {
 			t.Errorf("extra artefact %s missing from IDs()", extra)
 		}
 	}
-	if len(ids) != len(want)+5 {
-		t.Errorf("IDs() has %d entries, want %d", len(ids), len(want)+5)
+	if len(ids) != len(want)+len(extras) {
+		t.Errorf("IDs() has %d entries, want %d", len(ids), len(want)+len(extras))
 	}
 }
 

@@ -106,14 +106,19 @@ type runSpec struct {
 	// quantile enables the §V-A fault-tolerance deadline at the given
 	// quantile — the simulation's quorum analogue.
 	quantile float64
+	// population switches the run to population mode with this many lazily
+	// derived devices, `workers` of which are sampled per round; diurnal and
+	// outage churn gates come on, and metrics stream (constant memory) so
+	// the sweep scales to very large populations.
+	population int
 }
 
 // key renders the unique cache key.
 func (sp runSpec) key(workers int, rounds int) string {
-	return fmt.Sprintf("%s/%s/level=%s/w=%d/r=%d/noniid=%s%d/sync=%s/ratio=%.2f/theta=%.3f/async=%v-%d/policy=%s/quant=%v/crash=%.3f/quorum=%.2f",
+	return fmt.Sprintf("%s/%s/level=%s/w=%d/r=%d/noniid=%s%d/sync=%s/ratio=%.2f/theta=%.3f/async=%v-%d/policy=%s/quant=%v/crash=%.3f/quorum=%.2f/pop=%d",
 		sp.model, sp.strategy, sp.level, workers, rounds, sp.nonIID.Kind, sp.nonIID.Level,
 		sp.sync, sp.fixedRatio, sp.theta, sp.async, sp.asyncM, sp.policy, sp.quantize,
-		sp.crash, sp.quantile)
+		sp.crash, sp.quantile, sp.population)
 }
 
 // specConfig builds the family and core config for a spec without running
@@ -176,6 +181,14 @@ func (l *lab) specConfig(sp runSpec) (core.Family, core.Config, string, error) {
 	if sp.quantile > 0 {
 		cfg.FaultTolerance = true
 		cfg.DeadlineQuantile = sp.quantile
+	}
+	if sp.population > 0 {
+		cfg.Population = &cluster.Population{
+			Size:    sp.population,
+			Diurnal: cluster.Diurnal{Period: 200, OnFraction: 0.7},
+			Outage:  cluster.Outage{Regions: 4, Prob: 0.1, Period: 150, Duration: 75},
+		}
+		cfg.StreamMetrics = true
 	}
 	return fam, cfg, sp.key(workers, rounds), nil
 }

@@ -145,6 +145,7 @@ func DefaultOptions() *Options {
 			"fedmp/internal/cluster",
 			"fedmp/internal/bandit",
 			"fedmp/internal/experiment",
+			"fedmp/internal/simsched",
 		},
 		RequiredAllocFree: []string{
 			"fedmp/internal/tensor.packA",
@@ -168,6 +169,14 @@ func DefaultOptions() *Options {
 			"fedmp/internal/transport/codec.getF32s",
 			"fedmp/internal/transport/codec.nonzeroCount",
 			"fedmp/internal/transport/codec.quantNonzeroCount",
+			"fedmp/internal/simsched.Scheduler.Pop",
+			"fedmp/internal/simsched.Scheduler.push",
+			"fedmp/internal/simsched.Scheduler.siftUp",
+			"fedmp/internal/simsched.Scheduler.siftDown",
+			"fedmp/internal/cluster.splitmix64",
+			"fedmp/internal/cluster.SubSeed",
+			"fedmp/internal/cluster.Population.ClusterOf",
+			"fedmp/internal/cluster.Population.Available",
 		},
 		MapOrderDeny: []string{
 			"fedmp/internal/core",
@@ -175,6 +184,7 @@ func DefaultOptions() *Options {
 			"fedmp/internal/bandit",
 			"fedmp/internal/experiment",
 			"fedmp/internal/metrics",
+			"fedmp/internal/simsched",
 		},
 		GobDeny: []string{
 			"fedmp/internal/transport",
@@ -202,6 +212,7 @@ func DefaultOptions() *Options {
 			"fedmp/internal/nn",
 			"fedmp/internal/prune",
 			"fedmp/internal/simclock",
+			"fedmp/internal/simsched",
 			"fedmp/cmd",
 		},
 		ProtoOrderScope: []string{
@@ -222,6 +233,7 @@ func DefaultOptions() *Options {
 			"fedmp/internal/tensor",
 			"fedmp/internal/nn",
 			"fedmp/internal/prune",
+			"fedmp/internal/simsched",
 			"fedmp/cmd",
 		},
 	}

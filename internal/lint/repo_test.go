@@ -67,6 +67,10 @@ func TestDefaultOptionsPinHotPaths(t *testing.T) {
 		"fedmp/internal/transport/codec.getF32s",
 		"fedmp/internal/transport/codec.nonzeroCount",
 		"fedmp/internal/transport/codec.quantNonzeroCount",
+		"fedmp/internal/simsched.Scheduler.Pop",
+		"fedmp/internal/simsched.Scheduler.push",
+		"fedmp/internal/cluster.SubSeed",
+		"fedmp/internal/cluster.Population.Available",
 	} {
 		found := false
 		for _, k := range opts.RequiredAllocFree {
